@@ -1,0 +1,14 @@
+//! Regenerates the design-parameter ablations as a `cargo bench` target.
+
+use mlp_experiments::{exp, RunScale};
+use std::time::Instant;
+
+fn main() {
+    let scale = std::env::var("MLP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| RunScale::parse(&s))
+        .unwrap_or_else(RunScale::quick);
+    let t0 = Instant::now();
+    println!("{}", exp::extensions::run_ablations(scale).render());
+    println!("[ablations regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's Figure 2: clustering of misses as a `cargo bench` target.
+//!
+//! Scale via `MLP_BENCH_SCALE=quick|standard|full` (default: quick, so
+//! `cargo bench --workspace` stays fast).
+
+use mlp_experiments::{exp, RunScale};
+use std::time::Instant;
+
+fn main() {
+    let scale = std::env::var("MLP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| RunScale::parse(&s))
+        .unwrap_or_else(RunScale::quick);
+    let t0 = Instant::now();
+    let result = exp::figure2::run(scale);
+    println!("{}", result.render());
+    println!("[figure2 regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the core data structures and both
+//! simulators: how many instructions per second each component sustains.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mlp_cyclesim::{CycleSim, CycleSimConfig};
+use mlp_isa::{tracefile, TraceSource, VecTrace};
+use mlp_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use mlp_predict::{BranchObserver, BranchPredictor, BranchPredictorConfig};
+use mlp_workloads::{micro, Workload, WorkloadKind};
+use mlpsim::{MlpsimConfig, Simulator, WindowModel};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let addrs: Vec<u64> = (0..4096u64).map(|k| (k.wrapping_mul(2654435761)) << 6).collect();
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("l2_access_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::new(2 * 1024 * 1024, 4));
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    let trace: Vec<_> = Workload::new(WorkloadKind::Database, 1).take(20_000).collect();
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("classify_database_trace", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(HierarchyConfig::default());
+            for i in &trace {
+                h.ifetch(i.pc);
+                if let Some(m) = i.mem {
+                    black_box(h.load(m.addr));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    let branches: Vec<_> = Workload::new(WorkloadKind::Database, 1)
+        .take(200_000)
+        .filter(|i| i.is_branch())
+        .collect();
+    g.throughput(Throughput::Elements(branches.len() as u64));
+    g.bench_function("gshare_btb_ras", |b| {
+        b.iter(|| {
+            let mut p = BranchPredictor::new(BranchPredictorConfig::default());
+            for i in &branches {
+                black_box(p.observe(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    for kind in WorkloadKind::ALL {
+        g.bench_function(format!("generate_{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut wl = Workload::new(kind, 7);
+                black_box(wl.skip_insts(n as usize));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tracefile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracefile");
+    let trace: Vec<_> = Workload::new(WorkloadKind::SpecJbb2000, 3).take(50_000).collect();
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            tracefile::write(&mut buf, &trace).unwrap();
+            black_box(tracefile::read(buf.as_slice()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_mlpsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlpsim");
+    g.sample_size(10);
+    let n = 200_000usize;
+    let trace: Vec<_> = Workload::new(WorkloadKind::Database, 9).take(n).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("epoch_engine_database", |b| {
+        b.iter(|| {
+            let mut t = VecTrace::new(trace.clone());
+            Simulator::new(MlpsimConfig::default()).run(&mut t, 0, u64::MAX)
+        })
+    });
+    g.bench_function("runahead_database", |b| {
+        b.iter(|| {
+            let mut t = VecTrace::new(trace.clone());
+            Simulator::new(
+                MlpsimConfig::builder()
+                    .window(WindowModel::Runahead { max_dist: 2048 })
+                    .build(),
+            )
+            .run(&mut t, 0, u64::MAX)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cyclesim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cyclesim");
+    g.sample_size(10);
+    let n = 100_000usize;
+    let trace: Vec<_> = Workload::new(WorkloadKind::Database, 9).take(n).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("pipeline_database", |b| {
+        b.iter(|| {
+            let mut t = VecTrace::new(trace.clone());
+            CycleSim::new(CycleSimConfig::default()).run(&mut t, 0, u64::MAX)
+        })
+    });
+    g.bench_function("runahead_database", |b| {
+        use mlp_cyclesim::runahead::RunaheadSim;
+        b.iter(|| {
+            let mut t = VecTrace::new(trace.clone());
+            RunaheadSim::new(CycleSimConfig::default(), 2048).run(&mut t, 0, u64::MAX)
+        })
+    });
+    g.bench_function("smt_two_threads", |b| {
+        use mlp_cyclesim::smt::SmtSim;
+        use mlp_isa::TraceSource;
+        b.iter(|| {
+            let mut a = VecTrace::new(trace.clone());
+            let mut bb = VecTrace::new(trace.clone());
+            SmtSim::new(CycleSimConfig::default()).run(
+                vec![
+                    &mut a as &mut dyn TraceSource,
+                    &mut bb as &mut dyn TraceSource,
+                ],
+                0,
+                u64::MAX,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_micro_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_traces");
+    let t = micro::independent_misses(64, 3);
+    g.bench_function("independent_misses_epoch_model", |b| {
+        b.iter(|| {
+            let mut s = VecTrace::new(t.clone());
+            Simulator::new(MlpsimConfig::default()).run(&mut s, 0, u64::MAX)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_hierarchy,
+    bench_predictors,
+    bench_workload_generation,
+    bench_tracefile,
+    bench_mlpsim,
+    bench_cyclesim,
+    bench_micro_traces
+);
+criterion_main!(benches);

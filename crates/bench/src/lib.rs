@@ -1,0 +1,7 @@
+//! Benchmark harness for the MLP workspace.
+//!
+//! This crate carries no library code: everything lives in `benches/` —
+//! Criterion micro-benchmarks (`micro`) and one `harness = false` target
+//! per paper table/figure (`table1` … `figure11`), each of which prints
+//! the regenerated result. Scale the experiment benches with
+//! `MLP_BENCH_SCALE=quick|standard|full`.

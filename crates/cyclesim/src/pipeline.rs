@@ -1,0 +1,719 @@
+//! The cycle-level pipeline model.
+//!
+//! A single clock drives five stages — fetch, dispatch, issue, complete,
+//! retire — over explicit ROB/issue-window/fetch-buffer structures. The
+//! clock *skips* dead time: when a cycle performs no work, it jumps to the
+//! next event (a completion, an MSHR fill, a fetch redirect), which makes
+//! thousand-cycle off-chip stalls cheap to simulate while preserving
+//! exact cycle accounting.
+
+use crate::{CycleReport, CycleSimConfig};
+use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
+use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
+use mlp_predict::{
+    BranchObserver, BranchPredictor, BranchStats, PerfectBranchPredictor,
+};
+use mlpsim::{BranchMode, OffchipCounts};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+#[derive(Clone, Debug)]
+struct Entry {
+    kind: OpKind,
+    producers: [Option<u64>; 3],
+    mem_addr: Option<u64>,
+    mispredicted: bool,
+    issued: bool,
+    completed: bool,
+    complete_at: u64,
+}
+
+enum Branches {
+    Real(BranchPredictor),
+    Perfect(PerfectBranchPredictor),
+}
+
+impl Branches {
+    fn observe(&mut self, inst: &Inst) -> bool {
+        match self {
+            Branches::Real(p) => p.observe(inst),
+            Branches::Perfect(p) => p.observe(inst),
+        }
+    }
+
+    fn stats(&self) -> BranchStats {
+        match self {
+            Branches::Real(p) => p.stats(),
+            Branches::Perfect(p) => p.stats(),
+        }
+    }
+}
+
+/// The cycle-accurate simulator.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_cyclesim::{CycleSim, CycleSimConfig};
+/// use mlp_workloads::micro;
+///
+/// let trace = micro::pointer_chase(4, 1);
+/// let report = CycleSim::new(CycleSimConfig::default())
+///     .run(&mut mlp_isa::SliceTrace::new(&trace), 0, u64::MAX);
+/// // Four serialized misses: at least 4 x 200 cycles.
+/// assert!(report.cycles >= 800);
+/// ```
+#[derive(Debug)]
+pub struct CycleSim {
+    config: CycleSimConfig,
+}
+
+impl CycleSim {
+    /// Creates a simulator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CycleSimConfig::validate`].
+    pub fn new(config: CycleSimConfig) -> CycleSim {
+        config.validate();
+        CycleSim { config }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &CycleSimConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline over `trace`: `warmup` retired instructions
+    /// train the caches and predictors without counting, then up to
+    /// `measure` instructions are measured (the run also ends at
+    /// end-of-trace, after draining).
+    pub fn run<T: TraceSource>(&mut self, trace: &mut T, warmup: u64, measure: u64) -> CycleReport {
+        Machine::new(&self.config, trace, warmup, measure).run()
+    }
+}
+
+struct Machine<'a, T> {
+    cfg: &'a CycleSimConfig,
+    trace: &'a mut T,
+    hierarchy: Hierarchy,
+    mshr: Mshr,
+    branches: Branches,
+    now: u64,
+    // front end
+    fetch_queue: VecDeque<(Inst, bool)>, // decoded, with mispredict flag
+    pending_fetch: Option<Inst>, // waiting for its I-line to arrive
+    fetch_stall_until: u64,
+    awaiting_redirect: bool,
+    last_ifetch_line: u64,
+    trace_done: bool,
+    fetched: u64,
+    // back end
+    rob: VecDeque<Entry>,
+    head_seq: u64,
+    next_seq: u64,
+    unissued: usize,
+    last_writer: [u64; Reg::COUNT], // seq + 1; 0 = none
+    store_fwd: HashMap<u64, u64>,   // addr8 -> latest store seq
+    serialize_block: Option<u64>,
+    completions: BTreeMap<u64, Vec<u64>>,
+    // MLP(t) integration (useful accesses) and fM (all transfers)
+    outstanding: BTreeMap<u64, u32>,
+    fm_outstanding: BTreeMap<u64, u32>,
+    mlp_cursor: u64,
+    // accounting
+    retired: u64,
+    warmup: u64,
+    limit: u64,
+    measuring: bool,
+    measure_start_cycle: u64,
+    offchip: OffchipCounts,
+    mlp_weighted: u64,
+    active_cycles: u64,
+    fm_weighted: u64,
+    fm_active: u64,
+    branch_base: BranchStats,
+}
+
+impl<'a, T: TraceSource> Machine<'a, T> {
+    fn new(cfg: &'a CycleSimConfig, trace: &'a mut T, warmup: u64, measure: u64) -> Self {
+        Machine {
+            cfg,
+            trace,
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            mshr: Mshr::new(cfg.mshrs, cfg.mem_latency),
+            branches: match cfg.branch {
+                BranchMode::Real(c) => Branches::Real(BranchPredictor::new(c)),
+                BranchMode::Perfect => Branches::Perfect(PerfectBranchPredictor::new()),
+            },
+            now: 0,
+            fetch_queue: VecDeque::new(),
+            pending_fetch: None,
+            fetch_stall_until: 0,
+            awaiting_redirect: false,
+            last_ifetch_line: u64::MAX,
+            trace_done: false,
+            fetched: 0,
+            rob: VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            unissued: 0,
+            last_writer: [0; Reg::COUNT],
+            store_fwd: HashMap::new(),
+            serialize_block: None,
+            completions: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            fm_outstanding: BTreeMap::new(),
+            mlp_cursor: 0,
+            retired: 0,
+            warmup,
+            limit: warmup.saturating_add(measure),
+            measuring: warmup == 0,
+            measure_start_cycle: 0,
+            offchip: OffchipCounts::default(),
+            mlp_weighted: 0,
+            active_cycles: 0,
+            fm_weighted: 0,
+            fm_active: 0,
+            branch_base: BranchStats::default(),
+        }
+    }
+
+    fn run(mut self) -> CycleReport {
+        let mut last_progress = (0u64, 0u64); // (cycle, retired)
+        loop {
+            let worked = self.step();
+            if self.finished() {
+                break;
+            }
+            if worked {
+                self.advance_to(self.now + 1);
+            } else {
+                let next = self.next_event().unwrap_or(self.now + 1);
+                self.advance_to(next.max(self.now + 1));
+            }
+            // Deadlock detector: modelling bugs must fail loudly.
+            if self.retired != last_progress.1 {
+                last_progress = (self.now, self.retired);
+            } else {
+                assert!(
+                    self.now - last_progress.0 < 20 * self.cfg.mem_latency + 100_000,
+                    "pipeline stuck at cycle {} (head {:?})",
+                    self.now,
+                    self.rob.front()
+                );
+            }
+        }
+        let b = self.branches.stats();
+        CycleReport {
+            cycles: self.now.saturating_sub(self.measure_start_cycle),
+            insts: self.retired.saturating_sub(self.warmup),
+            offchip: self.offchip,
+            mlp_weighted_cycles: self.mlp_weighted,
+            active_cycles: self.active_cycles,
+            fm_weighted_cycles: self.fm_weighted,
+            fm_active_cycles: self.fm_active,
+            branch_stats: BranchStats {
+                branches: b.branches - self.branch_base.branches,
+                mispredicts: b.mispredicts - self.branch_base.mispredicts,
+            },
+        }
+    }
+
+    fn finished(&mut self) -> bool {
+        if self.retired >= self.limit {
+            return true;
+        }
+        self.trace_done
+            && self.fetch_queue.is_empty()
+            && self.pending_fetch.is_none()
+            && self.rob.is_empty()
+    }
+
+    /// Executes one cycle; returns whether any stage made progress.
+    fn step(&mut self) -> bool {
+        self.mshr.expire(self.now);
+        self.drain_completions();
+        let retired = self.retire();
+        let issued = self.issue();
+        let dispatched = self.dispatch();
+        let fetched = self.fetch();
+        retired + issued + dispatched + fetched > 0
+    }
+
+    // ----- clock & MLP(t) integration ------------------------------------
+
+    fn advance_to(&mut self, to: u64) {
+        debug_assert!(to > self.now);
+        let mut t = self.mlp_cursor.max(self.now);
+        while t < to {
+            let size: u32 = self.outstanding.values().sum();
+            let fm_size: u32 = self.fm_outstanding.values().sum();
+            let next_boundary = self
+                .outstanding
+                .keys()
+                .next()
+                .copied()
+                .into_iter()
+                .chain(self.fm_outstanding.keys().next().copied())
+                .min()
+                .filter(|&k| k < to)
+                .unwrap_or(to);
+            let seg_end = next_boundary.max(t + 1);
+            let len = seg_end - t;
+            if self.measuring {
+                if size > 0 {
+                    self.active_cycles += len;
+                    self.mlp_weighted += size as u64 * len;
+                }
+                if fm_size > 0 {
+                    self.fm_active += len;
+                    self.fm_weighted += fm_size as u64 * len;
+                }
+            }
+            t = seg_end;
+            // Pop transfers completing at the boundary we just reached.
+            while let Some((&k, _)) = self.outstanding.iter().next() {
+                if k <= t {
+                    self.outstanding.remove(&k);
+                } else {
+                    break;
+                }
+            }
+            while let Some((&k, _)) = self.fm_outstanding.iter().next() {
+                if k <= t {
+                    self.fm_outstanding.remove(&k);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.mlp_cursor = t;
+        self.now = to;
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        let mut next = None;
+        let mut consider = |t: u64| {
+            if t > self.now {
+                next = Some(next.map_or(t, |n: u64| n.min(t)));
+            }
+        };
+        if let Some((&t, _)) = self.completions.iter().next() {
+            consider(t);
+        }
+        if let Some((&t, _)) = self.outstanding.iter().next() {
+            consider(t);
+        }
+        if self.fetch_stall_until > self.now && self.fetch_stall_until != u64::MAX {
+            consider(self.fetch_stall_until);
+        }
+        next
+    }
+
+    fn note_outstanding(&mut self, ready_at: u64) {
+        *self.outstanding.entry(ready_at).or_insert(0) += 1;
+        self.note_fm(ready_at);
+    }
+
+    /// Tracks a transfer for the fM (all-outstanding) integral only.
+    fn note_fm(&mut self, ready_at: u64) {
+        *self.fm_outstanding.entry(ready_at).or_insert(0) += 1;
+    }
+
+    // ----- stages ---------------------------------------------------------
+
+    fn drain_completions(&mut self) {
+        let done: Vec<u64> = self
+            .completions
+            .range(..=self.now)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in done {
+            for seq in self.completions.remove(&k).expect("key just listed") {
+                if seq >= self.head_seq {
+                    let idx = (seq - self.head_seq) as usize;
+                    self.rob[idx].completed = true;
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self) -> usize {
+        let mut n = 0;
+        while n < self.cfg.retire_width {
+            match self.rob.front() {
+                Some(e) if e.completed => {}
+                _ => break,
+            }
+            let e = self.rob.pop_front().expect("front checked");
+            self.head_seq += 1;
+            if e.kind.writes_memory() {
+                if let Some(addr) = e.mem_addr {
+                    // Write-allocate. An off-chip fill is hidden by the
+                    // store buffer (not a useful access) but still an
+                    // outstanding transfer for the fM metric.
+                    if self.hierarchy.store(addr).is_off_chip() && !self.cfg.perfect_l2 {
+                        let ready = self.now + self.cfg.mem_latency;
+                        self.note_fm(ready);
+                    }
+                }
+            }
+            if self.serialize_block == Some(self.head_seq - 1) {
+                self.serialize_block = None;
+            }
+            self.retired += 1;
+            n += 1;
+            if self.retired == self.warmup && !self.measuring {
+                self.start_measuring();
+            }
+            if self.retired >= self.limit {
+                break;
+            }
+        }
+        n
+    }
+
+    fn start_measuring(&mut self) {
+        self.measuring = true;
+        self.measure_start_cycle = self.now;
+        self.hierarchy.reset_stats();
+        self.branch_base = self.branches.stats();
+    }
+
+    fn producer_ready(&self, seq: u64) -> bool {
+        if seq < self.head_seq {
+            return true;
+        }
+        self.rob[(seq - self.head_seq) as usize].completed
+    }
+
+    fn entry_ready(&self, e: &Entry) -> bool {
+        e.producers
+            .iter()
+            .flatten()
+            .all(|&p| self.producer_ready(p))
+    }
+
+    fn issue(&mut self) -> usize {
+        let mut issued_now = 0;
+        let mut mem_in_order_ok = true; // config A: memops must go oldest-first
+        let mut branch_in_order_ok = true; // configs A-C
+        let mut unissued_store_blocks_loads = false; // config B
+        let head = self.head_seq;
+        let loads_in_order = self.cfg.issue.loads_in_order();
+        let wait_staddr = self.cfg.issue.loads_wait_store_addresses();
+
+        // Collect issue decisions first (borrow discipline), apply after.
+        let mut decisions: Vec<u64> = Vec::new();
+        let mut planned_lines: Vec<u64> = Vec::new();
+        for (i, e) in self.rob.iter().enumerate() {
+            if issued_now + decisions.len() >= self.cfg.issue_width {
+                break;
+            }
+            if e.issued {
+                continue;
+            }
+            let seq = head + i as u64;
+            // Prefetches are hints and do not participate in config A's
+            // in-order memory schedule (matching the epoch model).
+            let is_mem = e.kind.is_memory();
+            let is_branch = e.kind.is_branch();
+            let ready = self.entry_ready(e);
+
+            // Policy gates.
+            let mut can = ready;
+            if loads_in_order && is_mem && !mem_in_order_ok {
+                can = false;
+            }
+            if is_branch && !branch_in_order_ok {
+                can = false;
+            }
+            if wait_staddr && e.kind.reads_memory() && unissued_store_blocks_loads {
+                can = false;
+            }
+            // True memory dependence: a load whose address matches an
+            // older un-issued store must wait for the store.
+            if can && e.kind.reads_memory() {
+                if let Some(addr) = e.mem_addr {
+                    if let Some(&sseq) = self.store_fwd.get(&(addr & !7)) {
+                        if sseq >= head && sseq < seq {
+                            let sidx = (sseq - head) as usize;
+                            if !self.rob[sidx].issued {
+                                can = false;
+                            }
+                        }
+                    }
+                }
+            }
+            // MSHR pressure: a load that needs a new off-chip transfer
+            // cannot issue when the MSHR file is full (including transfers
+            // other loads in this same cycle are about to start).
+            if can && e.kind.reads_memory() && !self.cfg.perfect_l2 {
+                if let Some(addr) = e.mem_addr {
+                    let line = line_of(addr);
+                    let needs_new = !self.mshr.is_pending(line)
+                        && !self.hierarchy.probe_l2(addr)
+                        && !planned_lines.contains(&line);
+                    if needs_new {
+                        if self.mshr.outstanding() + planned_lines.len() >= self.cfg.mshrs {
+                            can = false;
+                        } else {
+                            planned_lines.push(line);
+                        }
+                    }
+                }
+            }
+
+            if can {
+                decisions.push(seq);
+            }
+            // Update in-order scan state for younger instructions.
+            if is_mem && loads_in_order && !can {
+                mem_in_order_ok = false;
+            }
+            if is_branch && !can {
+                branch_in_order_ok = false;
+            }
+            if e.kind.writes_memory() && !can {
+                unissued_store_blocks_loads = true;
+            }
+        }
+        for seq in decisions {
+            self.do_issue(seq);
+            issued_now += 1;
+        }
+        issued_now
+    }
+
+    fn do_issue(&mut self, seq: u64) {
+        let idx = (seq - self.head_seq) as usize;
+        let now = self.now;
+        let (kind, mem_addr, mispredicted) = {
+            let e = &self.rob[idx];
+            (e.kind, e.mem_addr, e.mispredicted)
+        };
+        let complete_at = match kind {
+            OpKind::Alu | OpKind::Nop | OpKind::Membar => now + 1,
+            OpKind::Branch(_) => {
+                let t = now + 1;
+                if mispredicted {
+                    // Redirect the stalled front end once resolved.
+                    self.fetch_stall_until = t + self.cfg.mispredict_penalty;
+                    self.awaiting_redirect = false;
+                }
+                t
+            }
+            OpKind::Store => now + 1,
+            OpKind::Load | OpKind::Atomic | OpKind::Prefetch => {
+                let addr = mem_addr.expect("memory op carries an address");
+                self.memory_complete_time(kind, addr, seq)
+            }
+        };
+        let e = &mut self.rob[idx];
+        e.issued = true;
+        e.complete_at = complete_at;
+        self.unissued -= 1;
+        self.completions.entry(complete_at).or_default().push(seq);
+    }
+
+    /// Timing (and MLP accounting) of a memory read issued at `now`.
+    fn memory_complete_time(&mut self, kind: OpKind, addr: u64, seq: u64) -> u64 {
+        let now = self.now;
+        // Store-to-load forwarding from an older in-flight store.
+        if kind != OpKind::Prefetch {
+            if let Some(&sseq) = self.store_fwd.get(&(addr & !7)) {
+                if sseq >= self.head_seq && sseq < seq {
+                    let sidx = (sseq - self.head_seq) as usize;
+                    let s = &self.rob[sidx];
+                    debug_assert!(s.issued, "gated at issue");
+                    return s.complete_at.max(now) + 1;
+                }
+            }
+        }
+        let line = line_of(addr);
+        if !self.cfg.perfect_l2 && self.mshr.is_pending(line) {
+            let ready = self.mshr.ready_at(line).expect("pending");
+            return if kind == OpKind::Prefetch { now + 1 } else { ready };
+        }
+        let access = self.hierarchy.load(addr);
+        let data_at = match access {
+            Access::L1Hit => now + self.cfg.l1_latency,
+            Access::L2Hit => now + self.cfg.l2_latency,
+            Access::L3Hit => {
+                // An off-chip L3 hit is a (shorter) off-chip access: it
+                // counts toward MLP and is outstanding for its latency.
+                let ready = now + self.cfg.l3_latency;
+                if seq >= self.warmup {
+                    match kind {
+                        OpKind::Prefetch => self.offchip.pmiss += 1,
+                        _ => self.offchip.dmiss += 1,
+                    }
+                }
+                self.note_outstanding(ready);
+                ready
+            }
+            Access::OffChip => {
+                if self.cfg.perfect_l2 {
+                    now + self.cfg.l2_latency
+                } else {
+                    match self.mshr.request(line, now) {
+                        MshrOutcome::Primary { ready_at } | MshrOutcome::Merged { ready_at } => {
+                            if seq >= self.warmup {
+                                match kind {
+                                    OpKind::Prefetch => self.offchip.pmiss += 1,
+                                    _ => self.offchip.dmiss += 1,
+                                }
+                            }
+                            self.note_outstanding(ready_at);
+                            ready_at
+                        }
+                        // Same-cycle allocation races are pre-gated in
+                        // issue(); this is unreachable in practice but
+                        // falls back safely.
+                        MshrOutcome::Full => now + self.cfg.mem_latency,
+                    }
+                }
+            }
+        };
+        if kind == OpKind::Prefetch {
+            now + 1
+        } else {
+            data_at
+        }
+    }
+
+    fn dispatch(&mut self) -> usize {
+        let mut n = 0;
+        while n < self.cfg.dispatch_width {
+            if self.serialize_block.is_some() {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob || self.unissued >= self.cfg.iw {
+                break;
+            }
+            let Some(&(ref inst, mispredicted)) = self.fetch_queue.front() else {
+                break;
+            };
+            let serializing = inst.is_serializing() && self.cfg.issue.serializing();
+            if serializing && !self.rob.is_empty() {
+                break; // pipeline drain
+            }
+            let inst = *inst;
+            self.fetch_queue.pop_front();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut producers = [None; 3];
+            for (k, src) in inst.dep_srcs().enumerate() {
+                let w = self.last_writer[src.index()];
+                if w > 0 && w - 1 >= self.head_seq {
+                    producers[k] = Some(w - 1);
+                }
+            }
+            if let Some(dst) = inst.dep_dst() {
+                self.last_writer[dst.index()] = seq + 1;
+            }
+            if inst.kind.writes_memory() {
+                if let Some(m) = inst.mem {
+                    self.store_fwd.insert(m.addr & !7, seq);
+                    if self.store_fwd.len() > 1 << 16 {
+                        let head = self.head_seq;
+                        self.store_fwd.retain(|_, &mut s| s >= head);
+                    }
+                }
+            }
+            self.rob.push_back(Entry {
+                kind: inst.kind,
+                producers,
+                mem_addr: inst.mem.map(|m| m.addr),
+                mispredicted,
+                issued: false,
+                completed: false,
+                complete_at: u64::MAX,
+            });
+            self.unissued += 1;
+            if serializing {
+                self.serialize_block = Some(seq);
+            }
+            n += 1;
+        }
+        n
+    }
+
+    fn fetch(&mut self) -> usize {
+        if self.awaiting_redirect || self.now < self.fetch_stall_until {
+            return 0;
+        }
+        let mut n = 0;
+        while n < self.cfg.fetch_width && self.fetch_queue.len() < self.cfg.fetch_buffer {
+            let inst = match self.pending_fetch.take() {
+                Some(i) => i, // its I-line has arrived
+                None => {
+                    if self.trace_done || self.fetched >= self.limit {
+                        break;
+                    }
+                    let Some(inst) = self.trace.next_inst() else {
+                        self.trace_done = true;
+                        break;
+                    };
+                    self.fetched += 1;
+                    // Instruction-cache access per line.
+                    let line = line_of(inst.pc);
+                    if line != self.last_ifetch_line {
+                        self.last_ifetch_line = line;
+                        let arrives = match self.hierarchy.ifetch(inst.pc) {
+                            Access::L1Hit => None,
+                            Access::L2Hit => Some(self.now + self.cfg.l2_latency),
+                            Access::L3Hit => {
+                                let ready = self.now + self.cfg.l3_latency;
+                                if self.fetched > self.warmup {
+                                    self.offchip.imiss += 1;
+                                }
+                                self.note_outstanding(ready);
+                                Some(ready)
+                            }
+                            Access::OffChip => {
+                                if self.cfg.perfect_l2 {
+                                    Some(self.now + self.cfg.l2_latency)
+                                } else {
+                                    let ready = match self.mshr.request(line, self.now) {
+                                        MshrOutcome::Primary { ready_at }
+                                        | MshrOutcome::Merged { ready_at } => ready_at,
+                                        MshrOutcome::Full => self.now + self.cfg.mem_latency,
+                                    };
+                                    if self.fetched > self.warmup {
+                                        self.offchip.imiss += 1;
+                                    }
+                                    self.note_outstanding(ready);
+                                    Some(ready)
+                                }
+                            }
+                        };
+                        if let Some(t) = arrives {
+                            // The instruction is not available until its
+                            // line arrives; park it and stall fetch.
+                            self.fetch_stall_until = t;
+                            self.pending_fetch = Some(inst);
+                            return n;
+                        }
+                    }
+                    inst
+                }
+            };
+            let mispredicted = if inst.is_branch() {
+                self.branches.observe(&inst)
+            } else {
+                false
+            };
+            self.fetch_queue.push_back((inst, mispredicted));
+            n += 1;
+            if mispredicted {
+                // The front end runs down the wrong path (absent from the
+                // trace) until the branch resolves and redirects.
+                self.awaiting_redirect = true;
+                self.fetch_stall_until = u64::MAX;
+                break;
+            }
+        }
+        n
+    }
+}

@@ -1,0 +1,129 @@
+use mlp_predict::BranchStats;
+use mlpsim::OffchipCounts;
+use std::fmt;
+
+/// Results of a cycle-accurate run over the measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct CycleReport {
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Instructions retired in the measurement window.
+    pub insts: u64,
+    /// Useful off-chip accesses by kind (primary misses only; merged
+    /// secondary misses are not separate accesses).
+    pub offchip: OffchipCounts,
+    /// Integral of MLP(t) over cycles with at least one useful off-chip
+    /// access outstanding.
+    pub mlp_weighted_cycles: u64,
+    /// Cycles with at least one useful off-chip access outstanding.
+    pub active_cycles: u64,
+    /// Branch-predictor behaviour over the window.
+    pub branch_stats: BranchStats,
+    /// Integral of *all* outstanding off-chip transfers (useful accesses
+    /// plus store fills) — Sorin et al.'s `fM` numerator (paper §6).
+    pub fm_weighted_cycles: u64,
+    /// Cycles with at least one transfer of any kind outstanding.
+    pub fm_active_cycles: u64,
+}
+
+impl CycleReport {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.insts as f64
+        }
+    }
+
+    /// Average MLP as defined in the paper's §2.1: MLP(t) averaged over
+    /// the cycles where it is non-zero. Returns 1.0 when no off-chip
+    /// access ever happened.
+    pub fn mlp(&self) -> f64 {
+        if self.active_cycles == 0 {
+            1.0
+        } else {
+            self.mlp_weighted_cycles as f64 / self.active_cycles as f64
+        }
+    }
+
+    /// Sorin et al.'s `fM`: the average number of outstanding off-chip
+    /// transfers of *any* kind (including store fills), over cycles with
+    /// at least one outstanding. The paper's §6 contrasts this with its
+    /// useful-access MLP; comparing the two is the `fm` experiment.
+    pub fn fm(&self) -> f64 {
+        if self.fm_active_cycles == 0 {
+            1.0
+        } else {
+            self.fm_weighted_cycles as f64 / self.fm_active_cycles as f64
+        }
+    }
+
+    /// Off-chip accesses per 100 instructions.
+    pub fn miss_rate_per_100(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            100.0 * self.offchip.total() as f64 / self.insts as f64
+        }
+    }
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {}  insts: {}  CPI: {:.3}", self.cycles, self.insts, self.cpi())?;
+        write!(
+            f,
+            "off-chip: {} (D {} / I {} / P {})  MLP: {:.3}",
+            self.offchip.total(),
+            self.offchip.dmiss,
+            self.offchip.imiss,
+            self.offchip.pmiss,
+            self.mlp()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_mlp_ratios() {
+        let r = CycleReport {
+            cycles: 1000,
+            insts: 500,
+            mlp_weighted_cycles: 900,
+            active_cycles: 600,
+            ..CycleReport::default()
+        };
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.mlp() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = CycleReport::default();
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.mlp(), 1.0);
+        assert_eq!(r.fm(), 1.0);
+        assert_eq!(r.miss_rate_per_100(), 0.0);
+    }
+
+    #[test]
+    fn fm_ratio() {
+        let r = CycleReport {
+            fm_weighted_cycles: 300,
+            fm_active_cycles: 200,
+            ..CycleReport::default()
+        };
+        assert!((r.fm() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", CycleReport::default());
+        assert!(s.contains("CPI"));
+        assert!(s.contains("MLP"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Timing-behaviour tests of the cycle-accurate pipeline on micro traces
+//! with hand-checkable cycle counts.
+
+use mlp_cyclesim::{CycleReport, CycleSim, CycleSimConfig};
+use mlp_isa::{Inst, Reg, SliceTrace};
+use mlp_workloads::micro;
+use mlpsim::IssueConfig;
+
+fn run_warm(cfg: CycleSimConfig, trace: &[Inst]) -> CycleReport {
+    let max_hot_pc = trace
+        .iter()
+        .map(|i| i.pc)
+        .filter(|&pc| pc < 0x8000_0000)
+        .max()
+        .unwrap_or(micro::PC_BASE);
+    let mut full: Vec<Inst> = (micro::PC_BASE..=max_hot_pc)
+        .step_by(4)
+        .map(Inst::nop)
+        .collect();
+    let warm = full.len() as u64;
+    full.extend_from_slice(trace);
+    CycleSim::new(cfg).run(&mut SliceTrace::new(&full), warm, u64::MAX)
+}
+
+#[test]
+fn pure_alu_throughput_is_wide() {
+    let mut t = Vec::new();
+    let mut pc = micro::PC_BASE;
+    for _ in 0..1000 {
+        t.push(micro::filler(&mut pc));
+    }
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.insts, 1000);
+    // 4-wide: ~250 cycles plus small pipeline overheads.
+    assert!(r.cpi() < 0.6, "CPI {:.3} for independent ALUs", r.cpi());
+}
+
+#[test]
+fn independent_misses_overlap_in_time() {
+    let t = micro::independent_misses(4, 2);
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.offchip.dmiss, 4);
+    // Overlapped: roughly one memory latency, not four.
+    assert!(
+        r.cycles < 2 * 200,
+        "4 independent misses should overlap ({} cycles)",
+        r.cycles
+    );
+    assert!(r.mlp() > 3.0, "measured MLP {:.2}", r.mlp());
+}
+
+#[test]
+fn pointer_chase_serializes_in_time() {
+    let t = micro::pointer_chase(4, 1);
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.offchip.dmiss, 4);
+    assert!(r.cycles >= 4 * 200, "{} cycles", r.cycles);
+    assert!(r.mlp() < 1.1, "measured MLP {:.2}", r.mlp());
+}
+
+#[test]
+fn membar_serializes_misses() {
+    let t = micro::serialized_misses(3);
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.offchip.dmiss, 3);
+    assert!(r.cycles >= 3 * 200, "{} cycles", r.cycles);
+    assert!(r.mlp() < 1.1);
+}
+
+#[test]
+fn perfect_l2_hides_memory() {
+    let t = micro::pointer_chase(4, 1);
+    let real = run_warm(CycleSimConfig::default(), &t);
+    let perf = run_warm(CycleSimConfig::default().perfect_l2(), &t);
+    assert!(perf.cycles * 5 < real.cycles);
+    assert_eq!(perf.offchip.total(), 0);
+}
+
+#[test]
+fn config_a_blocks_load_overlap_behind_dependence() {
+    // Example 4's shape: under A the independent i3/i5 wait behind the
+    // dependent chain; under C they overlap with i1.
+    let t = micro::paper_example_4();
+    let a = run_warm(CycleSimConfig::default().with_issue(IssueConfig::A), &t);
+    let c = run_warm(CycleSimConfig::default().with_issue(IssueConfig::C), &t);
+    assert!(
+        a.cycles > c.cycles + 150,
+        "A {} cycles should exceed C {} by ~1 miss",
+        a.cycles,
+        c.cycles
+    );
+    assert!(c.mlp() > a.mlp());
+}
+
+#[test]
+fn mispredicted_branch_costs_a_redirect() {
+    // A mispredicted branch between two independent misses (dependent on
+    // the first miss) prevents their overlap.
+    let r1 = Reg::int;
+    let t = vec![
+        Inst::load(micro::PC_BASE, r1(1), 0, r1(8), micro::COLD_BASE),
+        // branch on the missing value: taken, cold predictor says not-taken
+        Inst::cond_branch(micro::PC_BASE + 4, r1(8), true, micro::PC_BASE + 8),
+        Inst::load(micro::PC_BASE + 8, r1(1), 0, r1(9), micro::COLD_BASE + 4096),
+    ];
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.offchip.dmiss, 2);
+    assert!(
+        r.cycles >= 2 * 200,
+        "unresolvable mispredict must serialize the misses ({} cycles)",
+        r.cycles
+    );
+}
+
+#[test]
+fn store_forwarding_avoids_memory() {
+    let r1 = Reg::int;
+    let t = vec![
+        Inst::store(micro::PC_BASE, r1(1), 0, r1(2), micro::COLD_BASE),
+        Inst::load(micro::PC_BASE + 4, r1(1), 0, r1(8), micro::COLD_BASE),
+        Inst::alu(micro::PC_BASE + 8, &[r1(8)], r1(9)),
+    ];
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.offchip.total(), 0, "forwarded load must not go off-chip");
+    assert!(r.cycles < 100);
+}
+
+#[test]
+fn imiss_exposes_full_latency() {
+    // A single instruction on a cold line: fetch must wait out the miss.
+    let t = vec![Inst::nop(0x9000_0000)];
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert_eq!(r.offchip.imiss, 1);
+    assert!(r.cycles >= 200, "{} cycles", r.cycles);
+}
+
+#[test]
+fn mshr_capacity_limits_overlap() {
+    let t = micro::independent_misses(8, 1);
+    let wide = run_warm(CycleSimConfig::default(), &t);
+    let narrow = run_warm(
+        CycleSimConfig {
+            mshrs: 2,
+            ..CycleSimConfig::default()
+        },
+        &t,
+    );
+    assert!(narrow.cycles > wide.cycles, "2 MSHRs must throttle 8 misses");
+    assert!(narrow.mlp() <= 2.05);
+}
+
+#[test]
+fn window_size_limits_overlap_in_time() {
+    let t = micro::independent_misses(10, 2);
+    let small = run_warm(CycleSimConfig::default().with_window(6), &t);
+    let large = run_warm(CycleSimConfig::default().with_window(64), &t);
+    assert!(small.cycles > large.cycles);
+    assert!(small.mlp() < large.mlp());
+}
+
+#[test]
+fn measurement_window_excludes_warmup() {
+    let t = micro::independent_misses(4, 2);
+    let r = run_warm(CycleSimConfig::default(), &t);
+    // warm nops excluded: only the micro trace counted
+    assert_eq!(r.insts, t.len() as u64);
+}
+
+#[test]
+fn config_b_waits_for_store_addresses() {
+    // Example 4's shape again: under B, i5 must wait for the store i4
+    // whose address depends on the missing i2; under C it issues at once.
+    let t = micro::paper_example_4();
+    let b = run_warm(CycleSimConfig::default().with_issue(IssueConfig::B), &t);
+    let c = run_warm(CycleSimConfig::default().with_issue(IssueConfig::C), &t);
+    assert!(
+        b.cycles > c.cycles + 150,
+        "B {} cycles should exceed C {} by ~1 miss round-trip",
+        b.cycles,
+        c.cycles
+    );
+    // And B still beats A: i3 overlaps i1 under B but not under A.
+    let a = run_warm(CycleSimConfig::default().with_issue(IssueConfig::A), &t);
+    assert!(a.cycles >= b.cycles, "A {} vs B {}", a.cycles, b.cycles);
+}
+
+#[test]
+fn serializing_casa_drains_pipeline() {
+    let r1 = Reg::int;
+    let t = vec![
+        Inst::load(micro::PC_BASE, r1(1), 0, r1(8), micro::COLD_BASE),
+        Inst::casa(
+            micro::PC_BASE + 4,
+            r1(2),
+            r1(3),
+            r1(4),
+            r1(7),
+            0x8000, // lock word: hot line after warmup? cold here, but small
+        ),
+        Inst::load(micro::PC_BASE + 8, r1(1), 0, r1(9), micro::COLD_BASE + 4096),
+    ];
+    let r = run_warm(CycleSimConfig::default(), &t);
+    // The CASA drain forces the second load to wait out the first miss:
+    // two serialized off-chip round trips at minimum.
+    assert!(r.cycles >= 2 * 200, "{} cycles", r.cycles);
+}
+
+#[test]
+fn mlp_time_integral_matches_occupancy() {
+    // For n fully-overlapped misses, active_cycles ~ latency and the
+    // weighted integral ~ n * latency (each access outstanding exactly
+    // `mem_latency` cycles).
+    let t = micro::independent_misses(4, 2);
+    let r = run_warm(CycleSimConfig::default(), &t);
+    let lat = 200u64;
+    assert!(
+        (r.mlp_weighted_cycles as i64 - (4 * lat) as i64).unsigned_abs() < 60,
+        "integral {} should be ~{}",
+        r.mlp_weighted_cycles,
+        4 * lat
+    );
+    assert!(r.active_cycles >= lat && r.active_cycles < lat + 100);
+}
+
+#[test]
+fn cpi_decomposition_identity_holds() {
+    // cycles = compute-only + active (by construction of the integral).
+    let t = micro::independent_misses(6, 10);
+    let r = run_warm(CycleSimConfig::default(), &t);
+    assert!(r.active_cycles <= r.cycles);
+    let off_chip_cpi = r.offchip.total() as f64 * 200.0 / r.mlp() / r.insts as f64;
+    let active_cpi = r.active_cycles as f64 / r.insts as f64;
+    assert!(
+        (off_chip_cpi - active_cpi).abs() < 0.05 * active_cpi.max(0.01),
+        "MissRate*Penalty/MLP ({off_chip_cpi:.3}) must equal active CPI ({active_cpi:.3})"
+    );
+}
+
+#[test]
+fn runahead_value_prediction_unblocks_chains() {
+    use mlp_cyclesim::runahead::RunaheadSim;
+    use mlpsim::ValueMode;
+    // A pointer chase with perfectly predictable values: plain runahead
+    // gains nothing (poisoned chain), runahead + perfect VP prefetches
+    // the whole chain in the first interval.
+    let t = micro::pointer_chase(8, 2);
+    let max_hot_pc = t.iter().map(|i| i.pc).max().unwrap();
+    let mut full: Vec<Inst> = (micro::PC_BASE..=max_hot_pc)
+        .step_by(4)
+        .map(Inst::nop)
+        .collect();
+    let warm = full.len() as u64;
+    full.extend_from_slice(&t);
+
+    let plain = RunaheadSim::new(CycleSimConfig::default(), 2048)
+        .run(&mut SliceTrace::new(&full), warm, u64::MAX);
+    let vp = RunaheadSim::new(CycleSimConfig::default(), 2048)
+        .with_value_prediction(ValueMode::Perfect)
+        .run(&mut SliceTrace::new(&full), warm, u64::MAX);
+    assert!(
+        vp.cycles * 2 < plain.cycles,
+        "VP-assisted runahead must collapse the chain ({} vs {})",
+        vp.cycles,
+        plain.cycles
+    );
+    assert!(vp.mlp() > plain.mlp() + 1.0, "{:.2} vs {:.2}", vp.mlp(), plain.mlp());
+}

@@ -1,0 +1,106 @@
+//! `mlp-trace` — generate, inspect and dump binary instruction traces.
+//!
+//! ```text
+//! mlp-trace gen   <database|specjbb2000|specweb99> <count> <file> [seed]
+//! mlp-trace stats <file>
+//! mlp-trace dump  <file> [count]
+//! ```
+//!
+//! Traces use the `mlp_isa::tracefile` format and can be replayed through
+//! either simulator with `mlp_isa::VecTrace`.
+
+use mlp_isa::{tracefile, InstMix, TraceStats};
+use mlp_workloads::{Workload, WorkloadKind};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mlp-trace gen   <database|specjbb2000|specweb99> <count> <file> [seed]\n  \
+         mlp-trace stats <file>\n  mlp-trace dump  <file> [count]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_kind(name: &str) -> Option<WorkloadKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "database" | "db" => Some(WorkloadKind::Database),
+        "specjbb2000" | "jbb" => Some(WorkloadKind::SpecJbb2000),
+        "specweb99" | "web" => Some(WorkloadKind::SpecWeb99),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let [_, kind, count, path, rest @ ..] = args.as_slice() else {
+                usage()
+            };
+            let Some(kind) = parse_kind(kind) else { usage() };
+            let Ok(count) = count.parse::<usize>() else { usage() };
+            let seed = rest
+                .first()
+                .map(|s| s.parse::<u64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(42);
+            let insts: Vec<_> = Workload::new(kind, seed).take(count).collect();
+            let file = File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            tracefile::write(BufWriter::new(file), &insts).unwrap_or_else(|e| {
+                eprintln!("write failed: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {count} instructions of {kind} (seed {seed}) to {path}");
+        }
+        Some("stats") => {
+            let [_, path] = args.as_slice() else { usage() };
+            let insts = read_trace(path);
+            let mix: InstMix = insts.iter().collect();
+            let stats = TraceStats::from_insts(&insts);
+            println!("{mix}");
+            println!(
+                "data footprint: {} KB in {} lines",
+                stats.data_footprint_bytes() / 1024,
+                stats.data_lines
+            );
+            println!(
+                "code footprint: {} KB in {} lines",
+                stats.code_footprint_bytes() / 1024,
+                stats.code_lines
+            );
+            println!(
+                "taken conditional branches: {} of {}",
+                stats.taken_cond, mix.cond_branches
+            );
+        }
+        Some("dump") => {
+            let (path, count) = match args.as_slice() {
+                [_, path] => (path, 40usize),
+                [_, path, n] => (path, n.parse().unwrap_or_else(|_| usage())),
+                _ => usage(),
+            };
+            let insts = read_trace(path);
+            for inst in insts.iter().take(count) {
+                println!("{inst}");
+            }
+            if insts.len() > count {
+                println!("... ({} more)", insts.len() - count);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn read_trace(path: &str) -> Vec<mlp_isa::Inst> {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    tracefile::read(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read trace: {e}");
+        std::process::exit(1);
+    })
+}

@@ -1,0 +1,148 @@
+//! Epoch statistics: the distribution of useful off-chip accesses per
+//! epoch.
+//!
+//! The paper (§4.1) notes that MLPsim "can also be used as a simple
+//! processor model that accurately estimates the clustering of off-chip
+//! accesses in simulation-based queueing models of memory and system
+//! interconnects" — this experiment exposes exactly that distribution for
+//! the default processor and for runahead.
+
+use crate::runner::run_mlpsim;
+use crate::table::{pct, TextTable};
+use crate::RunScale;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{IssueConfig, MlpsimConfig, WindowModel};
+
+/// Epoch-size buckets reported (last bucket aggregates the tail).
+pub const BUCKETS: [usize; 8] = [1, 2, 3, 4, 5, 8, 16, 32];
+
+/// One distribution.
+#[derive(Clone, Debug)]
+pub struct Distribution {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Machine label ("64C" or "RAE").
+    pub machine: &'static str,
+    /// Fraction of epochs with ≤ bucket accesses, per [`BUCKETS`].
+    pub cdf: Vec<f64>,
+    /// Mean accesses per epoch (= MLP).
+    pub mlp: f64,
+}
+
+/// Epoch-statistics results.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Distributions for the default 64C core and runahead, per workload.
+    pub distributions: Vec<Distribution>,
+}
+
+/// Runs the epoch-statistics experiment.
+pub fn run(scale: RunScale) -> EpochStats {
+    let machines: [(&'static str, MlpsimConfig); 2] = [
+        ("64C", MlpsimConfig::default()),
+        (
+            "RAE",
+            MlpsimConfig::builder()
+                .issue(IssueConfig::D)
+                .window(WindowModel::Runahead { max_dist: 2048 })
+                .build(),
+        ),
+    ];
+    let mut distributions = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for (machine, cfg) in &machines {
+            let r = run_mlpsim(kind, cfg.clone(), scale);
+            let total: u64 = r.epoch_size_histogram.iter().sum();
+            let mut cdf = Vec::new();
+            for &b in &BUCKETS {
+                let upto: u64 = r
+                    .epoch_size_histogram
+                    .iter()
+                    .take(b + 1)
+                    .sum();
+                cdf.push(if total == 0 {
+                    0.0
+                } else {
+                    upto as f64 / total as f64
+                });
+            }
+            distributions.push(Distribution {
+                kind,
+                machine,
+                cdf,
+                mlp: r.mlp(),
+            });
+        }
+    }
+    EpochStats { distributions }
+}
+
+impl EpochStats {
+    /// Renders the cumulative distributions.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark".to_string(),
+            "Machine".into(),
+            "MLP".into(),
+            "<=1".into(),
+            "<=2".into(),
+            "<=3".into(),
+            "<=4".into(),
+            "<=5".into(),
+            "<=8".into(),
+            "<=16".into(),
+            "<=32".into(),
+        ])
+        .with_title(
+            "Epoch statistics: cumulative share of epochs by accesses per epoch (§4.1)",
+        );
+        for d in &self.distributions {
+            let mut row = vec![
+                d.kind.name().to_string(),
+                d.machine.to_string(),
+                format!("{:.2}", d.mlp),
+            ];
+            row.extend(d.cdf.iter().map(|&f| pct(100.0 * f)));
+            t.row(row);
+        }
+        t.render()
+    }
+
+    /// The distribution for `(kind, machine)`.
+    pub fn distribution(&self, kind: WorkloadKind, machine: &str) -> Option<&Distribution> {
+        self.distributions
+            .iter()
+            .find(|d| d.kind == kind && d.machine == machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_lookup() {
+        let s = EpochStats {
+            distributions: vec![Distribution {
+                kind: WorkloadKind::Database,
+                machine: "64C",
+                cdf: vec![0.5, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99, 1.0],
+                mlp: 1.4,
+            }],
+        };
+        assert!(s.render().contains("Epoch statistics"));
+        assert!(s.distribution(WorkloadKind::Database, "64C").is_some());
+        assert!(s.distribution(WorkloadKind::Database, "RAE").is_none());
+    }
+
+    #[test]
+    fn cdf_is_monotone_in_fixture() {
+        let d = Distribution {
+            kind: WorkloadKind::SpecWeb99,
+            machine: "RAE",
+            cdf: vec![0.2, 0.4, 0.5, 0.6, 0.7, 0.85, 0.95, 1.0],
+            mlp: 2.0,
+        };
+        assert!(d.cdf.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

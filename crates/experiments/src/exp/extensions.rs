@@ -1,0 +1,547 @@
+//! Extension studies beyond the paper's evaluation:
+//!
+//! * **Store MLP** — the paper's stated future work: how a finite store
+//!   buffer limits both store-fill overlap and load MLP.
+//! * **Ablations** of design parameters the paper fixes: fetch-buffer
+//!   depth, value-predictor organisation (last-value vs stride vs
+//!   hybrid), and runahead distance.
+//! * **fM vs MLP** — the related-work comparison (§6): Sorin et al.'s
+//!   `fM` counts *all* outstanding transfers, the paper's MLP only
+//!   *useful* ones; measuring both shows how much store traffic inflates
+//!   the naive metric.
+
+use crate::runner::{run_cyclesim, run_mlpsim, workload, SEED};
+use crate::table::{f3, TextTable};
+use crate::RunScale;
+use mlp_cyclesim::CycleSimConfig;
+use mlp_mem::HierarchyConfig;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{IssueConfig, MlpsimConfig, ValueMode, WindowModel};
+
+/// Store-buffer capacities swept (`None` = the paper's infinite buffer).
+pub const STORE_BUFFERS: [Option<usize>; 5] =
+    [Some(1), Some(2), Some(4), Some(8), None];
+
+/// One workload's store-buffer sweep.
+#[derive(Clone, Debug)]
+pub struct StoreBufferSeries {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// `(mlp, store_mlp)` per [`STORE_BUFFERS`] entry.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The store-MLP extension study.
+#[derive(Clone, Debug)]
+pub struct StoreBufferStudy {
+    /// One series per workload.
+    pub series: Vec<StoreBufferSeries>,
+}
+
+/// Runs the store-buffer sweep on the paper's default processor.
+pub fn run_store_buffer(scale: RunScale) -> StoreBufferStudy {
+    let mut series = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let mut points = Vec::new();
+        for &sb in &STORE_BUFFERS {
+            let cfg = MlpsimConfig::builder().store_buffer(sb).build();
+            let r = run_mlpsim(kind, cfg, scale);
+            points.push((r.mlp(), r.store_mlp()));
+        }
+        series.push(StoreBufferSeries { kind, points });
+    }
+    StoreBufferStudy { series }
+}
+
+impl StoreBufferStudy {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Store buffer",
+            "DB MLP",
+            "DB stMLP",
+            "JBB MLP",
+            "JBB stMLP",
+            "Web MLP",
+            "Web stMLP",
+        ])
+        .with_title("Extension: store MLP under a finite store buffer (paper future work)");
+        for (i, sb) in STORE_BUFFERS.iter().enumerate() {
+            let mut row = vec![sb.map_or("inf".to_string(), |n| n.to_string())];
+            for s in &self.series {
+                row.push(f3(s.points[i].0));
+                row.push(f3(s.points[i].1));
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+
+    /// The series for a workload.
+    pub fn series_for(&self, kind: WorkloadKind) -> Option<&StoreBufferSeries> {
+        self.series.iter().find(|s| s.kind == kind)
+    }
+}
+
+/// Fetch-buffer depths swept by the ablation.
+pub const FETCH_BUFFERS: [usize; 4] = [1, 8, 32, 128];
+/// Runahead distances swept by the ablation.
+pub const RAE_DISTS: [usize; 4] = [256, 1024, 2048, 8192];
+
+/// The design-parameter ablations.
+#[derive(Clone, Debug)]
+pub struct Ablations {
+    /// `(kind, fetch buffer, mlp)` on the default 64C core.
+    pub fetch_buffer: Vec<(WorkloadKind, usize, f64)>,
+    /// `(kind, predictor label, mlp gain % over no-VP)` on runahead.
+    pub value_predictors: Vec<(WorkloadKind, &'static str, f64)>,
+    /// `(kind, max distance, mlp)` for runahead.
+    pub rae_distance: Vec<(WorkloadKind, usize, f64)>,
+}
+
+/// Runs all three ablations.
+pub fn run_ablations(scale: RunScale) -> Ablations {
+    let mut fetch_buffer = Vec::new();
+    let mut value_predictors = Vec::new();
+    let mut rae_distance = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for &fb in &FETCH_BUFFERS {
+            let cfg = MlpsimConfig::builder()
+                .window(WindowModel::OutOfOrder {
+                    iw: 64,
+                    rob: 64,
+                    fetch_buffer: fb,
+                })
+                .build();
+            fetch_buffer.push((kind, fb, run_mlpsim(kind, cfg, scale).mlp()));
+        }
+
+        let rae = MlpsimConfig::builder()
+            .issue(IssueConfig::D)
+            .window(WindowModel::Runahead { max_dist: 2048 })
+            .build();
+        let base = run_mlpsim(kind, rae.clone(), scale).mlp();
+        for (label, mode) in [
+            ("last-value 16K", ValueMode::LastValue(16 * 1024)),
+            ("stride 16K", ValueMode::Stride(16 * 1024)),
+            ("hybrid 16K", ValueMode::Hybrid(16 * 1024)),
+            ("last-value 1K", ValueMode::LastValue(1024)),
+        ] {
+            let cfg = MlpsimConfig {
+                value: mode,
+                ..rae.clone()
+            };
+            let gain = 100.0 * (run_mlpsim(kind, cfg, scale).mlp() / base - 1.0);
+            value_predictors.push((kind, label, gain));
+        }
+
+        for &dist in &RAE_DISTS {
+            let cfg = MlpsimConfig::builder()
+                .issue(IssueConfig::D)
+                .window(WindowModel::Runahead { max_dist: dist })
+                .build();
+            rae_distance.push((kind, dist, run_mlpsim(kind, cfg, scale).mlp()));
+        }
+    }
+    Ablations {
+        fetch_buffer,
+        value_predictors,
+        rae_distance,
+    }
+}
+
+impl Ablations {
+    /// Renders the three ablation tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        let mut t = TextTable::new(vec!["Benchmark", "Fetch buffer", "MLP"])
+            .with_title("Ablation: fetch-buffer depth (I-miss overlap past a full window)");
+        for &(kind, fb, mlp) in &self.fetch_buffer {
+            t.row(vec![kind.name().into(), fb.to_string(), f3(mlp)]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = TextTable::new(vec!["Benchmark", "Predictor", "MLP gain"])
+            .with_title("Ablation: value-predictor organisation on runahead");
+        for &(kind, label, gain) in &self.value_predictors {
+            t.row(vec![kind.name().into(), label.into(), format!("{gain:+.1}%")]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = TextTable::new(vec!["Benchmark", "Max distance", "MLP"])
+            .with_title("Ablation: runahead distance");
+        for &(kind, dist, mlp) in &self.rae_distance {
+            t.row(vec![kind.name().into(), dist.to_string(), f3(mlp)]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+/// The SMT study (the paper's first stated future work: "studying MLP
+/// for multithreaded processors").
+#[derive(Clone, Debug)]
+pub struct SmtStudy {
+    /// `(label, combined MLP, combined IPC, per-thread insts)` rows.
+    pub rows: Vec<(String, f64, f64, Vec<u64>)>,
+}
+
+/// Co-runs workload pairs on a 2-way SMT core and compares chip-level
+/// MLP and throughput against each workload running alone.
+pub fn run_smt(scale: RunScale) -> SmtStudy {
+    use mlp_cyclesim::smt::SmtSim;
+
+    let insts = scale.cycle_measure / 2;
+    let warm = scale.cycle_warmup;
+    let mut rows = Vec::new();
+    let solo = |kind: WorkloadKind| -> (f64, f64) {
+        let mut wl = workload(kind);
+        let r = SmtSim::new(CycleSimConfig::default().with_mem_latency(1000))
+            .run(vec![&mut wl], warm, insts);
+        (r.mlp(), r.ipc())
+    };
+    for kind in WorkloadKind::ALL {
+        let (mlp, ipc) = solo(kind);
+        rows.push((format!("{} alone", kind.name()), mlp, ipc, vec![insts]));
+    }
+    let pairs = [
+        (WorkloadKind::Database, WorkloadKind::Database),
+        (WorkloadKind::Database, WorkloadKind::SpecJbb2000),
+        (WorkloadKind::Database, WorkloadKind::SpecWeb99),
+        (WorkloadKind::SpecJbb2000, WorkloadKind::SpecWeb99),
+    ];
+    for (a, b) in pairs {
+        let mut wa = workload(a);
+        let mut wb = mlp_workloads::Workload::new(b, SEED + 1);
+        let r = SmtSim::new(CycleSimConfig::default().with_mem_latency(1000))
+            .run(vec![&mut wa, &mut wb], warm, insts);
+        rows.push((
+            format!("{} + {}", a.name(), b.name()),
+            r.mlp(),
+            r.ipc(),
+            r.insts.clone(),
+        ));
+    }
+    SmtStudy { rows }
+}
+
+impl SmtStudy {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Threads", "Chip MLP", "IPC"])
+            .with_title("Extension: MLP on a 2-way SMT core (paper future work), 1000-cycle memory");
+        for (label, mlp, ipc, _) in &self.rows {
+            t.row(vec![label.clone(), f3(*mlp), format!("{ipc:.3}")]);
+        }
+        t.render()
+    }
+
+    /// The row whose label starts with `prefix`.
+    pub fn row(&self, prefix: &str) -> Option<(f64, f64)> {
+        self.rows
+            .iter()
+            .find(|(l, ..)| l.starts_with(prefix))
+            .map(|&(_, m, i, _)| (m, i))
+    }
+}
+
+/// Runahead in the timing domain: measured speedup vs the CPI-equation
+/// prediction from MLPsim's MLP.
+#[derive(Clone, Debug)]
+pub struct RaeTiming {
+    /// `(kind, conventional CPI, runahead CPI, measured speedup %,
+    /// MLPsim-predicted speedup %, conv MLP(t), RAE MLP(t),
+    /// RAE+VP measured speedup %)` rows.
+    pub rows: Vec<(WorkloadKind, f64, f64, f64, f64, f64, f64, f64)>,
+}
+
+/// Measures runahead end to end in the cycle model (something the
+/// paper's own simulator could not do) and compares the observed speedup
+/// with the paper's methodology: the CPI equation fed by MLPsim MLP.
+pub fn run_rae_timing(scale: RunScale) -> RaeTiming {
+    use mlp_cyclesim::runahead::RunaheadSim;
+    use mlp_model::CpiModel;
+
+    let latency = 1000u64;
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let base_cfg = CycleSimConfig::default().with_mem_latency(latency);
+        let conv = run_cyclesim(kind, base_cfg.clone(), scale);
+        let perf = run_cyclesim(kind, base_cfg.clone().perfect_l2(), scale);
+        let mut wl = workload(kind);
+        let rae = RunaheadSim::new(base_cfg.clone(), 2048).run(
+            &mut wl,
+            scale.cycle_warmup,
+            scale.cycle_measure,
+        );
+        let measured = 100.0 * (conv.cpi() / rae.cpi() - 1.0);
+        let mut wl = workload(kind);
+        let rae_vp = RunaheadSim::new(base_cfg, 2048)
+            .with_value_prediction(mlpsim::ValueMode::LastValue(16 * 1024))
+            .run(&mut wl, scale.cycle_warmup, scale.cycle_measure);
+        let measured_vp = 100.0 * (conv.cpi() / rae_vp.cpi() - 1.0);
+
+        // The paper's route: MLPsim MLP + the CPI equation.
+        let model = CpiModel::from_measured(
+            conv.cpi(),
+            perf.cpi(),
+            conv.offchip.total() as f64 / conv.insts as f64,
+            latency as f64,
+            conv.mlp(),
+        );
+        let m_conv = run_mlpsim(kind, MlpsimConfig::default(), scale);
+        let m_rae = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .issue(IssueConfig::D)
+                .window(WindowModel::Runahead { max_dist: 2048 })
+                .build(),
+            scale,
+        );
+        let predicted = model.improvement_pct(m_conv.mlp(), m_rae.mlp());
+        rows.push((
+            kind,
+            conv.cpi(),
+            rae.cpi(),
+            measured,
+            predicted,
+            conv.mlp(),
+            rae.mlp(),
+            measured_vp,
+        ));
+    }
+    RaeTiming { rows }
+}
+
+impl RaeTiming {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark",
+            "conv CPI",
+            "RAE CPI",
+            "measured speedup",
+            "MLPsim-predicted",
+            "conv MLP(t)",
+            "RAE MLP(t)",
+            "RAE+VP speedup",
+        ])
+        .with_title(
+            "Extension: runahead measured in the timing domain vs the epoch-model prediction",
+        );
+        for &(kind, c, r, m, p, cm, rm, mv) in &self.rows {
+            t.row(vec![
+                kind.name().into(),
+                format!("{c:.2}"),
+                format!("{r:.2}"),
+                format!("{m:+.1}%"),
+                format!("{p:+.1}%"),
+                f3(cm),
+                f3(rm),
+                format!("{mv:+.1}%"),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The measured and predicted speedups for a workload.
+    pub fn speedups(&self, kind: WorkloadKind) -> Option<(f64, f64)> {
+        self.rows
+            .iter()
+            .find(|&&(k, ..)| k == kind)
+            .map(|&(_, _, _, m, p, ..)| (m, p))
+    }
+}
+
+/// The fM-vs-MLP comparison (paper §6 related work).
+#[derive(Clone, Debug)]
+pub struct FmStudy {
+    /// `(kind, latency, useful MLP, fM)` rows.
+    pub rows: Vec<(WorkloadKind, u64, f64, f64)>,
+}
+
+/// Measures useful-access MLP and all-transfer fM side by side on the
+/// cycle-accurate model.
+pub fn run_fm(scale: RunScale) -> FmStudy {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for latency in [200u64, 1000] {
+            let r = run_cyclesim(
+                kind,
+                CycleSimConfig::default().with_mem_latency(latency),
+                scale,
+            );
+            rows.push((kind, latency, r.mlp(), r.fm()));
+        }
+    }
+    FmStudy { rows }
+}
+
+impl FmStudy {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Benchmark", "Latency", "MLP (useful)", "fM (all)"])
+            .with_title(
+                "Extension: useful-access MLP vs Sorin et al.'s fM (all transfers, §6)",
+            );
+        for &(kind, lat, mlp, fm) in &self.rows {
+            t.row(vec![
+                kind.name().into(),
+                lat.to_string(),
+                f3(mlp),
+                f3(fm),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The row for `(kind, latency)`.
+    pub fn row(&self, kind: WorkloadKind, latency: u64) -> Option<(f64, f64)> {
+        self.rows
+            .iter()
+            .find(|&&(k, l, _, _)| k == kind && l == latency)
+            .map(|&(_, _, m, f)| (m, f))
+    }
+}
+
+/// The off-chip-L3 study (§2.1's future configuration).
+#[derive(Clone, Debug)]
+pub struct L3Study {
+    /// `(kind, label, cpi, mlp, miss rate per 100)` rows at 1000-cycle
+    /// memory latency.
+    pub rows: Vec<(WorkloadKind, &'static str, f64, f64, f64)>,
+}
+
+/// Compares the default no-L3 hierarchy against a 16MB off-chip L3
+/// (80-cycle hit) at 1000-cycle memory latency, on the cycle model.
+pub fn run_l3(scale: RunScale) -> L3Study {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for (label, hierarchy) in [
+            ("no L3 (paper default)", HierarchyConfig::default()),
+            (
+                "16MB off-chip L3",
+                HierarchyConfig::default().with_l3_bytes(16 * 1024 * 1024),
+            ),
+        ] {
+            let cfg = CycleSimConfig {
+                hierarchy,
+                ..CycleSimConfig::default().with_mem_latency(1000)
+            };
+            let r = run_cyclesim(kind, cfg, scale);
+            rows.push((kind, label, r.cpi(), r.mlp(), r.miss_rate_per_100()));
+        }
+    }
+    L3Study { rows }
+}
+
+impl L3Study {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark",
+            "Hierarchy",
+            "CPI",
+            "MLP",
+            "off-chip/100",
+        ])
+        .with_title("Extension: an off-chip L3 (§2.1 future configuration), 1000-cycle memory");
+        for &(kind, label, cpi, mlp, mr) in &self.rows {
+            t.row(vec![
+                kind.name().into(),
+                label.into(),
+                format!("{cpi:.2}"),
+                f3(mlp),
+                format!("{mr:.2}"),
+            ]);
+        }
+        t.render()
+    }
+
+    /// CPI for `(kind, label)`.
+    pub fn cpi(&self, kind: WorkloadKind, label: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|&&(k, l, ..)| k == kind && l == label)
+            .map(|&(_, _, c, ..)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_buffer_render_shape() {
+        let mk = |kind| StoreBufferSeries {
+            kind,
+            points: vec![(1.2, 1.1); STORE_BUFFERS.len()],
+        };
+        let s = StoreBufferStudy {
+            series: vec![
+                mk(WorkloadKind::Database),
+                mk(WorkloadKind::SpecJbb2000),
+                mk(WorkloadKind::SpecWeb99),
+            ],
+        };
+        let r = s.render();
+        assert!(r.contains("inf"));
+        assert!(s.series_for(WorkloadKind::Database).is_some());
+    }
+
+    #[test]
+    fn rae_timing_render_and_lookup() {
+        let r = RaeTiming {
+            rows: vec![(WorkloadKind::Database, 7.3, 5.0, 46.0, 40.0, 1.38, 2.1, 55.0)],
+        };
+        assert!(r.render().contains("timing domain"));
+        assert_eq!(r.speedups(WorkloadKind::Database), Some((46.0, 40.0)));
+        assert_eq!(r.speedups(WorkloadKind::SpecWeb99), None);
+    }
+
+    #[test]
+    fn smt_render_and_lookup() {
+        let s = SmtStudy {
+            rows: vec![("Database alone".into(), 1.38, 0.15, vec![1000])],
+        };
+        assert!(s.render().contains("SMT"));
+        assert_eq!(s.row("Database alone"), Some((1.38, 0.15)));
+        assert_eq!(s.row("nope"), None);
+    }
+
+    #[test]
+    fn l3_render_and_lookup() {
+        let s = L3Study {
+            rows: vec![(WorkloadKind::Database, "no L3 (paper default)", 7.3, 1.38, 0.86)],
+        };
+        assert!(s.render().contains("off-chip L3"));
+        assert_eq!(s.cpi(WorkloadKind::Database, "no L3 (paper default)"), Some(7.3));
+        assert_eq!(s.cpi(WorkloadKind::Database, "16MB off-chip L3"), None);
+    }
+
+    #[test]
+    fn fm_render_and_lookup() {
+        let f = FmStudy {
+            rows: vec![(WorkloadKind::Database, 1000, 1.38, 1.55)],
+        };
+        assert!(f.render().contains("fM"));
+        assert_eq!(f.row(WorkloadKind::Database, 1000), Some((1.38, 1.55)));
+        assert_eq!(f.row(WorkloadKind::Database, 200), None);
+    }
+
+    #[test]
+    fn ablations_render_shape() {
+        let a = Ablations {
+            fetch_buffer: vec![(WorkloadKind::Database, 32, 1.4)],
+            value_predictors: vec![(WorkloadKind::Database, "hybrid 16K", 5.0)],
+            rae_distance: vec![(WorkloadKind::Database, 2048, 2.2)],
+        };
+        let r = a.render();
+        assert!(r.contains("fetch-buffer"));
+        assert!(r.contains("+5.0%"));
+        assert!(r.contains("2048"));
+    }
+}

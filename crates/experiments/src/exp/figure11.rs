@@ -1,0 +1,209 @@
+//! Figure 11: overall performance improvement.
+//!
+//! MLP gains are translated into overall performance via the CPI equation
+//! (§2.2): each configuration's MLPsim MLP and miss rate is combined with
+//! `CPI_perf` and `Overlap_CM` measured by the cycle-accurate simulator
+//! (Table 1 methodology), at a 1000-cycle off-chip latency. Improvements
+//! are relative to the 64-entry-window configuration D baseline.
+
+use super::figure8::RAE_MAX_DIST;
+use super::table1;
+use crate::runner::run_mlpsim;
+use crate::table::{f2, pct, TextTable};
+use crate::RunScale;
+use mlp_model::CpiModel;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{BranchMode, IssueConfig, MlpsimConfig, ValueMode, WindowModel};
+
+/// Off-chip latency of the figure.
+pub const LATENCY: u64 = 1000;
+
+/// The sampled configurations (paper: "a sample of processor
+/// configurations studied in Sections 5.3-5.6").
+pub fn sample_configs() -> Vec<(&'static str, MlpsimConfig)> {
+    let ooo = |issue, iw, rob| {
+        MlpsimConfig::builder()
+            .issue(issue)
+            .window(WindowModel::OutOfOrder {
+                iw,
+                rob,
+                fetch_buffer: 32,
+            })
+            .build()
+    };
+    let rae = MlpsimConfig::builder()
+        .issue(IssueConfig::D)
+        .window(WindowModel::Runahead {
+            max_dist: RAE_MAX_DIST,
+        })
+        .build();
+    vec![
+        ("64D (base)", ooo(IssueConfig::D, 64, 64)),
+        ("64E", ooo(IssueConfig::E, 64, 64)),
+        ("64D/ROB256", ooo(IssueConfig::D, 64, 256)),
+        ("64E/ROB2048", ooo(IssueConfig::E, 64, 2048)),
+        ("RAE", rae.clone()),
+        (
+            "RAE+VP",
+            MlpsimConfig {
+                value: ValueMode::LastValue(16 * 1024),
+                ..rae.clone()
+            },
+        ),
+        (
+            "RAE.perfI",
+            MlpsimConfig {
+                perfect_ifetch: true,
+                ..rae.clone()
+            },
+        ),
+        (
+            "RAE.perfVP.perfBP",
+            MlpsimConfig {
+                value: ValueMode::Perfect,
+                branch: BranchMode::Perfect,
+                ..rae
+            },
+        ),
+    ]
+}
+
+/// One configuration's predicted performance for one workload.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Configuration label.
+    pub label: &'static str,
+    /// MLPsim-measured MLP.
+    pub mlp: f64,
+    /// Predicted CPI.
+    pub cpi: f64,
+    /// Percent performance improvement over the 64D baseline.
+    pub improvement_pct: f64,
+}
+
+/// One workload's series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// The fitted CPI model used for the translation.
+    pub model: CpiModel,
+    /// One point per sampled configuration.
+    pub points: Vec<Point>,
+}
+
+/// Figure 11 results.
+#[derive(Clone, Debug)]
+pub struct Figure11 {
+    /// One series per workload.
+    pub series: Vec<Series>,
+}
+
+/// Runs Figure 11.
+pub fn run(scale: RunScale) -> Figure11 {
+    // Table 1 methodology supplies CPI_perf and Overlap_CM at 1000 cycles.
+    let t1 = table1::run_with_latencies(scale, &[LATENCY]);
+    let configs = sample_configs();
+    let mut series = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let row = t1
+            .row(kind, LATENCY)
+            .expect("table 1 has every workload at the chosen latency");
+        let mut points = Vec::new();
+        let mut base_cpi = None;
+        for (label, cfg) in &configs {
+            let r = run_mlpsim(kind, cfg.clone(), scale);
+            let model = CpiModel {
+                miss_rate: r.offchip.total() as f64 / r.insts as f64,
+                ..row.model
+            };
+            let cpi = model.cpi(r.mlp());
+            let base = *base_cpi.get_or_insert(cpi);
+            points.push(Point {
+                label,
+                mlp: r.mlp(),
+                cpi,
+                improvement_pct: 100.0 * (base / cpi - 1.0),
+            });
+        }
+        series.push(Series {
+            kind,
+            model: row.model,
+            points,
+        });
+    }
+    Figure11 { series }
+}
+
+impl Figure11 {
+    /// Renders the improvement bars.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let mut t = TextTable::new(vec!["Configuration", "MLP", "CPI", "Improvement"])
+                .with_title(format!(
+                    "Figure 11: Overall performance vs 64D — {} (latency {LATENCY})",
+                    s.kind.name()
+                ));
+            for p in &s.points {
+                t.row(vec![
+                    p.label.into(),
+                    f2(p.mlp),
+                    f2(p.cpi),
+                    pct(p.improvement_pct),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The improvement of a labelled configuration for a workload.
+    pub fn improvement(&self, kind: WorkloadKind, label: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.kind == kind)?
+            .points
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.improvement_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_set_contains_the_papers_bars() {
+        let labels: Vec<&str> = sample_configs().iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"RAE"));
+        assert!(labels.contains(&"RAE.perfVP.perfBP"));
+        assert_eq!(labels[0], "64D (base)");
+    }
+
+    #[test]
+    fn lookup_and_render() {
+        let model = CpiModel {
+            cpi_perf: 1.5,
+            overlap_cm: 0.2,
+            miss_rate: 0.008,
+            miss_penalty: 1000.0,
+        };
+        let f = Figure11 {
+            series: vec![Series {
+                kind: WorkloadKind::Database,
+                model,
+                points: vec![Point {
+                    label: "RAE",
+                    mlp: 2.4,
+                    cpi: 4.5,
+                    improvement_pct: 60.0,
+                }],
+            }],
+        };
+        assert_eq!(f.improvement(WorkloadKind::Database, "RAE"), Some(60.0));
+        assert!(f.render().contains("60.0%"));
+    }
+}

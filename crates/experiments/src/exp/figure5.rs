@@ -1,0 +1,142 @@
+//! Figure 5: factors inhibiting further MLP.
+//!
+//! For each window size and issue configuration, the fraction of epochs
+//! bound by each window-termination condition: `Imiss start`, `Maxwin`,
+//! `Mispred br`, `Imiss end`, `Missing load` (config A only), `Dep store`
+//! (configs A/B) and `Serialize`.
+
+use crate::runner::run_mlpsim;
+use crate::table::{pct, TextTable};
+use crate::RunScale;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{InhibitorCounts, IssueConfig, MlpsimConfig};
+
+/// The swept window sizes (as in Figure 4).
+pub const SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// One bar of the figure: the inhibitor mix of one configuration.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Window size.
+    pub size: usize,
+    /// Issue configuration.
+    pub issue: IssueConfig,
+    /// Raw inhibitor counts.
+    pub counts: InhibitorCounts,
+}
+
+impl Bar {
+    /// The inhibitor mix as fractions of all epochs, in the legend order
+    /// of [`InhibitorCounts::as_rows`].
+    pub fn fractions(&self) -> Vec<(&'static str, f64)> {
+        let total = self.counts.total().max(1) as f64;
+        self.counts
+            .as_rows()
+            .iter()
+            .map(|&(name, n)| (name, n as f64 / total))
+            .collect()
+    }
+}
+
+/// Figure 5 results.
+#[derive(Clone, Debug)]
+pub struct Figure5 {
+    /// One bar per workload × size × config.
+    pub bars: Vec<Bar>,
+}
+
+/// Runs Figure 5 for all sizes and configurations.
+pub fn run(scale: RunScale) -> Figure5 {
+    run_grid(scale, &SIZES, &IssueConfig::ALL)
+}
+
+/// Runs a subset of the grid.
+pub fn run_grid(scale: RunScale, sizes: &[usize], configs: &[IssueConfig]) -> Figure5 {
+    let mut bars = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for &size in sizes {
+            for &issue in configs {
+                let r = run_mlpsim(
+                    kind,
+                    MlpsimConfig::builder().issue(issue).coupled_window(size).build(),
+                    scale,
+                );
+                bars.push(Bar {
+                    kind,
+                    size,
+                    issue,
+                    counts: r.inhibitors,
+                });
+            }
+        }
+    }
+    Figure5 { bars }
+}
+
+impl Figure5 {
+    /// Renders the inhibitor mix (percent of epochs).
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark",
+            "Bar",
+            "Imiss start",
+            "Maxwin",
+            "Mispred br",
+            "Imiss end",
+            "Missing load",
+            "Dep store",
+            "Serialize",
+        ])
+        .with_title("Figure 5: Factors Inhibiting Further MLP (% of epochs)");
+        for b in &self.bars {
+            let f = b.fractions();
+            t.row(vec![
+                b.kind.name().into(),
+                format!("{}{}", b.size, b.issue.letter()),
+                pct(100.0 * f[0].1),
+                pct(100.0 * f[1].1),
+                pct(100.0 * f[2].1),
+                pct(100.0 * f[3].1),
+                pct(100.0 * f[4].1),
+                pct(100.0 * f[5].1),
+                pct(100.0 * f[6].1),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The bar for `(kind, size, config)`.
+    pub fn bar(&self, kind: WorkloadKind, size: usize, issue: IssueConfig) -> Option<&Bar> {
+        self.bars
+            .iter()
+            .find(|b| b.kind == kind && b.size == size && b.issue == issue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let counts = InhibitorCounts {
+            imiss_start: 2,
+            maxwin: 5,
+            serialize: 3,
+            ..InhibitorCounts::default()
+        };
+        let b = Bar {
+            kind: WorkloadKind::Database,
+            size: 64,
+            issue: IssueConfig::C,
+            counts,
+        };
+        let sum: f64 = b.fractions().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let fig = Figure5 { bars: vec![b] };
+        assert!(fig.render().contains("Serialize"));
+        assert!(fig.bar(WorkloadKind::Database, 64, IssueConfig::C).is_some());
+    }
+}

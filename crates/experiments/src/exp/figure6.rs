@@ -1,0 +1,165 @@
+//! Figure 6: impact of decoupling issue-window and ROB sizes.
+//!
+//! For each issue-window size and configuration, MLP with a ROB of 1×,
+//! 2×, 4× and 8× the issue window, plus a fixed 2048-entry ROB, and the
+//! "INF" reference (2048-entry window and ROB under configuration E).
+
+use crate::runner::run_mlpsim;
+use crate::table::{f3, TextTable};
+use crate::RunScale;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{IssueConfig, MlpsimConfig, WindowModel};
+
+/// Issue-window sizes swept.
+pub const IW_SIZES: [usize; 4] = [16, 32, 64, 128];
+/// ROB multipliers swept.
+pub const ROB_MULTS: [usize; 4] = [1, 2, 4, 8];
+/// The fixed large ROB of the paper's "2048" segments.
+pub const BIG_ROB: usize = 2048;
+
+/// MLP of one issue-window/config bar across ROB sizes.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Issue-window size.
+    pub iw: usize,
+    /// Issue configuration.
+    pub issue: IssueConfig,
+    /// MLP at ROB = iw × [`ROB_MULTS`] (in order).
+    pub by_mult: [f64; 4],
+    /// MLP at the fixed 2048-entry ROB.
+    pub rob_2048: f64,
+}
+
+/// Figure 6 results.
+#[derive(Clone, Debug)]
+pub struct Figure6 {
+    /// One bar per workload × issue-window size × configuration.
+    pub bars: Vec<Bar>,
+    /// The "INF" reference per workload: 2048-entry IW and ROB, config E.
+    pub inf: Vec<(WorkloadKind, f64)>,
+}
+
+/// Runs the full Figure 6 grid.
+pub fn run(scale: RunScale) -> Figure6 {
+    run_grid(scale, &IW_SIZES, &IssueConfig::ALL)
+}
+
+/// Runs a subset of the grid.
+pub fn run_grid(scale: RunScale, iw_sizes: &[usize], configs: &[IssueConfig]) -> Figure6 {
+    let mut bars = Vec::new();
+    let mut inf = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for &iw in iw_sizes {
+            for &issue in configs {
+                let mut by_mult = [0.0; 4];
+                for (k, &mult) in ROB_MULTS.iter().enumerate() {
+                    by_mult[k] = run_one(kind, issue, iw, iw * mult, scale);
+                }
+                let rob_2048 = run_one(kind, issue, iw, BIG_ROB, scale);
+                bars.push(Bar {
+                    kind,
+                    iw,
+                    issue,
+                    by_mult,
+                    rob_2048,
+                });
+            }
+        }
+        let r = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .issue(IssueConfig::E)
+                .window(WindowModel::OutOfOrder {
+                    iw: BIG_ROB,
+                    rob: BIG_ROB,
+                    fetch_buffer: 32,
+                })
+                .build(),
+            scale,
+        );
+        inf.push((kind, r.mlp()));
+    }
+    Figure6 { bars, inf }
+}
+
+fn run_one(kind: WorkloadKind, issue: IssueConfig, iw: usize, rob: usize, scale: RunScale) -> f64 {
+    run_mlpsim(
+        kind,
+        MlpsimConfig::builder()
+            .issue(issue)
+            .window(WindowModel::OutOfOrder {
+                iw,
+                rob,
+                fetch_buffer: 32,
+            })
+            .build(),
+        scale,
+    )
+    .mlp()
+}
+
+impl Figure6 {
+    /// Renders one table per workload.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &(kind, inf_mlp) in &self.inf {
+            let mut t = TextTable::new(vec!["Bar", "1X", "2X", "4X", "8X", "ROB 2048"])
+                .with_title(format!(
+                    "Figure 6: Decoupling issue window and ROB — {} (INF = {:.3})",
+                    kind.name(),
+                    inf_mlp
+                ));
+            for b in self.bars.iter().filter(|b| b.kind == kind) {
+                t.row(vec![
+                    format!("{}{}", b.iw, b.issue.letter()),
+                    f3(b.by_mult[0]),
+                    f3(b.by_mult[1]),
+                    f3(b.by_mult[2]),
+                    f3(b.by_mult[3]),
+                    f3(b.rob_2048),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The bar for `(kind, iw, config)`.
+    pub fn bar(&self, kind: WorkloadKind, iw: usize, issue: IssueConfig) -> Option<&Bar> {
+        self.bars
+            .iter()
+            .find(|b| b.kind == kind && b.iw == iw && b.issue == issue)
+    }
+
+    /// The INF reference MLP for a workload.
+    pub fn inf_mlp(&self, kind: WorkloadKind) -> Option<f64> {
+        self.inf.iter().find(|(k, _)| *k == kind).map(|&(_, m)| m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_render() {
+        let f = Figure6 {
+            bars: vec![Bar {
+                kind: WorkloadKind::Database,
+                iw: 64,
+                issue: IssueConfig::D,
+                by_mult: [1.4, 1.5, 1.62, 1.7],
+                rob_2048: 1.8,
+            }],
+            inf: vec![(WorkloadKind::Database, 2.4)],
+        };
+        assert!(f.bar(WorkloadKind::Database, 64, IssueConfig::D).is_some());
+        assert_eq!(f.inf_mlp(WorkloadKind::Database), Some(2.4));
+        let s = f.render();
+        assert!(s.contains("64D"));
+        assert!(s.contains("INF = 2.400"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Figure 8: impact of runahead execution.
+//!
+//! Runahead (max distance 2048) compared against two conventional
+//! out-of-order configurations: 64-entry issue window with configuration
+//! D and a 64- or 256-entry ROB.
+
+use crate::runner::run_mlpsim;
+use crate::table::{f3, pct, TextTable};
+use crate::RunScale;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{IssueConfig, MlpsimConfig, WindowModel};
+
+/// The maximum runahead distance (instructions), as in the paper.
+pub const RAE_MAX_DIST: usize = 2048;
+
+/// One row of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// 64-entry IW, 64-entry ROB, config D.
+    pub conv_64: f64,
+    /// 64-entry IW, 256-entry ROB, config D.
+    pub conv_256: f64,
+    /// Runahead execution.
+    pub rae: f64,
+}
+
+impl Row {
+    /// RAE improvement over the 64-entry-ROB configuration, percent.
+    pub fn gain_over_64(&self) -> f64 {
+        100.0 * (self.rae / self.conv_64 - 1.0)
+    }
+
+    /// RAE improvement over the 256-entry-ROB configuration, percent.
+    pub fn gain_over_256(&self) -> f64 {
+        100.0 * (self.rae / self.conv_256 - 1.0)
+    }
+}
+
+/// Figure 8 results.
+#[derive(Clone, Debug)]
+pub struct Figure8 {
+    /// One row per workload.
+    pub rows: Vec<Row>,
+}
+
+/// Builds the three configurations the figure compares.
+pub fn configs() -> [MlpsimConfig; 3] {
+    [
+        MlpsimConfig::builder()
+            .issue(IssueConfig::D)
+            .window(WindowModel::OutOfOrder {
+                iw: 64,
+                rob: 64,
+                fetch_buffer: 32,
+            })
+            .build(),
+        MlpsimConfig::builder()
+            .issue(IssueConfig::D)
+            .window(WindowModel::OutOfOrder {
+                iw: 64,
+                rob: 256,
+                fetch_buffer: 32,
+            })
+            .build(),
+        MlpsimConfig::builder()
+            .issue(IssueConfig::D)
+            .window(WindowModel::Runahead {
+                max_dist: RAE_MAX_DIST,
+            })
+            .build(),
+    ]
+}
+
+/// Runs Figure 8.
+pub fn run(scale: RunScale) -> Figure8 {
+    let [c64, c256, rae] = configs();
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        rows.push(Row {
+            kind,
+            conv_64: run_mlpsim(kind, c64.clone(), scale).mlp(),
+            conv_256: run_mlpsim(kind, c256.clone(), scale).mlp(),
+            rae: run_mlpsim(kind, rae.clone(), scale).mlp(),
+        });
+    }
+    Figure8 { rows }
+}
+
+impl Figure8 {
+    /// Renders the paper-style comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark",
+            "64D/ROB64",
+            "64D/ROB256",
+            "RAE",
+            "gain vs 64",
+            "gain vs 256",
+        ])
+        .with_title("Figure 8: Impact of Runahead Execution (MLP)");
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.name().into(),
+                f3(r.conv_64),
+                f3(r.conv_256),
+                f3(r.rae),
+                pct(r.gain_over_64()),
+                pct(r.gain_over_256()),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The row for a workload.
+    pub fn row(&self, kind: WorkloadKind) -> Option<&Row> {
+        self.rows.iter().find(|r| r.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gains_and_render() {
+        let r = Row {
+            kind: WorkloadKind::Database,
+            conv_64: 1.4,
+            conv_256: 1.6,
+            rae: 2.4,
+        };
+        assert!((r.gain_over_64() - 71.42857).abs() < 1e-3);
+        assert!((r.gain_over_256() - 50.0).abs() < 1e-9);
+        let f = Figure8 { rows: vec![r] };
+        assert!(f.render().contains("RAE"));
+        assert!(f.row(WorkloadKind::Database).is_some());
+    }
+
+    #[test]
+    fn config_shapes() {
+        let [a, b, c] = configs();
+        assert!(matches!(a.window, WindowModel::OutOfOrder { rob: 64, .. }));
+        assert!(matches!(b.window, WindowModel::OutOfOrder { rob: 256, .. }));
+        assert!(matches!(c.window, WindowModel::Runahead { max_dist: 2048 }));
+    }
+}

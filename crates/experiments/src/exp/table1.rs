@@ -1,0 +1,154 @@
+//! Table 1: measurements of the on-chip and off-chip components of CPI.
+//!
+//! For each workload and off-chip latency (200 and 1000 cycles), the
+//! cycle-accurate simulator measures overall CPI (realistic L2) and
+//! `CPI_perf` (perfect L2); `Overlap_CM` is then derived from the CPI
+//! equation, exactly as in the paper's §2.2.
+
+use crate::runner::run_cyclesim;
+use crate::table::{f2, TextTable};
+use crate::RunScale;
+use mlp_cyclesim::CycleSimConfig;
+use mlp_model::CpiModel;
+use mlp_workloads::WorkloadKind;
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Off-chip latency in cycles.
+    pub latency: u64,
+    /// Overall CPI.
+    pub cpi: f64,
+    /// On-chip CPI component.
+    pub cpi_on_chip: f64,
+    /// Off-chip CPI component.
+    pub cpi_off_chip: f64,
+    /// Off-chip accesses per 100 instructions.
+    pub miss_rate_per_100: f64,
+    /// Average MLP measured by MLP(t) integration.
+    pub mlp: f64,
+    /// Derived compute/memory overlap.
+    pub overlap_cm: f64,
+    /// The fitted model (reused by Figure 11).
+    pub model: CpiModel,
+}
+
+/// Table 1 results.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// One row per workload × latency.
+    pub rows: Vec<Row>,
+}
+
+/// Runs Table 1.
+pub fn run(scale: RunScale) -> Table1 {
+    run_with_latencies(scale, &[200, 1000])
+}
+
+/// Runs Table 1 for a caller-chosen set of latencies.
+pub fn run_with_latencies(scale: RunScale, latencies: &[u64]) -> Table1 {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        // CPI_perf is latency-independent (memory is never touched).
+        let perf = run_cyclesim(kind, CycleSimConfig::default().perfect_l2(), scale);
+        for &latency in latencies {
+            let real = run_cyclesim(
+                kind,
+                CycleSimConfig::default().with_mem_latency(latency),
+                scale,
+            );
+            let miss_rate = real.offchip.total() as f64 / real.insts as f64;
+            let model = CpiModel::from_measured(
+                real.cpi(),
+                perf.cpi(),
+                miss_rate,
+                latency as f64,
+                real.mlp(),
+            );
+            rows.push(Row {
+                kind,
+                latency,
+                cpi: real.cpi(),
+                cpi_on_chip: model.cpi_on_chip(),
+                cpi_off_chip: model.cpi_off_chip(real.mlp()),
+                miss_rate_per_100: 100.0 * miss_rate,
+                mlp: real.mlp(),
+                overlap_cm: model.overlap_cm,
+                model,
+            });
+        }
+    }
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark",
+            "Off-Chip Latency",
+            "CPI",
+            "CPI_on-chip",
+            "CPI_off-chip",
+            "L2 Miss Rate (/100)",
+            "MLP",
+            "Overlap_CM",
+        ])
+        .with_title("Table 1: On-Chip and Off-Chip Components of CPI");
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.name().into(),
+                r.latency.to_string(),
+                f2(r.cpi),
+                f2(r.cpi_on_chip),
+                f2(r.cpi_off_chip),
+                f2(r.miss_rate_per_100),
+                f2(r.mlp),
+                f2(r.overlap_cm),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The row for a given workload and latency, if present.
+    pub fn row(&self, kind: WorkloadKind, latency: u64) -> Option<&Row> {
+        self.rows
+            .iter()
+            .find(|r| r.kind == kind && r.latency == latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shape() {
+        let model = CpiModel {
+            cpi_perf: 1.5,
+            overlap_cm: 0.2,
+            miss_rate: 0.0084,
+            miss_penalty: 200.0,
+        };
+        let t = Table1 {
+            rows: vec![Row {
+                kind: WorkloadKind::Database,
+                latency: 200,
+                cpi: 2.44,
+                cpi_on_chip: 1.47,
+                cpi_off_chip: 0.97,
+                miss_rate_per_100: 0.84,
+                mlp: 1.33,
+                overlap_cm: 0.2,
+                model,
+            }],
+        };
+        let s = t.render();
+        assert!(s.contains("Database"));
+        assert!(s.contains("2.44"));
+        assert!(t.row(WorkloadKind::Database, 200).is_some());
+        assert!(t.row(WorkloadKind::Database, 1000).is_none());
+    }
+}

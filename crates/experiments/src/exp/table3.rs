@@ -1,0 +1,157 @@
+//! Table 3: validation of MLPsim against the cycle-accurate simulator.
+//!
+//! For each workload, window size (32/64/128, issue window = ROB) and
+//! issue configuration (A/B/C — the cycle model, like the paper's, issues
+//! branches in order), the cycle-accurate MLP is measured at off-chip
+//! latencies 200/500/1000 and compared to the (latency-free) epoch-model
+//! MLP. The paper's claim, reproduced here: the two agree closely, and
+//! nearly exactly at 1000-cycle latency.
+
+use crate::runner::{run_cyclesim, run_mlpsim};
+use crate::table::{f3, TextTable};
+use crate::RunScale;
+use mlp_cyclesim::CycleSimConfig;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{IssueConfig, MlpsimConfig};
+
+/// Window sizes validated (issue window = ROB).
+pub const SIZES: [usize; 3] = [32, 64, 128];
+/// Issue configurations validated.
+pub const CONFIGS: [IssueConfig; 3] = [IssueConfig::A, IssueConfig::B, IssueConfig::C];
+/// Off-chip latencies at which the cycle model runs.
+pub const LATENCIES: [u64; 3] = [200, 500, 1000];
+
+/// One validation row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Issue-window/ROB size.
+    pub size: usize,
+    /// Issue configuration.
+    pub issue: IssueConfig,
+    /// Cycle-accurate MLP at each of [`LATENCIES`].
+    pub cyclesim: [f64; 3],
+    /// Epoch-model MLP.
+    pub mlpsim: f64,
+}
+
+impl Row {
+    /// Relative error of the epoch model vs the 1000-cycle cycle model.
+    pub fn error_at_1000(&self) -> f64 {
+        (self.mlpsim - self.cyclesim[2]).abs() / self.cyclesim[2]
+    }
+}
+
+/// Table 3 results.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// One row per workload × size × config.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the full Table 3 grid.
+pub fn run(scale: RunScale) -> Table3 {
+    run_grid(scale, &SIZES, &CONFIGS)
+}
+
+/// Runs a caller-chosen subset of the grid.
+pub fn run_grid(scale: RunScale, sizes: &[usize], configs: &[IssueConfig]) -> Table3 {
+    // Align the epoch-model window with the cycle-accurate one so both
+    // simulators see the same slice of the trace.
+    let scale = RunScale {
+        warmup: scale.cycle_warmup,
+        measure: scale.cycle_measure,
+        ..scale
+    };
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for &size in sizes {
+            for &issue in configs {
+                let m = run_mlpsim(
+                    kind,
+                    MlpsimConfig::builder().issue(issue).coupled_window(size).build(),
+                    scale,
+                );
+                let mut cyc = [0.0; 3];
+                for (k, &lat) in LATENCIES.iter().enumerate() {
+                    let c = run_cyclesim(
+                        kind,
+                        CycleSimConfig::default()
+                            .with_window(size)
+                            .with_issue(issue)
+                            .with_mem_latency(lat),
+                        scale,
+                    );
+                    cyc[k] = c.mlp();
+                }
+                rows.push(Row {
+                    kind,
+                    size,
+                    issue,
+                    cyclesim: cyc,
+                    mlpsim: m.mlp(),
+                });
+            }
+        }
+    }
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Benchmark",
+            "Size",
+            "Config",
+            "CycleSim 200",
+            "CycleSim 500",
+            "CycleSim 1000",
+            "MLPsim",
+            "err@1000",
+        ])
+        .with_title("Table 3: MLPsim vs Cycle-Accurate Simulator");
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.name().into(),
+                r.size.to_string(),
+                r.issue.letter().into(),
+                f3(r.cyclesim[0]),
+                f3(r.cyclesim[1]),
+                f3(r.cyclesim[2]),
+                f3(r.mlpsim),
+                format!("{:.1}%", 100.0 * r.error_at_1000()),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Worst-case relative error of the epoch model at 1000 cycles.
+    pub fn max_error_at_1000(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Row::error_at_1000)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_metric() {
+        let r = Row {
+            kind: WorkloadKind::Database,
+            size: 64,
+            issue: IssueConfig::C,
+            cyclesim: [1.3, 1.35, 1.4],
+            mlpsim: 1.47,
+        };
+        assert!((r.error_at_1000() - 0.05).abs() < 1e-9);
+        let t = Table3 { rows: vec![r] };
+        assert!((t.max_error_at_1000() - 0.05).abs() < 1e-9);
+        assert!(t.render().contains("MLPsim"));
+    }
+}

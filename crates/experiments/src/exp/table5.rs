@@ -1,0 +1,94 @@
+//! Table 5: MLP of in-order issue (stall-on-miss vs stall-on-use).
+
+use crate::runner::run_mlpsim;
+use crate::table::{f2, TextTable};
+use crate::RunScale;
+use mlp_workloads::WorkloadKind;
+use mlpsim::{InOrderPolicy, MlpsimConfig, WindowModel};
+
+/// One row of Table 5.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// MLP of a stall-on-miss in-order core.
+    pub stall_on_miss: f64,
+    /// MLP of a stall-on-use in-order core.
+    pub stall_on_use: f64,
+}
+
+/// Table 5 results.
+#[derive(Clone, Debug)]
+pub struct Table5 {
+    /// One row per workload.
+    pub rows: Vec<Row>,
+}
+
+/// Runs Table 5.
+pub fn run(scale: RunScale) -> Table5 {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let som = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .window(WindowModel::InOrder(InOrderPolicy::StallOnMiss))
+                .build(),
+            scale,
+        );
+        let sou = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .window(WindowModel::InOrder(InOrderPolicy::StallOnUse))
+                .build(),
+            scale,
+        );
+        rows.push(Row {
+            kind,
+            stall_on_miss: som.mlp(),
+            stall_on_use: sou.mlp(),
+        });
+    }
+    Table5 { rows }
+}
+
+impl Table5 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Benchmark", "Stall-on-Miss", "Stall-on-Use"])
+            .with_title("Table 5: MLP of In-Order Issue");
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.name().into(),
+                f2(r.stall_on_miss),
+                f2(r.stall_on_use),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The row for a workload.
+    pub fn row(&self, kind: WorkloadKind) -> Option<&Row> {
+        self.rows.iter().find(|r| r.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shape() {
+        let t = Table5 {
+            rows: vec![Row {
+                kind: WorkloadKind::SpecWeb99,
+                stall_on_miss: 1.10,
+                stall_on_use: 1.13,
+            }],
+        };
+        let s = t.render();
+        assert!(s.contains("Stall-on-Use"));
+        assert!(s.contains("1.13"));
+        assert!(t.row(WorkloadKind::SpecWeb99).is_some());
+        assert!(t.row(WorkloadKind::Database).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! Each experiment lives in its own module under [`exp`], returns a
+//! structured result, and renders the same rows/series the paper reports.
+//! The `mlp-experiments` binary exposes one subcommand per experiment
+//! (`table1` … `figure11`, plus `all`).
+//!
+//! Run lengths are configurable via [`RunScale`]: the paper used 50M
+//! warm-up + 100M measured instructions on its traces; the synthetic
+//! workloads here are stationary by construction, so far shorter windows
+//! give converged statistics (verified by the convergence test in the
+//! workspace test suite).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mlp_experiments::{exp, RunScale};
+//!
+//! let table5 = exp::table5::run(RunScale::quick());
+//! println!("{}", table5.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod runner;
+pub mod table;
+
+/// Instruction budgets for one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunScale {
+    /// Warm-up instructions for the (fast) epoch-model runs.
+    pub warmup: u64,
+    /// Measured instructions for the epoch-model runs.
+    pub measure: u64,
+    /// Warm-up instructions for cycle-accurate runs.
+    pub cycle_warmup: u64,
+    /// Measured instructions for cycle-accurate runs.
+    pub cycle_measure: u64,
+}
+
+impl RunScale {
+    /// Small budgets for benchmarks and smoke tests (seconds per table).
+    pub fn quick() -> RunScale {
+        RunScale {
+            warmup: 300_000,
+            measure: 700_000,
+            cycle_warmup: 200_000,
+            cycle_measure: 400_000,
+        }
+    }
+
+    /// The default experiment scale (converged statistics, minutes for
+    /// the full set).
+    pub fn standard() -> RunScale {
+        RunScale {
+            warmup: 1_000_000,
+            measure: 4_000_000,
+            cycle_warmup: 500_000,
+            cycle_measure: 1_500_000,
+        }
+    }
+
+    /// Long runs for final numbers.
+    pub fn full() -> RunScale {
+        RunScale {
+            warmup: 2_000_000,
+            measure: 8_000_000,
+            cycle_warmup: 1_000_000,
+            cycle_measure: 3_000_000,
+        }
+    }
+
+    /// Parses a scale name (`quick` / `standard` / `full`).
+    pub fn parse(name: &str) -> Option<RunScale> {
+        match name {
+            "quick" => Some(RunScale::quick()),
+            "standard" => Some(RunScale::standard()),
+            "full" => Some(RunScale::full()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for RunScale {
+    fn default() -> RunScale {
+        RunScale::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = RunScale::quick();
+        let s = RunScale::standard();
+        let f = RunScale::full();
+        assert!(q.measure < s.measure && s.measure < f.measure);
+        assert!(q.cycle_measure < s.cycle_measure);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(RunScale::parse("quick"), Some(RunScale::quick()));
+        assert_eq!(RunScale::parse("standard"), Some(RunScale::standard()));
+        assert_eq!(RunScale::parse("full"), Some(RunScale::full()));
+        assert_eq!(RunScale::parse("bogus"), None);
+        assert_eq!(RunScale::default(), RunScale::standard());
+    }
+}

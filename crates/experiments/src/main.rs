@@ -1,0 +1,96 @@
+//! `mlp-experiments` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! mlp-experiments <experiment> [--scale quick|standard|full]
+//! mlp-experiments all [--scale quick|standard|full]
+//! ```
+//!
+//! where `<experiment>` is one of the paper's tables/figures (`table1`,
+//! `figure2`, `table3`, `table4`, `table5`, `figure4` … `figure11`) or an
+//! extension study (`store-mlp`, `ablations`, `epochs`, `fm`, `l3`,
+//! `smt`, `rae-timing`).
+
+use mlp_experiments::{exp, RunScale};
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 20] = [
+    "table1", "figure2", "table3", "table4", "table5", "figure4", "figure5", "figure6",
+    "figure7", "figure8", "figure9", "figure10", "figure11", "store-mlp", "ablations", "epochs", "fm", "l3", "smt", "rae-timing",
+];
+
+fn run_one(name: &str, scale: RunScale) -> Option<String> {
+    Some(match name {
+        "table1" => exp::table1::run(scale).render(),
+        "figure2" => exp::figure2::run(scale).render(),
+        "table3" => exp::table3::run(scale).render(),
+        "table4" => exp::table4::run(scale).render(),
+        "table5" => exp::table5::run(scale).render(),
+        "figure4" => exp::figure4::run(scale).render(),
+        "figure5" => exp::figure5::run(scale).render(),
+        "figure6" => exp::figure6::run(scale).render(),
+        "figure7" => exp::figure7::run(scale).render(),
+        "figure8" => exp::figure8::run(scale).render(),
+        "figure9" => exp::figure9::run(scale).render(),
+        "figure10" => exp::figure10::run(scale).render(),
+        "figure11" => exp::figure11::run(scale).render(),
+        "store-mlp" => exp::extensions::run_store_buffer(scale).render(),
+        "ablations" => exp::extensions::run_ablations(scale).render(),
+        "epochs" => exp::epochs::run(scale).render(),
+        "fm" => exp::extensions::run_fm(scale).render(),
+        "l3" => exp::extensions::run_l3(scale).render(),
+        "smt" => exp::extensions::run_smt(scale).render(),
+        "rae-timing" => exp::extensions::run_rae_timing(scale).render(),
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mlp-experiments <experiment|all> [--scale quick|standard|full]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = RunScale::standard();
+    let mut target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(name) = it.next() else { usage() };
+                let Some(s) = RunScale::parse(name) else {
+                    eprintln!("unknown scale '{name}'");
+                    usage()
+                };
+                scale = s;
+            }
+            name if target.is_none() => target = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(target) = target else { usage() };
+    let names: Vec<&str> = if target == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+    for name in names {
+        let t0 = Instant::now();
+        match run_one(name, scale) {
+            Some(output) => {
+                println!("{output}");
+                eprintln!("[{name} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                usage();
+            }
+        }
+    }
+}

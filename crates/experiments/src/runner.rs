@@ -1,0 +1,47 @@
+//! Shared helpers for driving the simulators over the calibrated
+//! workloads.
+
+use crate::RunScale;
+use mlp_cyclesim::{CycleReport, CycleSim, CycleSimConfig};
+use mlp_workloads::{Workload, WorkloadKind};
+use mlpsim::{MlpsimConfig, Report, Simulator};
+
+/// The seed used by every experiment: results are fully deterministic.
+pub const SEED: u64 = 42;
+
+/// Creates the calibrated workload trace for `kind`.
+pub fn workload(kind: WorkloadKind) -> Workload {
+    Workload::new(kind, SEED)
+}
+
+/// Runs the epoch model over `kind` at the given scale.
+pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> Report {
+    let mut wl = workload(kind);
+    Simulator::new(config).run(&mut wl, scale.warmup, scale.measure)
+}
+
+/// Runs the cycle-accurate model over `kind` at the given scale.
+pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale) -> CycleReport {
+    let mut wl = workload(kind);
+    CycleSim::new(config).run(&mut wl, scale.cycle_warmup, scale.cycle_measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpsim::MlpsimConfig;
+
+    #[test]
+    fn mlpsim_runner_is_deterministic() {
+        let scale = RunScale {
+            warmup: 10_000,
+            measure: 50_000,
+            cycle_warmup: 0,
+            cycle_measure: 0,
+        };
+        let a = run_mlpsim(WorkloadKind::SpecWeb99, MlpsimConfig::default(), scale);
+        let b = run_mlpsim(WorkloadKind::SpecWeb99, MlpsimConfig::default(), scale);
+        assert_eq!(a.offchip, b.offchip);
+        assert_eq!(a.epochs, b.epochs);
+    }
+}

@@ -1,0 +1,151 @@
+//! Minimal text-table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_experiments::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Benchmark", "MLP"]);
+/// t.row(vec!["Database".into(), "1.38".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Database"));
+/// assert!(s.contains("MLP"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> TextTable {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<width$}", h, width = widths[i] + 2);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let _ = write!(line, "{:<width$}", row[i], width = widths[i] + 2);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Formats an `f64` with 2 decimal places (tables of CPI).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats an `f64` with 3 decimal places (tables of MLP).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bench"]).with_title("Table X");
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["long-cell".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Table X"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // the "bench" header starts at the same column as "2" and "x"
+        let col = lines[1].find("bench").unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), col);
+        assert_eq!(lines[4].find('x').unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // banker-free simple rounding
+        assert_eq!(pct(12.34), "12.3%");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = TextTable::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,514 @@
+use crate::{line_of, BranchKind, OpKind, Reg};
+use std::fmt;
+
+/// A data-memory access performed by an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Effective (virtual) byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4 or 8; prefetches use the line size).
+    pub size: u8,
+}
+
+impl MemAccess {
+    /// The cache-line address this access falls in.
+    #[inline]
+    pub fn line(&self) -> u64 {
+        line_of(self.addr)
+    }
+}
+
+/// The architectural outcome of a control-transfer instruction.
+///
+/// Traces record what the branch *actually did*; whether the front end
+/// predicted it correctly is decided by the predictor models at simulation
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// The kind of control transfer.
+    pub kind: BranchKind,
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The target address if taken (fall-through otherwise).
+    pub target: u64,
+}
+
+/// One record of the dynamic instruction stream.
+///
+/// `Inst` is a passive trace record in the C-struct spirit: all fields are
+/// public. Use the class-specific constructors ([`Inst::alu`],
+/// [`Inst::load`], ...) for common cases and [`InstBuilder`] when full
+/// control is needed.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_isa::{Inst, OpKind, Reg};
+///
+/// // load [r1 + 8] -> r2, loading the value 7
+/// let ld = Inst::load(0x4000, Reg::int(1), 8, Reg::int(2), 0x9000).with_value(7);
+/// assert_eq!(ld.kind, OpKind::Load);
+/// assert_eq!(ld.mem.unwrap().addr, 0x9008);
+/// assert_eq!(ld.value, 7);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Instruction class.
+    pub kind: OpKind,
+    /// Source registers (dependence inputs). Unused slots hold `None`.
+    pub srcs: [Option<Reg>; 3],
+    /// Destination register, if the instruction produces a value.
+    pub dst: Option<Reg>,
+    /// Data-memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Branch outcome, for control transfers.
+    pub branch: Option<BranchInfo>,
+    /// The value produced (for loads: the loaded value). Drives the value
+    /// predictor models; ignored elsewhere.
+    pub value: u64,
+}
+
+impl Inst {
+    /// Creates an ALU instruction `op srcs -> dst`.
+    pub fn alu(pc: u64, srcs: &[Reg], dst: Reg) -> Inst {
+        let mut s = [None; 3];
+        for (slot, &r) in s.iter_mut().zip(srcs.iter()) {
+            *slot = Some(r);
+        }
+        Inst {
+            pc,
+            kind: OpKind::Alu,
+            srcs: s,
+            dst: Some(dst),
+            mem: None,
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Creates a load `load [base + offset] -> dst` with effective address
+    /// `addr` (the trace records the resolved address; `base` is kept only
+    /// as the dependence input).
+    pub fn load(pc: u64, base: Reg, offset: i64, dst: Reg, addr_base: u64) -> Inst {
+        let addr = addr_base.wrapping_add_signed(offset);
+        Inst {
+            pc,
+            kind: OpKind::Load,
+            srcs: [Some(base), None, None],
+            dst: Some(dst),
+            mem: Some(MemAccess { addr, size: 8 }),
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Creates a store `store src -> [base + offset]`.
+    pub fn store(pc: u64, base: Reg, offset: i64, src: Reg, addr_base: u64) -> Inst {
+        let addr = addr_base.wrapping_add_signed(offset);
+        Inst {
+            pc,
+            kind: OpKind::Store,
+            srcs: [Some(base), Some(src), None],
+            dst: None,
+            mem: Some(MemAccess { addr, size: 8 }),
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Creates a software prefetch of the line containing `addr`.
+    pub fn prefetch(pc: u64, base: Reg, addr: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Prefetch,
+            srcs: [Some(base), None, None],
+            dst: None,
+            mem: Some(MemAccess {
+                addr,
+                size: crate::LINE_BYTES as u8,
+            }),
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Creates a conditional branch on `cond`, with outcome `taken` and
+    /// taken-target `target`.
+    pub fn cond_branch(pc: u64, cond: Reg, taken: bool, target: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Branch(BranchKind::Conditional),
+            srcs: [Some(cond), None, None],
+            dst: None,
+            mem: None,
+            branch: Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken,
+                target,
+            }),
+            value: 0,
+        }
+    }
+
+    /// Creates an unconditional call to `target`.
+    pub fn call(pc: u64, target: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Branch(BranchKind::Call),
+            srcs: [None; 3],
+            dst: None,
+            mem: None,
+            branch: Some(BranchInfo {
+                kind: BranchKind::Call,
+                taken: true,
+                target,
+            }),
+            value: 0,
+        }
+    }
+
+    /// Creates a return to `target`.
+    pub fn ret(pc: u64, target: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Branch(BranchKind::Return),
+            srcs: [None; 3],
+            dst: None,
+            mem: None,
+            branch: Some(BranchInfo {
+                kind: BranchKind::Return,
+                taken: true,
+                target,
+            }),
+            value: 0,
+        }
+    }
+
+    /// Creates an indirect jump through `base` to `target`.
+    pub fn indirect(pc: u64, base: Reg, target: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Branch(BranchKind::Indirect),
+            srcs: [Some(base), None, None],
+            dst: None,
+            mem: None,
+            branch: Some(BranchInfo {
+                kind: BranchKind::Indirect,
+                taken: true,
+                target,
+            }),
+            value: 0,
+        }
+    }
+
+    /// Creates a memory barrier (`MEMBAR`) — serializing, no memory access.
+    pub fn membar(pc: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Membar,
+            srcs: [None; 3],
+            dst: None,
+            mem: None,
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Creates an atomic compare-and-swap (`CASA`) on `[base]`, comparing
+    /// with `cmp` and swapping `swap`, old value into `dst`.
+    pub fn casa(pc: u64, base: Reg, cmp: Reg, swap: Reg, dst: Reg, addr: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Atomic,
+            srcs: [Some(base), Some(cmp), Some(swap)],
+            dst: Some(dst),
+            mem: Some(MemAccess { addr, size: 8 }),
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Creates a no-operation.
+    pub fn nop(pc: u64) -> Inst {
+        Inst {
+            pc,
+            kind: OpKind::Nop,
+            srcs: [None; 3],
+            dst: None,
+            mem: None,
+            branch: None,
+            value: 0,
+        }
+    }
+
+    /// Returns the instruction with its produced/loaded value set.
+    #[must_use]
+    pub fn with_value(mut self, value: u64) -> Inst {
+        self.value = value;
+        self
+    }
+
+    /// Whether this is a load (including the load half of an atomic).
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, OpKind::Load | OpKind::Atomic)
+    }
+
+    /// Whether this is a store (including the store half of an atomic).
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, OpKind::Store | OpKind::Atomic)
+    }
+
+    /// Whether this is a control transfer.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.kind.is_branch()
+    }
+
+    /// Whether this is a serializing instruction.
+    #[inline]
+    pub fn is_serializing(&self) -> bool {
+        self.kind.is_serializing()
+    }
+
+    /// Iterates over the source registers that carry real dependences
+    /// (skipping empty slots and the zero register).
+    pub fn dep_srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs
+            .iter()
+            .filter_map(|s| *s)
+            .filter(|r| !r.is_zero())
+    }
+
+    /// The destination register, unless it is the zero register (writes to
+    /// `r0` are discarded and carry no dependence).
+    #[inline]
+    pub fn dep_dst(&self) -> Option<Reg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+
+    /// The cache line read by this instruction, if it reads memory.
+    #[inline]
+    pub fn read_line(&self) -> Option<u64> {
+        if self.kind.reads_memory() {
+            self.mem.map(|m| m.line())
+        } else {
+            None
+        }
+    }
+
+    /// The cache line written by this instruction, if it writes memory.
+    #[inline]
+    pub fn write_line(&self) -> Option<u64> {
+        if self.kind.writes_memory() {
+            self.mem.map(|m| m.line())
+        } else {
+            None
+        }
+    }
+
+    /// The address of the next instruction in the dynamic stream
+    /// (branch target if taken, fall-through otherwise).
+    #[inline]
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.pc.wrapping_add(4),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: {}", self.pc, self.kind)?;
+        if let Some(m) = self.mem {
+            write!(f, " [{:#x}]", m.addr)?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " {}-> {:#x}", if b.taken { "T" } else { "N" }, b.target)?;
+        }
+        if let Some(d) = self.dst {
+            write!(f, " -> {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Inst`] records, for cases the class-specific
+/// constructors do not cover (extra sources, custom access sizes, ...).
+///
+/// # Examples
+///
+/// ```
+/// use mlp_isa::{InstBuilder, OpKind, Reg};
+///
+/// let inst = InstBuilder::new(0x100, OpKind::Load)
+///     .src(Reg::int(1))
+///     .src(Reg::int(2))
+///     .dst(Reg::int(3))
+///     .mem(0x8000, 4)
+///     .value(42)
+///     .build();
+/// assert_eq!(inst.srcs[1], Some(Reg::int(2)));
+/// assert_eq!(inst.mem.unwrap().size, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InstBuilder {
+    inst: Inst,
+    nsrc: usize,
+}
+
+impl InstBuilder {
+    /// Starts building an instruction of class `kind` at `pc`.
+    pub fn new(pc: u64, kind: OpKind) -> InstBuilder {
+        InstBuilder {
+            inst: Inst {
+                pc,
+                kind,
+                srcs: [None; 3],
+                dst: None,
+                mem: None,
+                branch: None,
+                value: 0,
+            },
+            nsrc: 0,
+        }
+    }
+
+    /// Appends a source register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three sources are added.
+    #[must_use]
+    pub fn src(mut self, r: Reg) -> InstBuilder {
+        assert!(self.nsrc < 3, "at most 3 source registers");
+        self.inst.srcs[self.nsrc] = Some(r);
+        self.nsrc += 1;
+        self
+    }
+
+    /// Sets the destination register.
+    #[must_use]
+    pub fn dst(mut self, r: Reg) -> InstBuilder {
+        self.inst.dst = Some(r);
+        self
+    }
+
+    /// Sets the data-memory access.
+    #[must_use]
+    pub fn mem(mut self, addr: u64, size: u8) -> InstBuilder {
+        self.inst.mem = Some(MemAccess { addr, size });
+        self
+    }
+
+    /// Sets the branch outcome.
+    #[must_use]
+    pub fn branch(mut self, kind: BranchKind, taken: bool, target: u64) -> InstBuilder {
+        self.inst.branch = Some(BranchInfo {
+            kind,
+            taken,
+            target,
+        });
+        self
+    }
+
+    /// Sets the produced/loaded value.
+    #[must_use]
+    pub fn value(mut self, v: u64) -> InstBuilder {
+        self.inst.value = v;
+        self
+    }
+
+    /// Finishes and returns the instruction.
+    pub fn build(self) -> Inst {
+        self.inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_effective_address() {
+        let ld = Inst::load(0x100, Reg::int(1), 0x10, Reg::int(2), 0x8000);
+        assert_eq!(ld.mem.unwrap().addr, 0x8010);
+        assert_eq!(ld.read_line(), Some(0x8000));
+        assert_eq!(ld.write_line(), None);
+    }
+
+    #[test]
+    fn store_lines() {
+        let st = Inst::store(0x100, Reg::int(1), 0, Reg::int(5), 0x8044);
+        assert_eq!(st.write_line(), Some(0x8040));
+        assert_eq!(st.read_line(), None);
+    }
+
+    #[test]
+    fn atomic_reads_and_writes() {
+        let a = Inst::casa(0x100, Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), 0x9000);
+        assert_eq!(a.read_line(), Some(0x9000));
+        assert_eq!(a.write_line(), Some(0x9000));
+        assert!(a.is_serializing());
+        assert!(a.is_load());
+        assert!(a.is_store());
+    }
+
+    #[test]
+    fn zero_register_carries_no_dependence() {
+        let i = Inst::alu(0x100, &[Reg::ZERO, Reg::int(3)], Reg::ZERO);
+        assert_eq!(i.dep_srcs().count(), 1);
+        assert_eq!(i.dep_dst(), None);
+    }
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let taken = Inst::cond_branch(0x100, Reg::int(1), true, 0x2000);
+        let not_taken = Inst::cond_branch(0x100, Reg::int(1), false, 0x2000);
+        assert_eq!(taken.next_pc(), 0x2000);
+        assert_eq!(not_taken.next_pc(), 0x104);
+        assert_eq!(Inst::nop(0x100).next_pc(), 0x104);
+    }
+
+    #[test]
+    fn builder_full_round_trip() {
+        let i = InstBuilder::new(0x10, OpKind::Store)
+            .src(Reg::int(1))
+            .src(Reg::int(2))
+            .src(Reg::int(3))
+            .mem(0xff8, 8)
+            .build();
+        assert_eq!(i.dep_srcs().count(), 3);
+        assert_eq!(i.mem.unwrap().line(), 0xfc0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3")]
+    fn builder_rejects_fourth_source() {
+        let _ = InstBuilder::new(0, OpKind::Alu)
+            .src(Reg::int(1))
+            .src(Reg::int(2))
+            .src(Reg::int(3))
+            .src(Reg::int(4));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let i = Inst::load(0x100, Reg::int(1), 0, Reg::int(2), 0x8000);
+        let s = format!("{i}");
+        assert!(s.contains("load"));
+        assert!(s.contains("0x8000"));
+    }
+
+    #[test]
+    fn membar_has_no_deps() {
+        let m = Inst::membar(0x100);
+        assert!(m.is_serializing());
+        assert_eq!(m.dep_srcs().count(), 0);
+        assert!(m.mem.is_none());
+    }
+}

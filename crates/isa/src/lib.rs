@@ -1,0 +1,64 @@
+//! Instruction and trace model for the MLP epoch-model simulator.
+//!
+//! This crate defines the dynamic-instruction-stream (DIS) vocabulary shared
+//! by every simulator in the workspace: the [`Inst`] trace record, its
+//! [`OpKind`] instruction classes (including the SPARC-flavoured
+//! *serializing* instructions `MEMBAR`/`CASA` that the paper shows are a
+//! major MLP impediment), architectural [`Reg`]isters, and streaming trace
+//! abstractions ([`TraceSource`]) plus a compact binary trace format in
+//! [`tracefile`].
+//!
+//! The model is deliberately minimal: the epoch model of MLP (Chou, Fahs &
+//! Abraham, ISCA 2004) only needs instruction *classes*, *register and
+//! memory dependences*, *effective addresses*, *branch outcomes* and *loaded
+//! values* — not full ISA semantics.
+//!
+//! # Examples
+//!
+//! Build a tiny dependent-load sequence (the paper's Example 1):
+//!
+//! ```
+//! use mlp_isa::{Inst, Reg};
+//!
+//! let r = Reg::int;
+//! let trace = vec![
+//!     Inst::load(0x100, r(1), 0, r(2), 0xdead_0000),   // i1: load 0(r1)->r2
+//!     Inst::alu(0x104, &[r(2), r(3)], r(4)),           // i2: add r2,r3->r4
+//!     Inst::load(0x108, r(4), 0, r(5), 0xbeef_0000),   // i3: load (r4)->r5
+//!     Inst::alu(0x10c, &[r(0), r(1)], r(2)),           // i4: add r0,r1->r2
+//!     Inst::load(0x110, r(7), 0, r(8), 0xfeed_0000),   // i5: load (r7)->r8
+//! ];
+//! assert_eq!(trace.iter().filter(|i| i.is_load()).count(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inst;
+mod op;
+mod reg;
+mod stats;
+mod trace;
+pub mod tracefile;
+
+pub use inst::{BranchInfo, Inst, InstBuilder, MemAccess};
+pub use op::{BranchKind, OpKind};
+pub use reg::Reg;
+pub use stats::{InstMix, TraceStats};
+pub use trace::{SliceTrace, TraceSource, VecTrace};
+
+/// Cache-line size, in bytes, assumed throughout the workspace (the paper
+/// uses 64-byte lines in every cache level).
+pub const LINE_BYTES: u64 = 64;
+
+/// Returns the cache-line address (line-aligned) containing `addr`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mlp_isa::line_of(0x1047), 0x1040);
+/// ```
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}

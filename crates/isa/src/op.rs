@@ -1,0 +1,191 @@
+use std::fmt;
+
+/// The flavour of a control-transfer instruction.
+///
+/// The distinction matters to the front-end predictors: conditional
+/// branches consult the direction predictor (gshare), calls and returns
+/// exercise the return-address stack, and indirect jumps rely purely on
+/// the branch target buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// A conditional direct branch (SPARC `Bicc`/`BPcc`).
+    Conditional,
+    /// An unconditional direct call (`CALL`); pushes a return address.
+    Call,
+    /// A return (`RETURN`/`JMPL` to the link register); pops the RAS.
+    Return,
+    /// An indirect jump through a register (`JMPL`), not a call/return.
+    Indirect,
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::Call => "call",
+            BranchKind::Return => "ret",
+            BranchKind::Indirect => "ind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The class of a dynamic instruction.
+///
+/// The epoch model cares only about how an instruction participates in
+/// dependence tracking and window termination, so classes — not opcodes —
+/// are the unit of modelling:
+///
+/// * [`Alu`](OpKind::Alu) — any register-to-register computation.
+/// * [`Load`](OpKind::Load) / [`Store`](OpKind::Store) — memory operations
+///   with an effective address; loads may miss off-chip (a *Dmiss* in the
+///   paper's terminology).
+/// * [`Prefetch`](OpKind::Prefetch) — a software prefetch; a *useful* one
+///   that misses off-chip (a *Pmiss*) contributes to MLP.
+/// * [`Branch`](OpKind::Branch) — control transfer; a mispredicted branch
+///   that depends on a missing load is *unresolvable* and terminates the
+///   window.
+/// * [`Membar`](OpKind::Membar) and [`Atomic`](OpKind::Atomic) — the
+///   *serializing instructions* (SPARC `MEMBAR`, `CASA`/`LDSTUB`) whose
+///   straightforward implementation drains the pipeline and which the
+///   paper identifies as a dominant MLP impediment at large window sizes.
+/// * [`Nop`](OpKind::Nop) — occupies fetch/ROB slots but carries no
+///   dependences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Register-to-register computation (adds, logicals, shifts, ...).
+    Alu,
+    /// A load from memory into a destination register.
+    Load,
+    /// A store of a register to memory.
+    Store,
+    /// A software (read) prefetch of a cache line.
+    Prefetch,
+    /// A control-transfer instruction.
+    Branch(BranchKind),
+    /// A memory barrier (`MEMBAR`): serializing, no memory access of its own.
+    Membar,
+    /// An atomic read-modify-write (`CASA`/`LDSTUB`): serializing *and* a
+    /// memory operation (it both loads and stores its effective address).
+    Atomic,
+    /// No-operation.
+    Nop,
+}
+
+impl OpKind {
+    /// Whether this instruction reads memory through an effective address
+    /// (loads, atomics, and software prefetches).
+    #[inline]
+    pub fn reads_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Atomic | OpKind::Prefetch)
+    }
+
+    /// Whether this instruction writes memory (stores and atomics).
+    #[inline]
+    pub fn writes_memory(self) -> bool {
+        matches!(self, OpKind::Store | OpKind::Atomic)
+    }
+
+    /// Whether this instruction is a memory operation of any kind.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        self.reads_memory() || self.writes_memory()
+    }
+
+    /// Whether this instruction is *serializing* — a straightforward
+    /// implementation drains the pipeline before it issues, which is a
+    /// window-termination condition in issue configurations A–D.
+    #[inline]
+    pub fn is_serializing(self) -> bool {
+        matches!(self, OpKind::Membar | OpKind::Atomic)
+    }
+
+    /// Whether this instruction is a control transfer.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpKind::Branch(_))
+    }
+
+    /// A short mnemonic used in trace dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Alu => "alu",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Prefetch => "pref",
+            OpKind::Branch(BranchKind::Conditional) => "bcc",
+            OpKind::Branch(BranchKind::Call) => "call",
+            OpKind::Branch(BranchKind::Return) => "ret",
+            OpKind::Branch(BranchKind::Indirect) => "jmpl",
+            OpKind::Membar => "membar",
+            OpKind::Atomic => "casa",
+            OpKind::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpKind::Load.reads_memory());
+        assert!(!OpKind::Load.writes_memory());
+        assert!(OpKind::Store.writes_memory());
+        assert!(!OpKind::Store.reads_memory());
+        assert!(OpKind::Atomic.reads_memory());
+        assert!(OpKind::Atomic.writes_memory());
+        assert!(OpKind::Prefetch.reads_memory());
+        assert!(!OpKind::Alu.is_memory());
+        assert!(!OpKind::Membar.is_memory());
+    }
+
+    #[test]
+    fn serializing_classification() {
+        assert!(OpKind::Membar.is_serializing());
+        assert!(OpKind::Atomic.is_serializing());
+        assert!(!OpKind::Load.is_serializing());
+        assert!(!OpKind::Branch(BranchKind::Conditional).is_serializing());
+    }
+
+    #[test]
+    fn branch_classification() {
+        for k in [
+            BranchKind::Conditional,
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Indirect,
+        ] {
+            assert!(OpKind::Branch(k).is_branch());
+        }
+        assert!(!OpKind::Alu.is_branch());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct_for_major_classes() {
+        let all = [
+            OpKind::Alu,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Prefetch,
+            OpKind::Branch(BranchKind::Conditional),
+            OpKind::Branch(BranchKind::Call),
+            OpKind::Branch(BranchKind::Return),
+            OpKind::Branch(BranchKind::Indirect),
+            OpKind::Membar,
+            OpKind::Atomic,
+            OpKind::Nop,
+        ];
+        let mut names: Vec<_> = all.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

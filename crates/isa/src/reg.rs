@@ -1,0 +1,127 @@
+use std::fmt;
+
+/// An architectural register identifier.
+///
+/// The trace ISA models a flat file of 64 integer registers, `r0`–`r63`,
+/// mirroring a simplified SPARC V9 integer state. Register `r0` is the
+/// hard-wired zero register (`%g0` in SPARC): it never carries a dependence,
+/// and both simulators treat reads of it as always-available and writes to
+/// it as discarded.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_isa::Reg;
+///
+/// let r5 = Reg::int(5);
+/// assert_eq!(r5.index(), 5);
+/// assert!(!r5.is_zero());
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural integer registers in the trace ISA.
+    pub const COUNT: usize = 64;
+
+    /// The hard-wired zero register (`r0`, SPARC `%g0`).
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates an integer register `r{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    #[inline]
+    pub fn int(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index {index} out of range (max {})",
+            Self::COUNT - 1
+        );
+        Reg(index)
+    }
+
+    /// Creates a register without bounds checking the index.
+    ///
+    /// Out-of-range indices are masked into range; prefer [`Reg::int`]
+    /// unless the caller has already validated the index.
+    #[inline]
+    pub fn int_masked(index: u8) -> Reg {
+        Reg(index % Self::COUNT as u8)
+    }
+
+    /// The register's index within the architectural file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register, which never carries a
+    /// data dependence.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::int(0).is_zero());
+        assert!(!Reg::int(1).is_zero());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..Reg::COUNT as u8 {
+            assert_eq!(Reg::int(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::int(64);
+    }
+
+    #[test]
+    fn masked_wraps() {
+        assert_eq!(Reg::int_masked(64), Reg::int(0));
+        assert_eq!(Reg::int_masked(65), Reg::int(1));
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(format!("{}", Reg::int(17)), "r17");
+        assert_eq!(format!("{:?}", Reg::int(17)), "r17");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Reg::int(3) < Reg::int(4));
+    }
+}

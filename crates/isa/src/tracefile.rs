@@ -1,0 +1,327 @@
+//! Compact binary trace format.
+//!
+//! Traces are usually generated on the fly, but persisting them is useful
+//! for cross-simulator determinism checks and for sharing workloads. The
+//! format is a little-endian stream of fixed-size records behind a small
+//! header; it favours simplicity and robust validation over density.
+//!
+//! Layout:
+//!
+//! ```text
+//! header:  magic "MLPT" | version u16 | reserved u16 | count u64
+//! record:  pc u64 | value u64 | mem_addr u64 | br_target u64 |
+//!          kind u8 | srcs [u8;3] | dst u8 | mem_size u8 | flags u8 | pad u8
+//! ```
+//!
+//! `0xff` encodes an absent register slot. Flags: bit0 = has-mem,
+//! bit1 = has-branch, bit2 = branch-taken.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlp_isa::{tracefile, Inst, Reg};
+//!
+//! let trace = vec![Inst::load(0x100, Reg::int(1), 0, Reg::int(2), 0x8000)];
+//! let mut buf = Vec::new();
+//! tracefile::write(&mut buf, &trace)?;
+//! let back = tracefile::read(&mut buf.as_slice())?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), tracefile::TraceFileError>(())
+//! ```
+
+use crate::{BranchInfo, BranchKind, Inst, MemAccess, OpKind, Reg};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: [u8; 4] = *b"MLPT";
+const VERSION: u16 = 1;
+const NO_REG: u8 = 0xff;
+const RECORD_BYTES: usize = 40;
+
+/// Error produced when reading or writing a binary trace.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `MLPT` magic.
+    BadMagic([u8; 4]),
+    /// The format version is not supported by this library.
+    UnsupportedVersion(u16),
+    /// A record contained an invalid field (bad kind, register, flag).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceFileError::BadMagic(m) => write!(f, "bad trace magic {m:02x?}"),
+            TraceFileError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}")
+            }
+            TraceFileError::Corrupt(what) => write!(f, "corrupt trace record: {what}"),
+        }
+    }
+}
+
+impl Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> TraceFileError {
+        TraceFileError::Io(e)
+    }
+}
+
+fn kind_code(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Alu => 0,
+        OpKind::Load => 1,
+        OpKind::Store => 2,
+        OpKind::Prefetch => 3,
+        OpKind::Branch(BranchKind::Conditional) => 4,
+        OpKind::Branch(BranchKind::Call) => 5,
+        OpKind::Branch(BranchKind::Return) => 6,
+        OpKind::Branch(BranchKind::Indirect) => 7,
+        OpKind::Membar => 8,
+        OpKind::Atomic => 9,
+        OpKind::Nop => 10,
+    }
+}
+
+fn code_kind(code: u8) -> Result<OpKind, TraceFileError> {
+    Ok(match code {
+        0 => OpKind::Alu,
+        1 => OpKind::Load,
+        2 => OpKind::Store,
+        3 => OpKind::Prefetch,
+        4 => OpKind::Branch(BranchKind::Conditional),
+        5 => OpKind::Branch(BranchKind::Call),
+        6 => OpKind::Branch(BranchKind::Return),
+        7 => OpKind::Branch(BranchKind::Indirect),
+        8 => OpKind::Membar,
+        9 => OpKind::Atomic,
+        10 => OpKind::Nop,
+        _ => return Err(TraceFileError::Corrupt("unknown instruction kind")),
+    })
+}
+
+/// Writes `insts` as a binary trace to `w`.
+///
+/// A `&mut` writer can be passed since `Write` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError::Io`] on any underlying write failure.
+pub fn write<W: Write>(mut w: W, insts: &[Inst]) -> Result<(), TraceFileError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u16.to_le_bytes())?;
+    w.write_all(&(insts.len() as u64).to_le_bytes())?;
+    let mut rec = [0u8; RECORD_BYTES];
+    for i in insts {
+        rec[0..8].copy_from_slice(&i.pc.to_le_bytes());
+        rec[8..16].copy_from_slice(&i.value.to_le_bytes());
+        let (maddr, msize, mflag) = match i.mem {
+            Some(m) => (m.addr, m.size, 1u8),
+            None => (0, 0, 0),
+        };
+        rec[16..24].copy_from_slice(&maddr.to_le_bytes());
+        let (btgt, bflags) = match i.branch {
+            Some(b) => (b.target, 2u8 | if b.taken { 4 } else { 0 }),
+            None => (0, 0),
+        };
+        rec[24..32].copy_from_slice(&btgt.to_le_bytes());
+        rec[32] = kind_code(i.kind);
+        for (k, slot) in i.srcs.iter().enumerate() {
+            rec[33 + k] = slot.map(|r| r.index() as u8).unwrap_or(NO_REG);
+        }
+        rec[36] = i.dst.map(|r| r.index() as u8).unwrap_or(NO_REG);
+        rec[37] = msize;
+        rec[38] = mflag | bflags;
+        rec[39] = 0;
+        w.write_all(&rec)?;
+    }
+    Ok(())
+}
+
+fn decode_reg(b: u8) -> Result<Option<Reg>, TraceFileError> {
+    if b == NO_REG {
+        Ok(None)
+    } else if (b as usize) < Reg::COUNT {
+        Ok(Some(Reg::int(b)))
+    } else {
+        Err(TraceFileError::Corrupt("register index out of range"))
+    }
+}
+
+/// Reads a complete binary trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError::BadMagic`] /
+/// [`TraceFileError::UnsupportedVersion`] for malformed headers,
+/// [`TraceFileError::Corrupt`] for invalid records, and
+/// [`TraceFileError::Io`] on underlying read failures (including
+/// truncation).
+pub fn read<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceFileError::BadMagic(magic));
+    }
+    let mut h = [0u8; 4];
+    r.read_exact(&mut h)?;
+    let version = u16::from_le_bytes([h[0], h[1]]);
+    if version != VERSION {
+        return Err(TraceFileError::UnsupportedVersion(version));
+    }
+    let mut cnt = [0u8; 8];
+    r.read_exact(&mut cnt)?;
+    let count = u64::from_le_bytes(cnt);
+    let mut insts = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; RECORD_BYTES];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        let le64 = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().expect("8 bytes"));
+        let kind = code_kind(rec[32])?;
+        let flags = rec[38];
+        let mem = if flags & 1 != 0 {
+            Some(MemAccess {
+                addr: le64(16),
+                size: rec[37],
+            })
+        } else {
+            None
+        };
+        let branch = if flags & 2 != 0 {
+            let bkind = match kind {
+                OpKind::Branch(k) => k,
+                _ => return Err(TraceFileError::Corrupt("branch info on non-branch")),
+            };
+            Some(BranchInfo {
+                kind: bkind,
+                taken: flags & 4 != 0,
+                target: le64(24),
+            })
+        } else {
+            None
+        };
+        insts.push(Inst {
+            pc: le64(0),
+            kind,
+            srcs: [
+                decode_reg(rec[33])?,
+                decode_reg(rec[34])?,
+                decode_reg(rec[35])?,
+            ],
+            dst: decode_reg(rec[36])?,
+            mem,
+            branch,
+            value: le64(8),
+        });
+    }
+    Ok(insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::alu(0x100, &[Reg::int(1), Reg::int(2)], Reg::int(3)),
+            Inst::load(0x104, Reg::int(3), 16, Reg::int(4), 0x8000).with_value(99),
+            Inst::store(0x108, Reg::int(1), 0, Reg::int(4), 0x9008),
+            Inst::prefetch(0x10c, Reg::int(3), 0xa000),
+            Inst::cond_branch(0x110, Reg::int(4), true, 0x100),
+            Inst::call(0x114, 0x4000),
+            Inst::ret(0x4000, 0x118),
+            Inst::membar(0x118),
+            Inst::casa(0x11c, Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), 0xb000),
+            Inst::nop(0x120),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &trace).unwrap();
+        let back = read(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write(&mut buf, &[]).unwrap();
+        assert_eq!(read(buf.as_slice()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(matches!(
+            read(buf.as_slice()),
+            Err(TraceFileError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write(&mut buf, &[]).unwrap();
+        buf[4] = 0x7f; // corrupt version
+        assert!(matches!(
+            read(buf.as_slice()),
+            Err(TraceFileError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_io_error() {
+        let mut buf = Vec::new();
+        write(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read(buf.as_slice()), Err(TraceFileError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_kind_rejected() {
+        let mut buf = Vec::new();
+        write(&mut buf, &[Inst::nop(0)]).unwrap();
+        buf[16 + 32] = 0xee; // kind byte of first record (header is 16 bytes)
+        assert!(matches!(
+            read(buf.as_slice()),
+            Err(TraceFileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_register_rejected() {
+        let mut buf = Vec::new();
+        write(&mut buf, &[Inst::alu(0, &[Reg::int(1)], Reg::int(2))]).unwrap();
+        buf[16 + 33] = 200; // first source register
+        assert!(matches!(
+            read(buf.as_slice()),
+            Err(TraceFileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceFileError::UnsupportedVersion(9);
+        assert!(format!("{e}").contains('9'));
+        let e = TraceFileError::Corrupt("whatever");
+        assert!(format!("{e}").contains("whatever"));
+    }
+}

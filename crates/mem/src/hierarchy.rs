@@ -1,0 +1,426 @@
+use crate::{Cache, CacheConfig, CacheStats, Tlb, TlbConfig};
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Hit in the first-level cache.
+    L1Hit,
+    /// Missed L1 but hit the on-chip L2.
+    L2Hit,
+    /// Missed the on-chip caches but hit an *off-chip* L3 (the §2.1
+    /// future configuration; absent under the paper's default hierarchy).
+    L3Hit,
+    /// Missed the furthest cache: a long-latency **off-chip access**, the
+    /// event the MLP study counts.
+    OffChip,
+}
+
+impl Access {
+    /// Whether the access left the chip (an off-chip L3 hit does, at a
+    /// lower latency than memory).
+    #[inline]
+    pub fn is_off_chip(self) -> bool {
+        matches!(self, Access::L3Hit | Access::OffChip)
+    }
+}
+
+/// Configuration of the full on-chip hierarchy.
+///
+/// The default matches the paper's default processor configuration
+/// (§5.1): 32 KB 4-way L1I and L1D, 2 MB 4-way shared L2, 64-byte lines
+/// everywhere, 2K-entry shared TLB, no L3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry (the furthest on-chip cache).
+    pub l2: CacheConfig,
+    /// Optional *off-chip* L3 (the paper's §2.1 future configuration;
+    /// `None` matches the default "no L3 cache" processor).
+    pub l3: Option<CacheConfig>,
+    /// Shared TLB geometry.
+    pub tlb: TlbConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig::new(32 * 1024, 4),
+            l1d: CacheConfig::new(32 * 1024, 4),
+            l2: CacheConfig::new(2 * 1024 * 1024, 4),
+            l3: None,
+            tlb: TlbConfig::default(),
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// Returns the default hierarchy with a different L2 capacity (used by
+    /// the Figure 7 cache-size sweep).
+    #[must_use]
+    pub fn with_l2_bytes(mut self, bytes: u64) -> HierarchyConfig {
+        self.l2 = CacheConfig::new(bytes, self.l2.assoc);
+        self
+    }
+
+    /// Returns the hierarchy with an off-chip L3 of the given capacity
+    /// (8-way, like large commercial off-chip caches).
+    #[must_use]
+    pub fn with_l3_bytes(mut self, bytes: u64) -> HierarchyConfig {
+        self.l3 = Some(CacheConfig::new(bytes, 8));
+        self
+    }
+}
+
+/// Aggregate statistics of a [`Hierarchy`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HierarchyStats {
+    /// L1I demand statistics.
+    pub l1i: CacheStats,
+    /// L1D demand statistics.
+    pub l1d: CacheStats,
+    /// L2 demand statistics (instruction + data + prefetch fills count as
+    /// demand when they probe the L2).
+    pub l2: CacheStats,
+    /// Off-chip accesses triggered by instruction fetches.
+    pub imisses: u64,
+    /// Off-chip accesses triggered by data reads (loads/atomics).
+    pub dmisses: u64,
+    /// Off-chip accesses triggered by software prefetches.
+    pub pmisses: u64,
+    /// Off-chip accesses triggered by stores (write allocations).
+    pub smisses: u64,
+    /// Instructions whose classification has been requested (for MPKI).
+    pub insts: u64,
+}
+
+impl HierarchyStats {
+    /// Total off-chip accesses.
+    pub fn off_chip_total(&self) -> u64 {
+        self.imisses + self.dmisses + self.pmisses + self.smisses
+    }
+
+    /// Off-chip accesses per 100 instructions — the "L2 miss rate" unit of
+    /// the paper's Table 1 (0.84 for the database workload, etc.).
+    pub fn miss_rate_per_100(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            100.0 * self.off_chip_total() as f64 / self.insts as f64
+        }
+    }
+}
+
+/// The on-chip memory hierarchy: L1I + L1D over a shared L2 and TLB.
+///
+/// Access methods classify each reference and perform fills as a side
+/// effect (allocate-on-miss at every level, write-allocate stores, and
+/// prefetches that install into both L2 and L1D — the mechanism runahead
+/// execution exploits).
+///
+/// # Examples
+///
+/// ```
+/// use mlp_mem::{Access, Hierarchy, HierarchyConfig};
+///
+/// let mut mem = Hierarchy::new(HierarchyConfig::default());
+/// assert_eq!(mem.ifetch(0x40_0000), Access::OffChip);
+/// assert_eq!(mem.ifetch(0x40_0000), Access::L1Hit);
+/// // a prefetch makes the later demand load hit on chip
+/// mem.prefetch(0x9_0000);
+/// assert_eq!(mem.load(0x9_0000), Access::L1Hit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Option<Cache>,
+    tlb: Tlb,
+    stats: HierarchyStats,
+    count_insts: bool,
+}
+
+impl Hierarchy {
+    /// Creates an empty (cold) hierarchy.
+    pub fn new(config: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            l3: config.l3.map(Cache::new),
+            tlb: Tlb::new(config.tlb),
+            stats: HierarchyStats::default(),
+            count_insts: true,
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> HierarchyConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Resets statistics (cache contents are kept) — call at the end of
+    /// the warm-up prefix.
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+    }
+
+    /// Notes that one instruction has been processed (for per-instruction
+    /// miss rates). Simulators call this once per retired instruction.
+    pub fn count_instruction(&mut self) {
+        if self.count_insts {
+            self.stats.insts += 1;
+        }
+    }
+
+    fn classify(l1: &mut Cache, l2: &mut Cache, l3: Option<&mut Cache>, addr: u64) -> Access {
+        if l1.access(addr) {
+            return Access::L1Hit;
+        }
+        if l2.access(addr) {
+            l1.touch(addr); // fill L1 from L2
+            return Access::L2Hit;
+        }
+        // Off-chip: consult the L3 if present, then fill inward.
+        let outcome = match l3 {
+            Some(l3) => {
+                if l3.access(addr) {
+                    Access::L3Hit
+                } else {
+                    l3.touch(addr);
+                    Access::OffChip
+                }
+            }
+            None => Access::OffChip,
+        };
+        l2.touch(addr);
+        l1.touch(addr);
+        outcome
+    }
+
+    /// Classifies (and performs) the instruction fetch of the line
+    /// containing `pc`.
+    pub fn ifetch(&mut self, pc: u64) -> Access {
+        self.tlb.access(pc);
+        let a = Self::classify(&mut self.l1i, &mut self.l2, self.l3.as_mut(), pc);
+        if a.is_off_chip() {
+            self.stats.imisses += 1;
+        }
+        a
+    }
+
+    /// Classifies (and performs) a demand load of `addr`.
+    pub fn load(&mut self, addr: u64) -> Access {
+        self.tlb.access(addr);
+        let a = Self::classify(&mut self.l1d, &mut self.l2, self.l3.as_mut(), addr);
+        if a.is_off_chip() {
+            self.stats.dmisses += 1;
+        }
+        a
+    }
+
+    /// Classifies (and performs) a store to `addr` (write-allocate).
+    pub fn store(&mut self, addr: u64) -> Access {
+        self.tlb.access(addr);
+        let a = Self::classify(&mut self.l1d, &mut self.l2, self.l3.as_mut(), addr);
+        if a.is_off_chip() {
+            self.stats.smisses += 1;
+        }
+        a
+    }
+
+    /// Classifies (and performs) a software or runahead prefetch of
+    /// `addr`. The line is installed so that later demand accesses hit.
+    pub fn prefetch(&mut self, addr: u64) -> Access {
+        self.tlb.access(addr);
+        let a = if self.l1d.touch(addr) {
+            Access::L1Hit
+        } else if self.l2.touch(addr) {
+            Access::L2Hit
+        } else {
+            let outcome = match self.l3.as_mut() {
+                Some(l3) => {
+                    if l3.touch(addr) {
+                        Access::L3Hit
+                    } else {
+                        Access::OffChip
+                    }
+                }
+                None => Access::OffChip,
+            };
+            self.l2.touch(addr);
+            outcome
+        };
+        if a.is_off_chip() {
+            self.stats.pmisses += 1;
+        }
+        a
+    }
+
+    /// Whether the line containing `addr` is resident in the L2 (i.e. a
+    /// read of it would stay on chip), without disturbing any state.
+    pub fn probe_l2(&self, addr: u64) -> bool {
+        self.l2.probe(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            l1i: CacheConfig::new(1024, 2),
+            l1d: CacheConfig::new(1024, 2),
+            l2: CacheConfig::new(8192, 4),
+            l3: None,
+            tlb: TlbConfig::default(),
+        })
+    }
+
+    #[test]
+    fn inclusion_on_fill_path() {
+        let mut m = small();
+        assert_eq!(m.load(0x4000), Access::OffChip);
+        assert_eq!(m.load(0x4000), Access::L1Hit);
+        assert!(m.probe_l2(0x4000));
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = small();
+        m.load(0x0);
+        // Evict 0x0 from tiny L1D by loading conflicting lines, while the
+        // larger L2 keeps it.
+        let l1_sets = 1024 / 64 / 2;
+        let stride = l1_sets as u64 * 64;
+        m.load(stride);
+        m.load(2 * stride);
+        let a = m.load(0x0);
+        assert!(a == Access::L2Hit || a == Access::L1Hit);
+        assert_ne!(a, Access::OffChip);
+    }
+
+    #[test]
+    fn prefetch_hides_demand_miss() {
+        let mut m = small();
+        assert_eq!(m.prefetch(0x7000), Access::OffChip);
+        assert_eq!(m.load(0x7000), Access::L1Hit);
+        let s = m.stats();
+        assert_eq!(s.pmisses, 1);
+        assert_eq!(s.dmisses, 0);
+    }
+
+    #[test]
+    fn i_and_d_streams_are_separate_l1s() {
+        let mut m = small();
+        m.ifetch(0x100);
+        // Data load of the same line misses L1D but hits the shared L2.
+        assert_eq!(m.load(0x100), Access::L2Hit);
+    }
+
+    #[test]
+    fn miss_kinds_attributed() {
+        let mut m = small();
+        m.ifetch(0x10_0000);
+        m.load(0x20_0000);
+        m.store(0x30_0000);
+        m.prefetch(0x40_0000);
+        let s = m.stats();
+        assert_eq!(s.imisses, 1);
+        assert_eq!(s.dmisses, 1);
+        assert_eq!(s.smisses, 1);
+        assert_eq!(s.pmisses, 1);
+        assert_eq!(s.off_chip_total(), 4);
+    }
+
+    #[test]
+    fn miss_rate_per_100() {
+        let mut m = small();
+        m.load(0x20_0000);
+        for _ in 0..100 {
+            m.count_instruction();
+        }
+        assert!((m.stats().miss_rate_per_100() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut m = small();
+        m.load(0x5000);
+        m.reset_stats();
+        assert_eq!(m.stats().off_chip_total(), 0);
+        assert_eq!(m.load(0x5000), Access::L1Hit);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = HierarchyConfig::default();
+        assert_eq!(c.l1i.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.assoc, 4);
+        assert_eq!(c.tlb.entries, 2048);
+    }
+
+    #[test]
+    fn with_l2_bytes_scales() {
+        let c = HierarchyConfig::default().with_l2_bytes(8 * 1024 * 1024);
+        assert_eq!(c.l2.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l2.assoc, 4);
+    }
+
+    #[test]
+    fn default_has_no_l3() {
+        assert!(HierarchyConfig::default().l3.is_none());
+    }
+
+    #[test]
+    fn l3_catches_l2_capacity_misses() {
+        let mut m = Hierarchy::new(
+            HierarchyConfig {
+                l1i: CacheConfig::new(1024, 2),
+                l1d: CacheConfig::new(1024, 2),
+                l2: CacheConfig::new(8192, 4),
+                l3: None,
+                tlb: TlbConfig::default(),
+            }
+            .with_l3_bytes(1024 * 1024),
+        );
+        assert_eq!(m.load(0x4000), Access::OffChip); // cold everywhere
+        // Evict from the tiny L2 with conflicting lines; the L3 keeps it.
+        let l2_sets = 8192 / 64 / 4;
+        let stride = l2_sets as u64 * 64;
+        for k in 1..=8u64 {
+            m.load(0x4000 + k * stride);
+        }
+        assert_eq!(m.load(0x4000), Access::L3Hit);
+    }
+
+    #[test]
+    fn l3_hits_still_count_as_off_chip() {
+        assert!(Access::L3Hit.is_off_chip());
+        assert!(Access::OffChip.is_off_chip());
+        assert!(!Access::L2Hit.is_off_chip());
+    }
+
+    #[test]
+    fn prefetch_classifies_l3() {
+        let mut m = Hierarchy::new(HierarchyConfig::default().with_l3_bytes(4 * 1024 * 1024));
+        assert_eq!(m.prefetch(0x9_0000), Access::OffChip);
+        assert_eq!(m.load(0x9_0000), Access::L1Hit);
+    }
+}

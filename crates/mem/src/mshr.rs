@@ -1,0 +1,146 @@
+use std::collections::HashMap;
+
+/// Outcome of registering a miss with the [`Mshr`] file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new MSHR was allocated; the line transfer starts now.
+    Primary {
+        /// Cycle at which the line will be available.
+        ready_at: u64,
+    },
+    /// The line is already in flight; the access merges into the existing
+    /// entry (a *secondary* miss) and completes when the primary does.
+    Merged {
+        /// Cycle at which the line will be available.
+        ready_at: u64,
+    },
+    /// All MSHRs are busy; the access must retry later.
+    Full,
+}
+
+/// A miss-status holding register file: tracks outstanding off-chip line
+/// transfers for the cycle-accurate simulator and merges secondary misses.
+///
+/// The number of MSHRs bounds how many off-chip accesses can be in flight
+/// at once — a hard upper bound on achievable MLP in the timing model.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_mem::{Mshr, MshrOutcome};
+///
+/// let mut mshr = Mshr::new(2, 100); // 2 entries, 100-cycle latency
+/// assert_eq!(mshr.request(0x40, 10), MshrOutcome::Primary { ready_at: 110 });
+/// assert_eq!(mshr.request(0x40, 15), MshrOutcome::Merged { ready_at: 110 });
+/// mshr.expire(110);
+/// assert_eq!(mshr.outstanding(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    capacity: usize,
+    latency: u64,
+    in_flight: HashMap<u64, u64>, // line -> ready cycle
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries and a fixed off-chip
+    /// `latency` in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, latency: u64) -> Mshr {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Mshr {
+            capacity,
+            latency,
+            in_flight: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// The configured off-chip latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Registers a miss on `line` at cycle `now`.
+    pub fn request(&mut self, line: u64, now: u64) -> MshrOutcome {
+        if let Some(&ready) = self.in_flight.get(&line) {
+            return MshrOutcome::Merged { ready_at: ready };
+        }
+        if self.in_flight.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        let ready = now + self.latency;
+        self.in_flight.insert(line, ready);
+        MshrOutcome::Primary { ready_at: ready }
+    }
+
+    /// Releases every entry whose transfer has completed by cycle `now`,
+    /// returning the completed lines.
+    pub fn expire(&mut self, now: u64) -> Vec<u64> {
+        let done: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, &ready)| ready <= now)
+            .map(|(&line, _)| line)
+            .collect();
+        for l in &done {
+            self.in_flight.remove(l);
+        }
+        done
+    }
+
+    /// Whether `line` currently has an in-flight transfer.
+    pub fn is_pending(&self, line: u64) -> bool {
+        self.in_flight.contains_key(&line)
+    }
+
+    /// Cycle at which `line`'s transfer completes, if in flight.
+    pub fn ready_at(&self, line: u64) -> Option<u64> {
+        self.in_flight.get(&line).copied()
+    }
+
+    /// Number of transfers currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_file_rejects() {
+        let mut m = Mshr::new(1, 10);
+        assert!(matches!(m.request(0x40, 0), MshrOutcome::Primary { .. }));
+        assert_eq!(m.request(0x80, 0), MshrOutcome::Full);
+        // merging into the pending line still works when full
+        assert!(matches!(m.request(0x40, 5), MshrOutcome::Merged { .. }));
+    }
+
+    #[test]
+    fn expire_releases_only_completed() {
+        let mut m = Mshr::new(4, 10);
+        m.request(0x40, 0); // ready 10
+        m.request(0x80, 5); // ready 15
+        let done = m.expire(12);
+        assert_eq!(done, vec![0x40]);
+        assert!(m.is_pending(0x80));
+        assert_eq!(m.ready_at(0x80), Some(15));
+    }
+
+    #[test]
+    fn merged_keeps_original_ready_time() {
+        let mut m = Mshr::new(4, 100);
+        assert_eq!(m.request(0x40, 0), MshrOutcome::Primary { ready_at: 100 });
+        assert_eq!(m.request(0x40, 90), MshrOutcome::Merged { ready_at: 100 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0, 10);
+    }
+}

@@ -1,0 +1,159 @@
+use std::collections::HashMap;
+
+/// Geometry of the translation lookaside buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (the paper's default: 2048, shared I/D).
+    pub entries: usize,
+    /// Page size in bytes (SPARC's base page: 8 KB).
+    pub page_bytes: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> TlbConfig {
+        TlbConfig {
+            entries: 2048,
+            page_bytes: 8192,
+        }
+    }
+}
+
+/// A fully-associative, true-LRU TLB.
+///
+/// The paper's 2K-entry shared TLB is large enough that its misses are
+/// negligible for the studied workloads; it is modelled for completeness
+/// and to let workload generators check their page footprints.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_mem::{Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// assert!(!tlb.access(0x10_0000)); // cold
+/// assert!(tlb.access(0x10_1fff)); // same 8KB page
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    entries: HashMap<u64, u64>, // page -> last-use stamp
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    pub fn new(config: TlbConfig) -> Tlb {
+        assert!(config.entries > 0, "TLB must have at least one entry");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            config,
+            entries: HashMap::with_capacity(config.entries),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The TLB geometry.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Translates `addr`: returns `true` on a TLB hit. On a miss the page
+    /// is installed, evicting the LRU entry if full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let page = addr / self.config.page_bytes;
+        if let Some(stamp) = self.entries.get_mut(&page) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.config.entries {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(&p, _)| p)
+                .expect("TLB is non-empty when full");
+            self.entries.remove(&lru);
+        }
+        self.entries.insert(page, self.clock);
+        false
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of resident translations.
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+        })
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tiny();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        t.access(0x1000); // page 1
+        t.access(0x2000); // page 2
+        t.access(0x1000); // page 1 MRU
+        t.access(0x3000); // evicts page 2
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut t = tiny();
+        for p in 0..100u64 {
+            t.access(p * 4096);
+        }
+        assert_eq!(t.resident(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_rejected() {
+        let _ = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 3000,
+        });
+    }
+}

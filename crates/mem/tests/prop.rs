@@ -1,0 +1,116 @@
+//! Property-based tests of cache, TLB and MSHR invariants.
+
+use mlp_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig, Mshr, MshrOutcome, Tlb, TlbConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn accessed_line_is_resident(addrs in proptest::collection::vec(any::<u64>(), 1..500)) {
+        let mut c = Cache::new(CacheConfig::new(16 * 1024, 4));
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "line just accessed must be resident");
+        }
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity(addrs in proptest::collection::vec(any::<u64>(), 0..2000)) {
+        let cfg = CacheConfig::new(4 * 1024, 2);
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert!(c.resident_lines() <= cfg.lines());
+    }
+
+    #[test]
+    fn working_set_within_associativity_always_hits(
+        base in any::<u64>(),
+        rounds in 1usize..20,
+    ) {
+        // N lines mapping to the same set, N <= assoc: after the first
+        // round every access hits (true LRU guarantees this).
+        let cfg = CacheConfig::new(8 * 1024, 4);
+        let mut c = Cache::new(cfg);
+        let stride = cfg.sets() * mlp_isa::LINE_BYTES;
+        let lines: Vec<u64> = (0..4).map(|k| base.wrapping_add(k * stride)).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        for _ in 0..rounds {
+            for &l in &lines {
+                prop_assert!(c.access(l), "resident working set must hit");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_then_probe_false(addr in any::<u64>()) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4));
+        c.access(addr);
+        prop_assert!(c.invalidate(addr));
+        prop_assert!(!c.probe(addr));
+    }
+
+    #[test]
+    fn tlb_capacity_respected(pages in proptest::collection::vec(any::<u32>(), 0..500)) {
+        let mut t = Tlb::new(TlbConfig { entries: 16, page_bytes: 8192 });
+        for &p in &pages {
+            t.access(p as u64 * 8192);
+        }
+        prop_assert!(t.resident() <= 16);
+        prop_assert_eq!(t.hits() + t.misses(), pages.len() as u64);
+    }
+
+    #[test]
+    fn mshr_outstanding_bounded(lines in proptest::collection::vec(0u64..64, 0..200)) {
+        let mut m = Mshr::new(4, 100);
+        let mut now = 0;
+        for &l in &lines {
+            now += 1;
+            let _ = m.request(l * 64, now);
+            prop_assert!(m.outstanding() <= 4);
+            if now % 7 == 0 {
+                m.expire(now + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn mshr_merge_preserves_ready_time(line in any::<u64>(), gap in 1u64..99) {
+        let mut m = Mshr::new(2, 100);
+        let MshrOutcome::Primary { ready_at } = m.request(line, 0) else {
+            return Err(TestCaseError::fail("first request must be primary"));
+        };
+        let MshrOutcome::Merged { ready_at: merged } = m.request(line, gap) else {
+            return Err(TestCaseError::fail("second request must merge"));
+        };
+        prop_assert_eq!(ready_at, merged);
+    }
+
+    #[test]
+    fn hierarchy_repeat_access_stays_on_chip(addrs in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for &a in &addrs {
+            h.load(a);
+        }
+        // The most recent line is certainly still resident.
+        let last = *addrs.last().unwrap();
+        prop_assert!(!h.load(last).is_off_chip());
+    }
+
+    #[test]
+    fn hierarchy_miss_attribution_sums(ops in proptest::collection::vec((0u8..4, any::<u64>()), 0..300)) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for &(op, addr) in &ops {
+            match op {
+                0 => { h.ifetch(addr); }
+                1 => { h.load(addr); }
+                2 => { h.store(addr); }
+                _ => { h.prefetch(addr); }
+            }
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.off_chip_total(), s.imisses + s.dmisses + s.smisses + s.pmisses);
+    }
+}

@@ -1,0 +1,244 @@
+//! The in-order epoch engine (paper §3.3): stall-on-miss and stall-on-use
+//! cores.
+//!
+//! In-order cores execute strictly in program order, so the epoch engine
+//! is a single forward pass:
+//!
+//! * **stall-on-miss** stalls issue the moment a load misses — the miss
+//!   starts *and* ends its window, so only earlier prefetches and
+//!   instruction-fetch misses can overlap it;
+//! * **stall-on-use** stalls at the first *consumer* of a missing load's
+//!   value, so independent later loads (and prefetches) between a miss and
+//!   its use may overlap.
+
+use super::{Branches, EpochTracker, MissKind, Values};
+use crate::config::{InOrderPolicy, MlpsimConfig};
+use crate::report::{Inhibitor, Report};
+use mlp_isa::{line_of, OpKind, Reg, TraceSource};
+use mlp_mem::Hierarchy;
+use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
+use std::collections::HashMap;
+
+const PRUNE_LIMIT: usize = 8192;
+
+pub(crate) fn run<T: TraceSource>(
+    cfg: &MlpsimConfig,
+    policy: InOrderPolicy,
+    trace: &mut T,
+    warmup: u64,
+    measure: u64,
+) -> Report {
+    let mut hierarchy = Hierarchy::new(cfg.hierarchy);
+    let mut branches = Branches::new(cfg.branch);
+    let mut values = Values::new(cfg.value);
+    let mut tracker = EpochTracker::new();
+    tracker.measuring = warmup == 0;
+
+    let mut e: u64 = 0;
+    let mut avail = [0u64; Reg::COUNT];
+    let mut line_avail: HashMap<u64, u64> = HashMap::new();
+    let mut insts: u64 = 0;
+    let mut consumed: u64 = 0;
+    let limit = warmup.saturating_add(measure);
+    let mut branch_base = BranchStats::default();
+    let mut value_base = ValueStats::default();
+    // Stall-on-miss defers its epoch advance until after the *next*
+    // instruction's fetch is classified: the front end keeps fetching
+    // while the load stalls, so an instruction-fetch miss (or a just
+    // fetched prefetch) can overlap the data miss (paper §3.3).
+    let mut pending_stall = false;
+
+    // Advance the epoch counter to `to`, closing finished epochs.
+    macro_rules! advance_to {
+        ($to:expr) => {{
+            let to: u64 = $to;
+            if to > e {
+                e = to;
+                tracker.close_before(e);
+            }
+        }};
+    }
+
+    while consumed < limit {
+        let Some(inst) = trace.next_inst() else { break };
+        consumed += 1;
+        if consumed == warmup + 1 && !tracker.measuring {
+            tracker.measuring = true;
+            hierarchy.reset_stats();
+            branch_base = branches.stats();
+            value_base = values.stats();
+        }
+        if tracker.measuring {
+            insts += 1;
+        }
+
+        // Instruction fetch is blocking: a missing fetch overlaps what is
+        // already outstanding, then ends the window.
+        if !cfg.perfect_ifetch && hierarchy.ifetch(inst.pc).is_off_chip() {
+            let first = !tracker.has_miss(e);
+            tracker.record_miss(e, MissKind::Imiss);
+            tracker.note_block(
+                e,
+                if first {
+                    Inhibitor::ImissStart
+                } else {
+                    Inhibitor::ImissEnd
+                },
+            );
+            advance_to!(e + 1);
+            pending_stall = false;
+        }
+        if pending_stall {
+            pending_stall = false;
+            advance_to!(e + 1);
+        }
+
+        let dep_ready = inst
+            .dep_srcs()
+            .map(|r| avail[r.index()])
+            .max()
+            .unwrap_or(0)
+            .max(e);
+
+        match inst.kind {
+            OpKind::Alu | OpKind::Nop => {
+                // In-order issue: an instruction consuming a pending value
+                // stalls the pipeline (this *is* the stall-on-use event).
+                if dep_ready > e {
+                    tracker.note_block(e, Inhibitor::MissingLoad);
+                    advance_to!(dep_ready);
+                }
+                if let Some(r) = inst.dep_dst() {
+                    avail[r.index()] = e;
+                }
+            }
+            OpKind::Load | OpKind::Atomic => {
+                let serializing = inst.kind == OpKind::Atomic && cfg.issue.serializing();
+                if serializing && tracker.has_miss(e) {
+                    // Drain: outstanding misses of this epoch complete.
+                    tracker.note_block(e, Inhibitor::Serialize);
+                    advance_to!(e + 1);
+                }
+                if dep_ready > e {
+                    tracker.note_block(e, Inhibitor::MissingLoad);
+                    advance_to!(dep_ready);
+                }
+                let m = inst.mem.expect("loads carry a memory access");
+                let line = line_of(m.addr);
+                let in_flight = line_avail.get(&line).copied().unwrap_or(0) > e;
+                let missed = !in_flight && hierarchy.load(m.addr).is_off_chip();
+                if missed {
+                    tracker.record_miss(e, MissKind::Dmiss);
+                    line_avail.insert(line, e + 1);
+                }
+                let predicted = missed
+                    && inst.kind == OpKind::Load
+                    && matches!(
+                        values.observe(inst.pc, inst.value),
+                        Some(ValuePrediction::Correct)
+                    );
+                match policy {
+                    InOrderPolicy::StallOnMiss => {
+                        if missed || in_flight {
+                            tracker.note_block(e, Inhibitor::MissingLoad);
+                            pending_stall = true;
+                        }
+                        if let Some(r) = inst.dep_dst() {
+                            avail[r.index()] = e + (missed || in_flight) as u64;
+                        }
+                    }
+                    InOrderPolicy::StallOnUse => {
+                        let ready = if in_flight {
+                            line_avail[&line]
+                        } else if missed && !predicted {
+                            e + 1
+                        } else {
+                            e
+                        };
+                        if let Some(r) = inst.dep_dst() {
+                            avail[r.index()] = ready;
+                        }
+                    }
+                }
+                if serializing {
+                    // Nothing younger issues until the atomic completes.
+                    if missed {
+                        tracker.note_block(e, Inhibitor::Serialize);
+                        advance_to!(e + 1);
+                    }
+                    if let Some(r) = inst.dep_dst() {
+                        avail[r.index()] = e;
+                    }
+                }
+            }
+            OpKind::Store => {
+                if dep_ready > e {
+                    tracker.note_block(e, Inhibitor::MissingLoad);
+                    advance_to!(dep_ready);
+                }
+                let m = inst.mem.expect("stores carry a memory access");
+                // Write-allocate; fills tracked for the store-MLP metric.
+                if hierarchy.store(m.addr).is_off_chip() {
+                    tracker.record_store_fill(e);
+                }
+            }
+            OpKind::Prefetch => {
+                if dep_ready > e {
+                    tracker.note_block(e, Inhibitor::MissingLoad);
+                    advance_to!(dep_ready);
+                }
+                if let Some(m) = inst.mem {
+                    let line = line_of(m.addr);
+                    let in_flight = line_avail.get(&line).copied().unwrap_or(0) > e;
+                    if !in_flight && hierarchy.prefetch(m.addr).is_off_chip() {
+                        tracker.record_miss(e, MissKind::Pmiss);
+                        line_avail.insert(line, e + 1);
+                    }
+                }
+            }
+            OpKind::Membar => {
+                if cfg.issue.serializing() && tracker.has_miss(e) {
+                    tracker.note_block(e, Inhibitor::Serialize);
+                    advance_to!(e + 1);
+                }
+            }
+            OpKind::Branch(_) => {
+                let mispredicted = branches.observe(&inst);
+                if dep_ready > e {
+                    // The branch cannot issue until its condition is
+                    // ready; a misprediction additionally means the front
+                    // end runs the wrong path until then.
+                    tracker.note_block(
+                        e,
+                        if mispredicted {
+                            Inhibitor::MispredBr
+                        } else {
+                            Inhibitor::MissingLoad
+                        },
+                    );
+                    advance_to!(dep_ready);
+                }
+            }
+        }
+
+        if line_avail.len() > PRUNE_LIMIT {
+            line_avail.retain(|_, &mut av| av > e);
+        }
+    }
+
+    tracker.close_all();
+    let b = branches.stats();
+    let v = values.stats();
+    tracker.into_report(
+        insts,
+        BranchStats {
+            branches: b.branches - branch_base.branches,
+            mispredicts: b.mispredicts - branch_base.mispredicts,
+        },
+        ValueStats {
+            correct: v.correct - value_base.correct,
+            wrong: v.wrong - value_base.wrong,
+            no_predict: v.no_predict - value_base.no_predict,
+        },
+    )
+}

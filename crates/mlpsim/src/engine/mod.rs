@@ -1,0 +1,383 @@
+mod inorder;
+mod ooo;
+
+use crate::config::{BranchMode, MlpsimConfig, ValueMode, WindowModel};
+use crate::report::{Inhibitor, InhibitorCounts, OffchipCounts, Report};
+use mlp_isa::{Inst, TraceSource};
+use mlp_predict::{
+    BranchObserver, BranchPredictor, BranchStats, HybridValuePredictor, LastValuePredictor,
+    PerfectBranchPredictor, PerfectValuePredictor, StridePredictor, ValueObserver,
+    ValuePrediction, ValueStats,
+};
+use std::collections::HashMap;
+
+/// The kind of a useful off-chip access, for attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MissKind {
+    Dmiss,
+    Imiss,
+    Pmiss,
+}
+
+/// Per-epoch bookkeeping: how many useful off-chip accesses landed in each
+/// epoch, what triggered it, and which condition bound it. Epochs are
+/// finalized (counted into the report) once the engine's epoch counter has
+/// advanced past them.
+#[derive(Debug, Default)]
+pub(crate) struct EpochTracker {
+    open: HashMap<u64, EpochAcc>,
+    pub(crate) measuring: bool,
+    epochs: u64,
+    offchip: OffchipCounts,
+    inhibitors: InhibitorCounts,
+    histogram: Vec<u64>,
+    store_fills: u64,
+    store_fill_epochs: u64,
+}
+
+#[derive(Debug, Default)]
+struct EpochAcc {
+    misses: u32,
+    store_fills: u32,
+    trigger_imiss: bool,
+    first_block: Option<Inhibitor>,
+    policy: Option<Inhibitor>,
+}
+
+/// Histogram buckets for misses-per-epoch (last bucket saturates).
+const HIST_BUCKETS: usize = 65;
+
+impl EpochTracker {
+    pub(crate) fn new() -> EpochTracker {
+        EpochTracker {
+            histogram: vec![0; HIST_BUCKETS],
+            ..EpochTracker::default()
+        }
+    }
+
+    /// Records a useful off-chip access belonging to epoch `t`.
+    pub(crate) fn record_miss(&mut self, t: u64, kind: MissKind) {
+        if !self.measuring {
+            return;
+        }
+        let acc = self.open.entry(t).or_default();
+        if acc.misses == 0 && kind == MissKind::Imiss {
+            acc.trigger_imiss = true;
+        }
+        acc.misses += 1;
+        match kind {
+            MissKind::Dmiss => self.offchip.dmiss += 1,
+            MissKind::Imiss => self.offchip.imiss += 1,
+            MissKind::Pmiss => self.offchip.pmiss += 1,
+        }
+    }
+
+    /// Records an off-chip store fill in epoch `t` (store-MLP extension).
+    pub(crate) fn record_store_fill(&mut self, t: u64) {
+        if !self.measuring {
+            return;
+        }
+        self.open.entry(t).or_default().store_fills += 1;
+        self.store_fills += 1;
+    }
+
+    /// Whether epoch `t` already contains at least one access.
+    pub(crate) fn has_miss(&self, t: u64) -> bool {
+        self.open.get(&t).map(|a| a.misses > 0).unwrap_or(false)
+    }
+
+    /// Notes the first fetch-blocking condition of epoch `t`.
+    pub(crate) fn note_block(&mut self, t: u64, reason: Inhibitor) {
+        if !self.measuring {
+            return;
+        }
+        let acc = self.open.entry(t).or_default();
+        acc.first_block.get_or_insert(reason);
+    }
+
+    /// Notes that a would-miss load was deferred in epoch `t` purely by an
+    /// issue-policy edge (configuration A's in-order loads or A/B's
+    /// store-address wait).
+    pub(crate) fn note_policy(&mut self, t: u64, reason: Inhibitor) {
+        if !self.measuring {
+            return;
+        }
+        let acc = self.open.entry(t).or_default();
+        acc.policy.get_or_insert(reason);
+    }
+
+    /// Finalizes every epoch strictly before `e`.
+    pub(crate) fn close_before(&mut self, e: u64) {
+        if self.open.is_empty() {
+            return;
+        }
+        let done: Vec<u64> = self.open.keys().copied().filter(|&t| t < e).collect();
+        for t in done {
+            let acc = self.open.remove(&t).expect("key just listed");
+            self.finalize(acc);
+        }
+    }
+
+    /// Finalizes everything (end of run).
+    pub(crate) fn close_all(&mut self) {
+        let accs: Vec<EpochAcc> = self.open.drain().map(|(_, a)| a).collect();
+        for acc in accs {
+            self.finalize(acc);
+        }
+    }
+
+    fn finalize(&mut self, acc: EpochAcc) {
+        if acc.store_fills > 0 {
+            self.store_fill_epochs += 1;
+        }
+        if acc.misses == 0 {
+            return; // an epoch exists only around off-chip accesses
+        }
+        self.epochs += 1;
+        let bucket = (acc.misses as usize).min(HIST_BUCKETS - 1);
+        self.histogram[bucket] += 1;
+        let inh = if acc.trigger_imiss {
+            Inhibitor::ImissStart
+        } else {
+            match (acc.first_block, acc.policy) {
+                (Some(b @ (Inhibitor::Serialize | Inhibitor::MispredBr | Inhibitor::ImissEnd)), _) => b,
+                (_, Some(p)) => p,
+                (Some(b), None) => b,
+                (None, None) => Inhibitor::None,
+            }
+        };
+        self.inhibitors.record(inh);
+    }
+
+    pub(crate) fn into_report(
+        self,
+        insts: u64,
+        branch_stats: BranchStats,
+        value_stats: ValueStats,
+    ) -> Report {
+        Report {
+            insts,
+            epochs: self.epochs,
+            offchip: self.offchip,
+            inhibitors: self.inhibitors,
+            branch_stats,
+            value_stats,
+            epoch_size_histogram: self.histogram,
+            store_fills: self.store_fills,
+            store_fill_epochs: self.store_fill_epochs,
+        }
+    }
+}
+
+/// Static-dispatch wrapper over the branch-observer variants.
+#[derive(Debug)]
+pub(crate) enum Branches {
+    Real(BranchPredictor),
+    Perfect(PerfectBranchPredictor),
+}
+
+impl Branches {
+    pub(crate) fn new(mode: BranchMode) -> Branches {
+        match mode {
+            BranchMode::Real(cfg) => Branches::Real(BranchPredictor::new(cfg)),
+            BranchMode::Perfect => Branches::Perfect(PerfectBranchPredictor::new()),
+        }
+    }
+
+    /// Returns whether the front end mispredicts this branch.
+    pub(crate) fn observe(&mut self, inst: &Inst) -> bool {
+        match self {
+            Branches::Real(p) => p.observe(inst),
+            Branches::Perfect(p) => p.observe(inst),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> BranchStats {
+        match self {
+            Branches::Real(p) => p.stats(),
+            Branches::Perfect(p) => p.stats(),
+        }
+    }
+}
+
+/// Static-dispatch wrapper over the value-observer variants.
+#[derive(Debug)]
+pub(crate) enum Values {
+    Off,
+    Last(LastValuePredictor),
+    Stride(StridePredictor),
+    Hybrid(HybridValuePredictor),
+    Perfect(PerfectValuePredictor),
+}
+
+impl Values {
+    pub(crate) fn new(mode: ValueMode) -> Values {
+        match mode {
+            ValueMode::None => Values::Off,
+            ValueMode::LastValue(entries) => Values::Last(LastValuePredictor::new(entries)),
+            ValueMode::Stride(entries) => Values::Stride(StridePredictor::new(entries)),
+            ValueMode::Hybrid(entries) => Values::Hybrid(HybridValuePredictor::new(entries)),
+            ValueMode::Perfect => Values::Perfect(PerfectValuePredictor::new()),
+        }
+    }
+
+    /// Consults the predictor for a missing load; `None` when value
+    /// prediction is disabled.
+    pub(crate) fn observe(&mut self, pc: u64, actual: u64) -> Option<ValuePrediction> {
+        match self {
+            Values::Off => None,
+            Values::Last(p) => Some(p.observe(pc, actual)),
+            Values::Stride(p) => Some(p.observe(pc, actual)),
+            Values::Hybrid(p) => Some(p.observe(pc, actual)),
+            Values::Perfect(p) => Some(p.observe(pc, actual)),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ValueStats {
+        match self {
+            Values::Off => ValueStats::default(),
+            Values::Last(p) => p.stats(),
+            Values::Stride(p) => p.stats(),
+            Values::Hybrid(p) => p.stats(),
+            Values::Perfect(p) => p.stats(),
+        }
+    }
+}
+
+/// The epoch-model simulator.
+///
+/// Construct one per configuration; each [`Simulator::run`] starts from
+/// cold caches and predictors (deterministic, self-contained runs).
+///
+/// # Examples
+///
+/// ```
+/// use mlpsim::{MlpsimConfig, Simulator};
+/// use mlp_workloads::micro;
+///
+/// let trace = micro::serialized_misses(4);
+/// let report = Simulator::new(MlpsimConfig::default())
+///     .run(&mut mlp_isa::SliceTrace::new(&trace), 0, u64::MAX);
+/// // Config C serializes on MEMBAR: no two misses overlap.
+/// assert_eq!(report.mlp(), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    config: MlpsimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MlpsimConfig::validate`].
+    pub fn new(config: MlpsimConfig) -> Simulator {
+        config.validate();
+        Simulator { config }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &MlpsimConfig {
+        &self.config
+    }
+
+    /// Runs the epoch model over `trace`: `warmup` instructions train the
+    /// caches and predictors without counting, then up to `measure`
+    /// instructions are measured (the run also ends at end-of-trace).
+    pub fn run<T: TraceSource>(&mut self, trace: &mut T, warmup: u64, measure: u64) -> Report {
+        match self.config.window {
+            WindowModel::InOrder(policy) => {
+                inorder::run(&self.config, policy, trace, warmup, measure)
+            }
+            _ => ooo::run(&self.config, trace, warmup, measure),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_epochs_with_misses_only() {
+        let mut t = EpochTracker::new();
+        t.measuring = true;
+        t.record_miss(0, MissKind::Dmiss);
+        t.record_miss(0, MissKind::Dmiss);
+        t.record_miss(2, MissKind::Pmiss);
+        t.note_block(1, Inhibitor::Maxwin); // blocked but missless epoch
+        t.close_all();
+        let r = t.into_report(100, BranchStats::default(), ValueStats::default());
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.offchip.total(), 3);
+        assert!((r.mlp() - 1.5).abs() < 1e-12);
+        assert_eq!(r.epoch_size_histogram[2], 1);
+        assert_eq!(r.epoch_size_histogram[1], 1);
+    }
+
+    #[test]
+    fn tracker_attributes_imiss_trigger() {
+        let mut t = EpochTracker::new();
+        t.measuring = true;
+        t.record_miss(0, MissKind::Imiss);
+        t.record_miss(1, MissKind::Dmiss);
+        t.record_miss(1, MissKind::Imiss);
+        t.note_block(1, Inhibitor::ImissEnd);
+        t.close_all();
+        let r = t.into_report(0, BranchStats::default(), ValueStats::default());
+        assert_eq!(r.inhibitors.imiss_start, 1);
+        assert_eq!(r.inhibitors.imiss_end, 1);
+    }
+
+    #[test]
+    fn tracker_policy_beats_maxwin() {
+        let mut t = EpochTracker::new();
+        t.measuring = true;
+        t.record_miss(0, MissKind::Dmiss);
+        t.note_block(0, Inhibitor::Maxwin);
+        t.note_policy(0, Inhibitor::MissingLoad);
+        t.close_all();
+        let r = t.into_report(0, BranchStats::default(), ValueStats::default());
+        assert_eq!(r.inhibitors.missing_load, 1);
+        assert_eq!(r.inhibitors.maxwin, 0);
+    }
+
+    #[test]
+    fn tracker_serialize_beats_policy() {
+        let mut t = EpochTracker::new();
+        t.measuring = true;
+        t.record_miss(0, MissKind::Dmiss);
+        t.note_block(0, Inhibitor::Serialize);
+        t.note_policy(0, Inhibitor::DepStore);
+        t.close_all();
+        let r = t.into_report(0, BranchStats::default(), ValueStats::default());
+        assert_eq!(r.inhibitors.serialize, 1);
+    }
+
+    #[test]
+    fn warmup_gating() {
+        let mut t = EpochTracker::new();
+        t.record_miss(0, MissKind::Dmiss); // not measuring
+        t.measuring = true;
+        t.record_miss(1, MissKind::Dmiss);
+        t.close_all();
+        let r = t.into_report(0, BranchStats::default(), ValueStats::default());
+        assert_eq!(r.offchip.total(), 1);
+        assert_eq!(r.epochs, 1);
+    }
+
+    #[test]
+    fn close_before_is_partial() {
+        let mut t = EpochTracker::new();
+        t.measuring = true;
+        t.record_miss(0, MissKind::Dmiss);
+        t.record_miss(5, MissKind::Dmiss);
+        t.close_before(3);
+        assert!(t.has_miss(5));
+        assert!(!t.has_miss(0));
+        t.close_all();
+        let r = t.into_report(0, BranchStats::default(), ValueStats::default());
+        assert_eq!(r.epochs, 2);
+    }
+}

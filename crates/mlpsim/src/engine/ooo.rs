@@ -1,0 +1,508 @@
+//! The out-of-order / runahead epoch engine.
+//!
+//! Time is measured in *epochs*. Every instruction is assigned, at fetch,
+//! the epoch in which it will execute (`exec`) — the maximum of its data
+//! dependences, its issue-policy edges, and the current epoch — and the
+//! epoch in which it completes (`exec + 1` for off-chip accesses, `exec`
+//! otherwise). Off-chip accesses are attributed to their `exec` epoch;
+//! MLP is total accesses over the number of epochs that contain at least
+//! one.
+//!
+//! Fetch proceeds within the current epoch until a *window termination
+//! condition* blocks it: ROB/issue-window capacity, a serializing
+//! instruction (configs A–D), an instruction-fetch miss, or an
+//! unresolvable mispredicted branch. The epoch counter then advances,
+//! head-of-window instructions retire, deferred instructions issue, and
+//! fetch resumes.
+
+use super::{Branches, EpochTracker, MissKind, Values};
+use crate::config::{MlpsimConfig, WindowModel};
+use crate::report::{Inhibitor, Report};
+use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
+use mlp_mem::Hierarchy;
+use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Prune the in-flight line / store-forwarding maps beyond this size.
+const PRUNE_LIMIT: usize = 8192;
+
+struct Engine<'a, T> {
+    trace: &'a mut T,
+    // effective parameters
+    iw: usize,
+    rob: usize,
+    fetch_buffer: usize,
+    serializing: bool,
+    loads_in_order: bool,
+    wait_store_addr: bool,
+    branches_in_order: bool,
+    perfect_ifetch: bool,
+    // components
+    hierarchy: Hierarchy,
+    branches: Branches,
+    values: Values,
+    tracker: EpochTracker,
+    // machine state
+    e: u64,
+    window: VecDeque<u64>, // completion epochs, fetch order
+    max_complete: u64,
+    deferred: usize,
+    issue_buckets: HashMap<u64, usize>,
+    avail: [u64; Reg::COUNT],
+    line_avail: HashMap<u64, u64>,
+    store_fwd: HashMap<u64, u64>,
+    last_mem_exec: u64,
+    last_mem_cause: Inhibitor,
+    store_addr_frontier: u64,
+    last_branch_exec: u64,
+    store_buffer: Option<usize>,
+    sb_occupancy: usize,
+    sb_releases: HashMap<u64, usize>,
+    fetch_block: Option<(u64, Inhibitor)>,
+    // fetch lookahead
+    lookahead: VecDeque<Inst>,
+    iclassified: usize,
+    // run control
+    consumed: u64,
+    limit: u64,
+    warmup: u64,
+    insts: u64,
+    trace_done: bool,
+    branch_base: BranchStats,
+    value_base: ValueStats,
+}
+
+pub(crate) fn run<T: TraceSource>(
+    cfg: &MlpsimConfig,
+    trace: &mut T,
+    warmup: u64,
+    measure: u64,
+) -> Report {
+    let (iw, rob, fetch_buffer, serializing) = match cfg.window {
+        WindowModel::OutOfOrder {
+            iw,
+            rob,
+            fetch_buffer,
+        } => (iw, rob, fetch_buffer, cfg.issue.serializing()),
+        WindowModel::Runahead { max_dist } => (max_dist, max_dist, 32, false),
+        WindowModel::InOrder(_) => unreachable!("in-order runs use the in-order engine"),
+    };
+    let mut engine = Engine {
+        trace,
+        iw,
+        rob,
+        fetch_buffer,
+        serializing,
+        loads_in_order: cfg.issue.loads_in_order(),
+        wait_store_addr: cfg.issue.loads_wait_store_addresses(),
+        branches_in_order: cfg.issue.branches_in_order(),
+        perfect_ifetch: cfg.perfect_ifetch,
+        hierarchy: Hierarchy::new(cfg.hierarchy),
+        branches: Branches::new(cfg.branch),
+        values: Values::new(cfg.value),
+        tracker: EpochTracker::new(),
+        e: 0,
+        window: VecDeque::new(),
+        max_complete: 0,
+        deferred: 0,
+        issue_buckets: HashMap::new(),
+        avail: [0; Reg::COUNT],
+        line_avail: HashMap::new(),
+        store_fwd: HashMap::new(),
+        last_mem_exec: 0,
+        last_mem_cause: Inhibitor::MissingLoad,
+        store_addr_frontier: 0,
+        last_branch_exec: 0,
+        store_buffer: cfg.store_buffer,
+        sb_occupancy: 0,
+        sb_releases: HashMap::new(),
+        fetch_block: None,
+        lookahead: VecDeque::new(),
+        iclassified: 0,
+        consumed: 0,
+        limit: warmup.saturating_add(measure),
+        warmup,
+        insts: 0,
+        trace_done: false,
+        branch_base: BranchStats::default(),
+        value_base: ValueStats::default(),
+    };
+    if warmup == 0 {
+        engine.tracker.measuring = true;
+    }
+    engine.run_loop()
+}
+
+impl<T: TraceSource> Engine<'_, T> {
+    fn run_loop(&mut self) -> Report {
+        loop {
+            self.fetch_at_epoch();
+            if self.out_of_input() && self.window.is_empty() {
+                break;
+            }
+            self.advance();
+        }
+        self.tracker.close_all();
+        let tracker = std::mem::take(&mut self.tracker);
+        let b = self.branches.stats();
+        let v = self.values.stats();
+        tracker.into_report(
+            self.insts,
+            BranchStats {
+                branches: b.branches - self.branch_base.branches,
+                mispredicts: b.mispredicts - self.branch_base.mispredicts,
+            },
+            ValueStats {
+                correct: v.correct - self.value_base.correct,
+                wrong: v.wrong - self.value_base.wrong,
+                no_predict: v.no_predict - self.value_base.no_predict,
+            },
+        )
+    }
+
+    fn out_of_input(&mut self) -> bool {
+        self.consumed >= self.limit || (self.lookahead.is_empty() && !self.fill_lookahead(1))
+    }
+
+    fn advance(&mut self) {
+        self.e += 1;
+        if let Some(n) = self.issue_buckets.remove(&self.e) {
+            self.deferred -= n;
+        }
+        if let Some(n) = self.sb_releases.remove(&self.e) {
+            self.sb_occupancy -= n;
+        }
+        self.tracker.close_before(self.e);
+        if self.line_avail.len() > PRUNE_LIMIT {
+            let e = self.e;
+            self.line_avail.retain(|_, &mut av| av > e);
+        }
+        if self.store_fwd.len() > PRUNE_LIMIT {
+            let e = self.e;
+            self.store_fwd.retain(|_, &mut ep| ep > e);
+        }
+    }
+
+    fn retire(&mut self) {
+        while let Some(&c) = self.window.front() {
+            if c <= self.e {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn fill_lookahead(&mut self, upto: usize) -> bool {
+        while self.lookahead.len() < upto {
+            match self.trace.next_inst() {
+                Some(i) => self.lookahead.push_back(i),
+                None => {
+                    self.trace_done = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn fetch_at_epoch(&mut self) {
+        loop {
+            self.retire();
+            if let Some((until, _)) = self.fetch_block {
+                if until > self.e {
+                    return;
+                }
+                self.fetch_block = None;
+            }
+            if self.consumed >= self.limit {
+                return;
+            }
+            if self.lookahead.is_empty() && !self.fill_lookahead(1) {
+                return;
+            }
+            // Instruction-fetch classification of the next instruction.
+            if !self.perfect_ifetch && self.iclassified == 0 {
+                let pc = self.lookahead[0].pc;
+                let acc = self.hierarchy.ifetch(pc);
+                self.iclassified = 1;
+                if acc.is_off_chip() {
+                    let first = !self.tracker.has_miss(self.e);
+                    self.tracker.record_miss(self.e, MissKind::Imiss);
+                    let reason = if first {
+                        Inhibitor::ImissStart
+                    } else {
+                        Inhibitor::ImissEnd
+                    };
+                    self.tracker.note_block(self.e, reason);
+                    self.fetch_block = Some((self.e + 1, reason));
+                    return;
+                }
+            }
+            // Capacity: ROB holds everything in flight; the issue window
+            // holds only unissued (deferred) instructions.
+            if self.window.len() >= self.rob || self.deferred >= self.iw {
+                self.tracker.note_block(self.e, Inhibitor::Maxwin);
+                self.fetch_block = Some((self.e + 1, Inhibitor::Maxwin));
+                self.probe_ahead();
+                return;
+            }
+            let inst = self.lookahead.pop_front().expect("front checked above");
+            self.iclassified = self.iclassified.saturating_sub(1);
+            self.consumed += 1;
+            if self.consumed == self.warmup + 1 && !self.tracker.measuring {
+                self.start_measuring();
+            }
+            if self.tracker.measuring {
+                self.insts += 1;
+            }
+            self.admit(&inst);
+            if self.fetch_block.is_some() {
+                return;
+            }
+        }
+    }
+
+    fn start_measuring(&mut self) {
+        self.tracker.measuring = true;
+        self.hierarchy.reset_stats();
+        self.branch_base = self.branches.stats();
+        self.value_base = self.values.stats();
+    }
+
+    /// While the window is full, instruction fetch may still run ahead up
+    /// to the fetch-buffer depth, so instruction-fetch misses can overlap
+    /// the current epoch.
+    fn probe_ahead(&mut self) {
+        if self.perfect_ifetch {
+            return;
+        }
+        while self.iclassified < self.fetch_buffer {
+            if !self.fill_lookahead(self.iclassified + 1) {
+                return;
+            }
+            let pc = self.lookahead[self.iclassified].pc;
+            let acc = self.hierarchy.ifetch(pc);
+            self.iclassified += 1;
+            if acc.is_off_chip() {
+                self.tracker.record_miss(self.e, MissKind::Imiss);
+                return; // fetch cannot pass a missing line this epoch
+            }
+        }
+    }
+
+    fn data_epoch(&self, inst: &Inst) -> u64 {
+        let mut t = self.e;
+        for r in inst.dep_srcs() {
+            t = t.max(self.avail[r.index()]);
+        }
+        t
+    }
+
+    fn push_entry(&mut self, exec: u64, complete: u64) {
+        self.window.push_back(complete);
+        self.max_complete = self.max_complete.max(complete);
+        if exec > self.e {
+            self.deferred += 1;
+            *self.issue_buckets.entry(exec).or_insert(0) += 1;
+        }
+    }
+
+    fn set_avail(&mut self, dst: Option<Reg>, epoch: u64) {
+        if let Some(r) = dst {
+            if !r.is_zero() {
+                self.avail[r.index()] = epoch;
+            }
+        }
+    }
+
+    fn admit(&mut self, inst: &Inst) {
+        let data = self.data_epoch(inst);
+        match inst.kind {
+            OpKind::Alu | OpKind::Nop => {
+                self.set_avail(inst.dst, data);
+                self.push_entry(data, data);
+            }
+            OpKind::Load => self.admit_load(inst, data, false),
+            OpKind::Atomic => {
+                if self.serializing {
+                    // Pipeline drain: every older instruction must commit
+                    // before the atomic issues, and nothing younger is
+                    // fetched until it does.
+                    let exec = data.max(self.max_complete);
+                    self.admit_load_at(inst, exec, true);
+                    if exec > self.e {
+                        self.tracker.note_block(self.e, Inhibitor::Serialize);
+                        self.fetch_block = Some((exec, Inhibitor::Serialize));
+                    }
+                } else {
+                    self.admit_load(inst, data, true);
+                }
+            }
+            OpKind::Membar => {
+                if self.serializing {
+                    let exec = data.max(self.max_complete);
+                    self.push_entry(exec, exec);
+                    if exec > self.e {
+                        self.tracker.note_block(self.e, Inhibitor::Serialize);
+                        self.fetch_block = Some((exec, Inhibitor::Serialize));
+                    }
+                } else {
+                    self.push_entry(data, data);
+                }
+            }
+            OpKind::Store => self.admit_store(inst, data),
+            OpKind::Prefetch => {
+                let exec = data;
+                if let Some(m) = inst.mem {
+                    let line = line_of(m.addr);
+                    let in_flight = self.line_avail.get(&line).copied().unwrap_or(0) > exec;
+                    if !in_flight && self.hierarchy.prefetch(m.addr).is_off_chip() {
+                        self.tracker.record_miss(exec, MissKind::Pmiss);
+                        self.line_avail.insert(line, exec + 1);
+                    }
+                }
+                self.push_entry(exec, exec);
+            }
+            OpKind::Branch(_) => self.admit_branch(inst, data),
+        }
+    }
+
+    fn admit_load(&mut self, inst: &Inst, data: u64, also_store: bool) {
+        // Issue-policy edges (Table 2).
+        let mut exec = data;
+        let mut policy_cause = None;
+        if self.loads_in_order && self.last_mem_exec > exec {
+            exec = self.last_mem_exec;
+            policy_cause = Some(self.last_mem_cause);
+        }
+        if self.wait_store_addr && self.store_addr_frontier > exec {
+            exec = self.store_addr_frontier;
+            policy_cause = Some(Inhibitor::DepStore);
+        }
+        self.admit_load_policy(inst, exec, data, policy_cause, also_store);
+    }
+
+    fn admit_load_at(&mut self, inst: &Inst, exec: u64, also_store: bool) {
+        self.admit_load_policy(inst, exec, exec, None, also_store);
+    }
+
+    fn admit_load_policy(
+        &mut self,
+        inst: &Inst,
+        exec: u64,
+        data: u64,
+        policy_cause: Option<Inhibitor>,
+        also_store: bool,
+    ) {
+        let m = inst.mem.expect("loads carry a memory access");
+        let line = line_of(m.addr);
+        let fwd = self.store_fwd.get(&(m.addr & !7)).copied();
+        let (ready, missed) = if let Some(ef) = fwd {
+            (exec.max(ef), false)
+        } else if let Some(&av) = self.line_avail.get(&line) {
+            if av > exec {
+                (av, false) // merge with the in-flight line transfer
+            } else {
+                let _ = self.hierarchy.load(m.addr); // resident: on-chip hit
+                (exec, false)
+            }
+        } else if self.hierarchy.load(m.addr).is_off_chip() {
+            self.tracker.record_miss(exec, MissKind::Dmiss);
+            self.line_avail.insert(line, exec + 1);
+            // A policy-deferred miss whose data inputs were ready is lost
+            // MLP chargeable to the issue policy (Figure 5's "Missing
+            // load" / "Dep store" segments).
+            if let Some(cause) = policy_cause {
+                if data <= self.e && exec > self.e {
+                    self.tracker.note_policy(self.e, cause);
+                }
+            }
+            let predicted = matches!(
+                self.values.observe(inst.pc, inst.value),
+                Some(ValuePrediction::Correct)
+            );
+            (if predicted { exec } else { exec + 1 }, true)
+        } else {
+            (exec, false)
+        };
+        let complete = if missed { exec + 1 } else { ready.max(exec) };
+        self.set_avail(inst.dst, ready);
+        if also_store {
+            self.store_fwd.insert(m.addr & !7, complete);
+        }
+        if self.loads_in_order {
+            self.last_mem_exec = self.last_mem_exec.max(exec);
+            self.last_mem_cause = if missed {
+                Inhibitor::MissingLoad
+            } else {
+                policy_cause.unwrap_or(Inhibitor::MissingLoad)
+            };
+        }
+        self.push_entry(exec, complete);
+    }
+
+    fn admit_store(&mut self, inst: &Inst, data: u64) {
+        let mut exec = data;
+        if self.loads_in_order && self.last_mem_exec > exec {
+            exec = self.last_mem_exec;
+        }
+        let m = inst.mem.expect("stores carry a memory access");
+        // Write-allocate install; store misses are absorbed by the store
+        // buffer and are not useful off-chip accesses (paper §2.1). With
+        // a finite buffer (the paper's future-work store-MLP study) each
+        // off-chip fill occupies an entry until it returns.
+        if self.hierarchy.store(m.addr).is_off_chip() {
+            self.tracker.record_store_fill(exec);
+            if self.store_buffer.is_some() {
+                self.sb_occupancy += 1;
+                *self.sb_releases.entry(exec + 1).or_insert(0) += 1;
+            }
+        }
+        if let Some(cap) = self.store_buffer {
+            if self.sb_occupancy > cap {
+                let release = self
+                    .sb_releases
+                    .keys()
+                    .copied()
+                    .min()
+                    .unwrap_or(self.e + 1)
+                    .max(self.e + 1);
+                self.tracker.note_block(self.e, Inhibitor::StoreBuffer);
+                self.fetch_block = Some((release, Inhibitor::StoreBuffer));
+            }
+        }
+        self.store_fwd.insert(m.addr & !7, exec);
+        if self.wait_store_addr {
+            let addr_ready = inst.srcs[0]
+                .filter(|r| !r.is_zero())
+                .map(|r| self.avail[r.index()])
+                .unwrap_or(self.e)
+                .max(self.e);
+            self.store_addr_frontier = self.store_addr_frontier.max(addr_ready);
+        }
+        if self.loads_in_order {
+            self.last_mem_exec = self.last_mem_exec.max(exec);
+            if exec > self.e {
+                self.last_mem_cause = Inhibitor::DepStore;
+            }
+        }
+        self.push_entry(exec, exec);
+    }
+
+    fn admit_branch(&mut self, inst: &Inst, data: u64) {
+        let mut exec = data;
+        if self.branches_in_order {
+            exec = exec.max(self.last_branch_exec);
+        }
+        self.last_branch_exec = exec;
+        let mispredicted = self.branches.observe(inst);
+        if mispredicted && exec > self.e {
+            // Unresolvable misprediction: the processor runs down the
+            // wrong path until the branch resolves.
+            self.tracker.note_block(self.e, Inhibitor::MispredBr);
+            self.fetch_block = Some((exec, Inhibitor::MispredBr));
+        }
+        self.push_entry(exec, exec);
+    }
+}

@@ -1,0 +1,286 @@
+use mlp_predict::{BranchStats, ValueStats};
+use std::fmt;
+
+/// Useful off-chip access counts by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OffchipCounts {
+    /// Missing loads (*Dmiss* in the paper).
+    pub dmiss: u64,
+    /// Missing instruction fetches (*Imiss*).
+    pub imiss: u64,
+    /// Missing useful prefetches (*Pmiss*), including software prefetches
+    /// and runahead prefetches.
+    pub pmiss: u64,
+}
+
+impl OffchipCounts {
+    /// Total useful off-chip accesses.
+    pub fn total(&self) -> u64 {
+        self.dmiss + self.imiss + self.pmiss
+    }
+}
+
+/// The condition that prevented more MLP from being uncovered in an epoch
+/// — the segments of the paper's Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Inhibitor {
+    /// The epoch trigger was a missing instruction fetch; fetch is
+    /// blocking, so nothing else could overlap.
+    ImissStart,
+    /// The issue window or reorder buffer filled.
+    Maxwin,
+    /// A mispredicted branch dependent on a missing load (unresolvable)
+    /// ended the window.
+    MispredBr,
+    /// A missing instruction fetch ended a window that a data miss began.
+    ImissEnd,
+    /// A missing load blocked later loads (only under in-order load issue,
+    /// configuration A).
+    MissingLoad,
+    /// A store with an unresolved address blocked later loads
+    /// (configurations A and B).
+    DepStore,
+    /// A serializing instruction ended the window.
+    Serialize,
+    /// The store buffer filled with outstanding store fills (extension:
+    /// the paper's future-work "store MLP" study; never occurs with the
+    /// paper's infinite-store-buffer assumption).
+    StoreBuffer,
+    /// The trace ended or the epoch closed without hitting any limit.
+    None,
+}
+
+impl Inhibitor {
+    /// Display label matching the paper's Figure 5 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Inhibitor::ImissStart => "Imiss start",
+            Inhibitor::Maxwin => "Maxwin",
+            Inhibitor::MispredBr => "Mispred br",
+            Inhibitor::ImissEnd => "Imiss end",
+            Inhibitor::MissingLoad => "Missing load",
+            Inhibitor::DepStore => "Dep store",
+            Inhibitor::Serialize => "Serialize",
+            Inhibitor::StoreBuffer => "Store buffer",
+            Inhibitor::None => "(none)",
+        }
+    }
+}
+
+impl fmt::Display for Inhibitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-epoch inhibitor frequencies (Figure 5's bars).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InhibitorCounts {
+    /// Epochs triggered by an instruction-fetch miss.
+    pub imiss_start: u64,
+    /// Epochs terminated by window capacity.
+    pub maxwin: u64,
+    /// Epochs terminated by an unresolvable mispredicted branch.
+    pub mispred_br: u64,
+    /// Epochs terminated by an instruction-fetch miss mid-window.
+    pub imiss_end: u64,
+    /// Epochs limited by in-order load issue (config A only).
+    pub missing_load: u64,
+    /// Epochs limited by unresolved store addresses (configs A/B).
+    pub dep_store: u64,
+    /// Epochs terminated by a serializing instruction.
+    pub serialize: u64,
+    /// Epochs terminated by a full store buffer (extension).
+    pub store_buffer: u64,
+    /// Epochs with no binding limit (end of trace, natural close).
+    pub none: u64,
+}
+
+impl InhibitorCounts {
+    /// Records one epoch's binding inhibitor.
+    pub fn record(&mut self, inhibitor: Inhibitor) {
+        match inhibitor {
+            Inhibitor::ImissStart => self.imiss_start += 1,
+            Inhibitor::Maxwin => self.maxwin += 1,
+            Inhibitor::MispredBr => self.mispred_br += 1,
+            Inhibitor::ImissEnd => self.imiss_end += 1,
+            Inhibitor::MissingLoad => self.missing_load += 1,
+            Inhibitor::DepStore => self.dep_store += 1,
+            Inhibitor::Serialize => self.serialize += 1,
+            Inhibitor::StoreBuffer => self.store_buffer += 1,
+            Inhibitor::None => self.none += 1,
+        }
+    }
+
+    /// Total epochs recorded.
+    pub fn total(&self) -> u64 {
+        self.imiss_start
+            + self.maxwin
+            + self.mispred_br
+            + self.imiss_end
+            + self.missing_load
+            + self.dep_store
+            + self.serialize
+            + self.store_buffer
+            + self.none
+    }
+
+    /// `(label, count)` pairs in the paper's legend order, with the
+    /// store-buffer extension appended before the no-limit bucket.
+    pub fn as_rows(&self) -> [(&'static str, u64); 9] {
+        [
+            ("Imiss start", self.imiss_start),
+            ("Maxwin", self.maxwin),
+            ("Mispred br", self.mispred_br),
+            ("Imiss end", self.imiss_end),
+            ("Missing load", self.missing_load),
+            ("Dep store", self.dep_store),
+            ("Serialize", self.serialize),
+            ("Store buffer", self.store_buffer),
+            ("(none)", self.none),
+        ]
+    }
+}
+
+/// Results of an MLPsim run over the measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Instructions processed in the measurement window.
+    pub insts: u64,
+    /// Epochs containing at least one useful off-chip access.
+    pub epochs: u64,
+    /// Useful off-chip accesses by kind.
+    pub offchip: OffchipCounts,
+    /// Binding-inhibitor frequencies (Figure 5).
+    pub inhibitors: InhibitorCounts,
+    /// Branch-predictor behaviour over the window.
+    pub branch_stats: BranchStats,
+    /// Value-predictor behaviour over the window (all zeros when value
+    /// prediction is off).
+    pub value_stats: ValueStats,
+    /// Histogram of useful off-chip accesses per epoch; index `i` counts
+    /// epochs with `i` accesses (index 0 unused), saturating at the last
+    /// bucket.
+    pub epoch_size_histogram: Vec<u64>,
+    /// Off-chip store fills (write allocations). Not useful accesses in
+    /// the paper's sense — the store buffer hides them — but the unit of
+    /// the store-MLP extension study.
+    pub store_fills: u64,
+    /// Epochs containing at least one store fill.
+    pub store_fill_epochs: u64,
+}
+
+impl Report {
+    /// Average MLP: useful off-chip accesses per epoch. Returns 1.0 for a
+    /// window with no off-chip accesses (MLP is defined only over cycles
+    /// with at least one access outstanding).
+    pub fn mlp(&self) -> f64 {
+        if self.epochs == 0 {
+            1.0
+        } else {
+            self.offchip.total() as f64 / self.epochs as f64
+        }
+    }
+
+    /// Average store MLP: off-chip store fills per epoch that has one —
+    /// the metric of the paper's future-work store-MLP study. 1.0 when no
+    /// store ever filled.
+    pub fn store_mlp(&self) -> f64 {
+        if self.store_fill_epochs == 0 {
+            1.0
+        } else {
+            self.store_fills as f64 / self.store_fill_epochs as f64
+        }
+    }
+
+    /// Off-chip accesses per 100 instructions (the paper's Table 1 "L2
+    /// miss rate" unit).
+    pub fn miss_rate_per_100(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            100.0 * self.offchip.total() as f64 / self.insts as f64
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions: {}", self.insts)?;
+        writeln!(
+            f,
+            "off-chip: {} (D {} / I {} / P {})",
+            self.offchip.total(),
+            self.offchip.dmiss,
+            self.offchip.imiss,
+            self.offchip.pmiss
+        )?;
+        writeln!(f, "epochs:   {}", self.epochs)?;
+        writeln!(f, "MLP:      {:.3}", self.mlp())?;
+        write!(f, "miss rate: {:.3} per 100 insts", self.miss_rate_per_100())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_of_empty_report_is_one() {
+        assert_eq!(Report::default().mlp(), 1.0);
+    }
+
+    #[test]
+    fn mlp_ratio() {
+        let r = Report {
+            epochs: 4,
+            offchip: OffchipCounts {
+                dmiss: 5,
+                imiss: 1,
+                pmiss: 0,
+            },
+            ..Report::default()
+        };
+        assert!((r.mlp() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inhibitor_record_and_total() {
+        let mut c = InhibitorCounts::default();
+        c.record(Inhibitor::Maxwin);
+        c.record(Inhibitor::Maxwin);
+        c.record(Inhibitor::Serialize);
+        assert_eq!(c.maxwin, 2);
+        assert_eq!(c.serialize, 1);
+        assert_eq!(c.total(), 3);
+        let rows = c.as_rows();
+        assert_eq!(rows[1], ("Maxwin", 2));
+    }
+
+    #[test]
+    fn labels_are_paper_legend() {
+        assert_eq!(Inhibitor::ImissStart.label(), "Imiss start");
+        assert_eq!(Inhibitor::DepStore.label(), "Dep store");
+        assert_eq!(format!("{}", Inhibitor::Serialize), "Serialize");
+    }
+
+    #[test]
+    fn miss_rate_per_100() {
+        let r = Report {
+            insts: 1000,
+            offchip: OffchipCounts {
+                dmiss: 8,
+                imiss: 1,
+                pmiss: 1,
+            },
+            ..Report::default()
+        };
+        assert!((r.miss_rate_per_100() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_mlp() {
+        let r = Report::default();
+        assert!(format!("{r}").contains("MLP"));
+    }
+}

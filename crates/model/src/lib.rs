@@ -1,0 +1,193 @@
+//! The analytic MLP/CPI performance model of the paper's §2.2.
+//!
+//! The model relates average MLP to overall execution time:
+//!
+//! ```text
+//! CPI = CPI_perf · (1 − Overlap_CM) + MissRate · MissPenalty / MLP
+//! ```
+//!
+//! where `CPI_perf` is the CPI with a perfect furthest on-chip cache,
+//! `Overlap_CM` is the fractional overlap of compute cycles with off-chip
+//! cycles, `MissRate` is off-chip accesses per instruction and
+//! `MissPenalty` the off-chip latency. The first term is the *on-chip*
+//! CPI, the second the *off-chip* CPI.
+//!
+//! The workflow mirrors the paper's: measure `CPI` and `MLP` with the
+//! cycle-accurate simulator, measure `CPI_perf` with a perfect L2, derive
+//! `Overlap_CM` from the equation ([`CpiModel::from_measured`]), then
+//! *predict* the CPI of other configurations from their MLPsim-measured
+//! MLP alone ([`CpiModel::cpi`]) — validated to within 2% in the paper's
+//! Table 4 and reproduced in this workspace's Table 4 experiment.
+//!
+//! # Examples
+//!
+//! The worked example of the paper's Figure 1 (570 total cycles, 200 of
+//! perfect-cache execution, three 200-cycle misses, MLP = 1.463,
+//! Overlap_CM = 0.2):
+//!
+//! ```
+//! use mlp_model::CpiModel;
+//!
+//! // Per-"instruction" bookkeeping with one instruction per cycle of
+//! // perfect execution: 200 insts, CPI_perf = 1.
+//! let model = CpiModel {
+//!     cpi_perf: 1.0,
+//!     overlap_cm: 0.2,
+//!     miss_rate: 3.0 / 200.0,
+//!     miss_penalty: 200.0,
+//! };
+//! let cpi = model.cpi(1.463);
+//! assert!((cpi * 200.0 - 570.0).abs() < 1.0); // ≈ 570 total cycles
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's CPI decomposition (§2.2, second equation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpiModel {
+    /// CPI with a perfect furthest on-chip cache.
+    pub cpi_perf: f64,
+    /// Fractional overlap of compute with off-chip time, in `[0, 1]`.
+    pub overlap_cm: f64,
+    /// Off-chip accesses per instruction.
+    pub miss_rate: f64,
+    /// Off-chip access latency in cycles.
+    pub miss_penalty: f64,
+}
+
+impl CpiModel {
+    /// Predicted overall CPI at the given average MLP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlp < 1.0` (MLP is defined as at least one outstanding
+    /// access).
+    pub fn cpi(&self, mlp: f64) -> f64 {
+        assert!(mlp >= 1.0, "MLP is at least 1 by definition, got {mlp}");
+        self.cpi_on_chip() + self.cpi_off_chip(mlp)
+    }
+
+    /// The on-chip CPI component, `CPI_perf · (1 − Overlap_CM)`.
+    pub fn cpi_on_chip(&self) -> f64 {
+        self.cpi_perf * (1.0 - self.overlap_cm)
+    }
+
+    /// The off-chip CPI component, `MissRate · MissPenalty / MLP`.
+    pub fn cpi_off_chip(&self, mlp: f64) -> f64 {
+        self.miss_rate * self.miss_penalty / mlp
+    }
+
+    /// Builds the model from cycle-accurate measurements by solving the
+    /// equation for `Overlap_CM` (the paper's §2.2 workflow):
+    ///
+    /// ```text
+    /// Overlap_CM = 1 − (CPI − MissRate·MissPenalty/MLP) / CPI_perf
+    /// ```
+    ///
+    /// The result is clamped to `[0, 1]`: measurement noise on nearly
+    /// memory-free workloads can push the raw value slightly outside.
+    pub fn from_measured(
+        cpi: f64,
+        cpi_perf: f64,
+        miss_rate: f64,
+        miss_penalty: f64,
+        mlp: f64,
+    ) -> CpiModel {
+        let off = miss_rate * miss_penalty / mlp;
+        let overlap = 1.0 - (cpi - off) / cpi_perf;
+        CpiModel {
+            cpi_perf,
+            overlap_cm: overlap.clamp(0.0, 1.0),
+            miss_rate,
+            miss_penalty,
+        }
+    }
+
+    /// Relative performance improvement (in percent) of achieving
+    /// `mlp_new` over `mlp_base`, everything else equal — the metric of
+    /// the paper's Figure 11.
+    pub fn improvement_pct(&self, mlp_base: f64, mlp_new: f64) -> f64 {
+        100.0 * (self.cpi(mlp_base) / self.cpi(mlp_new) - 1.0)
+    }
+}
+
+/// Percentage difference of `estimated` relative to `measured` — used by
+/// the Table 4 validation.
+pub fn pct_error(estimated: f64, measured: f64) -> f64 {
+    100.0 * (estimated - measured) / measured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_1_model() -> CpiModel {
+        CpiModel {
+            cpi_perf: 1.0,
+            overlap_cm: 0.2,
+            miss_rate: 3.0 / 200.0,
+            miss_penalty: 200.0,
+        }
+    }
+
+    #[test]
+    fn figure_1_example_reproduces() {
+        // Paper Figure 1: 570 cycles total over 200 instructions.
+        let cycles = figure_1_model().cpi(1.463) * 200.0;
+        assert!((cycles - 570.0).abs() < 1.0, "got {cycles}");
+    }
+
+    #[test]
+    fn components_sum() {
+        let m = figure_1_model();
+        let mlp = 1.3;
+        assert!((m.cpi(mlp) - m.cpi_on_chip() - m.cpi_off_chip(mlp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_measured_round_trips() {
+        let m = figure_1_model();
+        let mlp = 1.463;
+        let cpi = m.cpi(mlp);
+        let back = CpiModel::from_measured(cpi, m.cpi_perf, m.miss_rate, m.miss_penalty, mlp);
+        assert!((back.overlap_cm - m.overlap_cm).abs() < 1e-9);
+        assert!((back.cpi(mlp) - cpi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_clamped() {
+        // A CPI lower than the off-chip component alone would give a
+        // nonsensical overlap > 1.
+        let m = CpiModel::from_measured(0.5, 1.0, 0.01, 1000.0, 1.0);
+        assert!(m.overlap_cm <= 1.0);
+        let m = CpiModel::from_measured(100.0, 1.0, 0.001, 100.0, 1.0);
+        assert!(m.overlap_cm >= 0.0);
+    }
+
+    #[test]
+    fn doubling_mlp_halves_off_chip_cpi() {
+        let m = figure_1_model();
+        assert!((m.cpi_off_chip(2.0) * 2.0 - m.cpi_off_chip(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_pct_is_positive_for_higher_mlp() {
+        let m = figure_1_model();
+        let imp = m.improvement_pct(1.0, 2.0);
+        assert!(imp > 0.0);
+        assert!(imp < 200.0);
+    }
+
+    #[test]
+    fn pct_error_signs() {
+        assert!((pct_error(102.0, 100.0) - 2.0).abs() < 1e-12);
+        assert!((pct_error(98.0, 100.0) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unity_mlp_rejected() {
+        figure_1_model().cpi(0.5);
+    }
+}

@@ -1,0 +1,528 @@
+/// Outcome of consulting a value predictor for one missing load.
+///
+/// Matches the three columns of the paper's Table 6 (Correct / Wrong /
+/// No Predict).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ValuePrediction {
+    /// The predictor produced the right value.
+    Correct,
+    /// The predictor produced a value, but the wrong one.
+    Wrong,
+    /// The predictor had no entry for this load (no confidence).
+    NoPredict,
+}
+
+/// Counters matching the paper's Table 6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValueStats {
+    /// Loads predicted with the right value.
+    pub correct: u64,
+    /// Loads predicted with a wrong value.
+    pub wrong: u64,
+    /// Loads for which no prediction was made.
+    pub no_predict: u64,
+}
+
+impl ValueStats {
+    /// Total loads observed.
+    pub fn total(&self) -> u64 {
+        self.correct + self.wrong + self.no_predict
+    }
+
+    /// Fraction predicted correctly, as in Table 6 (0 when empty).
+    pub fn correct_rate(&self) -> f64 {
+        self.rate(self.correct)
+    }
+
+    /// Fraction predicted wrongly.
+    pub fn wrong_rate(&self) -> f64 {
+        self.rate(self.wrong)
+    }
+
+    /// Fraction not predicted.
+    pub fn no_predict_rate(&self) -> f64 {
+        self.rate(self.no_predict)
+    }
+
+    fn rate(&self, n: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            n as f64 / t as f64
+        }
+    }
+}
+
+/// A predictor of missing-load values.
+///
+/// The paper's key observation (§3.6) is that *only missing loads* need
+/// value prediction to improve MLP, which keeps the predictor small.
+pub trait ValueObserver {
+    /// Observes a missing load at `pc` whose actual loaded value is
+    /// `actual`: returns how the predictor would have fared, training as a
+    /// side effect.
+    fn observe(&mut self, pc: u64, actual: u64) -> ValuePrediction;
+
+    /// Accumulated statistics (the paper's Table 6).
+    fn stats(&self) -> ValueStats;
+}
+
+/// A tagged last-value predictor (the paper's §5.5 configuration:
+/// 16K entries, predicting only missing loads).
+///
+/// Each entry remembers the last value loaded by a PC together with a
+/// one-bit confidence: a prediction is only *made* once the same PC has
+/// been seen before (so the first encounter is a `NoPredict`, not a
+/// `Wrong`).
+///
+/// # Examples
+///
+/// ```
+/// use mlp_predict::{LastValuePredictor, ValueObserver, ValuePrediction};
+///
+/// let mut vp = LastValuePredictor::new(16 * 1024);
+/// assert_eq!(vp.observe(0x100, 7), ValuePrediction::NoPredict);
+/// assert_eq!(vp.observe(0x100, 7), ValuePrediction::Correct);
+/// assert_eq!(vp.observe(0x100, 8), ValuePrediction::Wrong);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LastValuePredictor {
+    entries: Vec<Option<(u64, u64)>>, // (pc tag, value)
+    stats: ValueStats,
+}
+
+impl LastValuePredictor {
+    /// Creates a predictor with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> LastValuePredictor {
+        assert!(
+            entries.is_power_of_two(),
+            "value predictor size must be a power of two"
+        );
+        LastValuePredictor {
+            entries: vec![None; entries],
+            stats: ValueStats::default(),
+        }
+    }
+
+    /// Number of table entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Consults the table without training (used by simulators that need
+    /// to look ahead). Returns the predicted value if an entry for this PC
+    /// exists.
+    pub fn peek(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, value)) if tag == pc => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Trains the table with the actual value.
+    pub fn train(&mut self, pc: u64, actual: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, actual));
+    }
+}
+
+impl ValueObserver for LastValuePredictor {
+    fn observe(&mut self, pc: u64, actual: u64) -> ValuePrediction {
+        let outcome = match self.peek(pc) {
+            Some(v) if v == actual => ValuePrediction::Correct,
+            Some(_) => ValuePrediction::Wrong,
+            None => ValuePrediction::NoPredict,
+        };
+        self.train(pc, actual);
+        match outcome {
+            ValuePrediction::Correct => self.stats.correct += 1,
+            ValuePrediction::Wrong => self.stats.wrong += 1,
+            ValuePrediction::NoPredict => self.stats.no_predict += 1,
+        }
+        outcome
+    }
+
+    fn stats(&self) -> ValueStats {
+        self.stats
+    }
+}
+
+/// A stride value predictor: predicts `last + (last − previous)` per PC.
+///
+/// Complements the last-value predictor on loads whose values advance by
+/// a constant step (array walks, sequence numbers). The paper's §3.6
+/// argument applies unchanged: only missing loads need prediction, so the
+/// table stays small. A prediction is made only once a stable stride has
+/// been observed twice (two-delta confidence), so cold or erratic PCs
+/// report [`ValuePrediction::NoPredict`] rather than guessing. After one
+/// observed delta the predictor commits (a classic reference-prediction
+/// table); a broken stride costs one or two wrong predictions before the
+/// new stride takes over.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_predict::{StridePredictor, ValueObserver, ValuePrediction};
+///
+/// let mut vp = StridePredictor::new(1024);
+/// vp.observe(0x40, 100);
+/// vp.observe(0x40, 108); // stride 8 seen once
+/// assert_eq!(vp.observe(0x40, 116), ValuePrediction::Correct);
+/// assert_eq!(vp.observe(0x40, 124), ValuePrediction::Correct);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StridePredictor {
+    entries: Vec<Option<StrideEntry>>,
+    stats: ValueStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StrideEntry {
+    tag: u64,
+    last: u64,
+    stride: u64,
+    confident: bool,
+}
+
+impl StridePredictor {
+    /// Creates a predictor with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> StridePredictor {
+        assert!(
+            entries.is_power_of_two(),
+            "stride predictor size must be a power of two"
+        );
+        StridePredictor {
+            entries: vec![None; entries],
+            stats: ValueStats::default(),
+        }
+    }
+
+    /// Number of table entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Consults the table without training.
+    pub fn peek(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some(e) if e.tag == pc && e.confident => Some(e.last.wrapping_add(e.stride)),
+            _ => None,
+        }
+    }
+
+    /// Trains the table with the actual value.
+    pub fn train(&mut self, pc: u64, actual: u64) {
+        let idx = self.index(pc);
+        let entry = &mut self.entries[idx];
+        match entry {
+            Some(e) if e.tag == pc => {
+                e.stride = actual.wrapping_sub(e.last);
+                e.last = actual;
+                e.confident = true; // one observed delta establishes a prediction
+            }
+            _ => {
+                *entry = Some(StrideEntry {
+                    tag: pc,
+                    last: actual,
+                    stride: 0,
+                    confident: false,
+                });
+            }
+        }
+    }
+}
+
+impl ValueObserver for StridePredictor {
+    fn observe(&mut self, pc: u64, actual: u64) -> ValuePrediction {
+        let outcome = match self.peek(pc) {
+            Some(v) if v == actual => ValuePrediction::Correct,
+            Some(_) => ValuePrediction::Wrong,
+            None => ValuePrediction::NoPredict,
+        };
+        self.train(pc, actual);
+        match outcome {
+            ValuePrediction::Correct => self.stats.correct += 1,
+            ValuePrediction::Wrong => self.stats.wrong += 1,
+            ValuePrediction::NoPredict => self.stats.no_predict += 1,
+        }
+        outcome
+    }
+
+    fn stats(&self) -> ValueStats {
+        self.stats
+    }
+}
+
+/// A hybrid last-value + stride predictor with per-PC chooser counters,
+/// after Wang & Franklin's hybrid scheme (the paper's reference \[18\]).
+///
+/// Both components train on every observation; the 2-bit chooser tracks
+/// which one has been right more often for this PC and selects whose
+/// prediction to use.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_predict::{HybridValuePredictor, ValueObserver, ValuePrediction};
+///
+/// let mut vp = HybridValuePredictor::new(1024);
+/// // A striding PC trains the chooser toward the stride component.
+/// for k in 0..6u64 { vp.observe(0x80, 100 + 8 * k); }
+/// assert_eq!(vp.observe(0x80, 148), ValuePrediction::Correct);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HybridValuePredictor {
+    last: LastValuePredictor,
+    stride: StridePredictor,
+    chooser: Vec<u8>, // 2-bit: >=2 prefers stride
+    stats: ValueStats,
+}
+
+impl HybridValuePredictor {
+    /// Creates a hybrid predictor with `entries` slots per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> HybridValuePredictor {
+        HybridValuePredictor {
+            last: LastValuePredictor::new(entries),
+            stride: StridePredictor::new(entries),
+            chooser: vec![1; entries],
+            stats: ValueStats::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.chooser.len() - 1)
+    }
+}
+
+impl ValueObserver for HybridValuePredictor {
+    fn observe(&mut self, pc: u64, actual: u64) -> ValuePrediction {
+        let lv = self.last.peek(pc);
+        let st = self.stride.peek(pc);
+        let idx = self.index(pc);
+        let use_stride = self.chooser[idx] >= 2;
+        let chosen = if use_stride { st.or(lv) } else { lv.or(st) };
+        let outcome = match chosen {
+            Some(v) if v == actual => ValuePrediction::Correct,
+            Some(_) => ValuePrediction::Wrong,
+            None => ValuePrediction::NoPredict,
+        };
+        // Train the chooser on component disagreement.
+        let lv_right = lv == Some(actual);
+        let st_right = st == Some(actual);
+        let c = &mut self.chooser[idx];
+        if st_right && !lv_right {
+            *c = (*c + 1).min(3);
+        } else if lv_right && !st_right {
+            *c = c.saturating_sub(1);
+        }
+        self.last.train(pc, actual);
+        self.stride.train(pc, actual);
+        match outcome {
+            ValuePrediction::Correct => self.stats.correct += 1,
+            ValuePrediction::Wrong => self.stats.wrong += 1,
+            ValuePrediction::NoPredict => self.stats.no_predict += 1,
+        }
+        outcome
+    }
+
+    fn stats(&self) -> ValueStats {
+        self.stats
+    }
+}
+
+/// A perfect value predictor: always correct. Used for the `perfVP` arms
+/// of the paper's limit study (Figure 10).
+#[derive(Clone, Debug, Default)]
+pub struct PerfectValuePredictor {
+    stats: ValueStats,
+}
+
+impl PerfectValuePredictor {
+    /// Creates a perfect value predictor.
+    pub fn new() -> PerfectValuePredictor {
+        PerfectValuePredictor::default()
+    }
+}
+
+impl ValueObserver for PerfectValuePredictor {
+    fn observe(&mut self, _pc: u64, _actual: u64) -> ValuePrediction {
+        self.stats.correct += 1;
+        ValuePrediction::Correct
+    }
+
+    fn stats(&self) -> ValueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sight_is_no_predict() {
+        let mut vp = LastValuePredictor::new(16);
+        assert_eq!(vp.observe(0x100, 1), ValuePrediction::NoPredict);
+    }
+
+    #[test]
+    fn stable_value_predicts() {
+        let mut vp = LastValuePredictor::new(16);
+        vp.observe(0x100, 42);
+        for _ in 0..5 {
+            assert_eq!(vp.observe(0x100, 42), ValuePrediction::Correct);
+        }
+        let s = vp.stats();
+        assert_eq!(s.correct, 5);
+        assert_eq!(s.no_predict, 1);
+    }
+
+    #[test]
+    fn changing_value_is_wrong_then_retrains() {
+        let mut vp = LastValuePredictor::new(16);
+        vp.observe(0x100, 1);
+        assert_eq!(vp.observe(0x100, 2), ValuePrediction::Wrong);
+        assert_eq!(vp.observe(0x100, 2), ValuePrediction::Correct);
+    }
+
+    #[test]
+    fn aliasing_pcs_evict() {
+        let mut vp = LastValuePredictor::new(16);
+        // Two PCs 16*4 bytes apart share an index but have different tags.
+        vp.observe(0x100, 1);
+        vp.observe(0x100 + 16 * 4, 9); // evicts the 0x100 entry
+        assert_eq!(vp.observe(0x100, 1), ValuePrediction::NoPredict);
+    }
+
+    #[test]
+    fn peek_does_not_train() {
+        let mut vp = LastValuePredictor::new(16);
+        assert_eq!(vp.peek(0x100), None);
+        vp.train(0x100, 5);
+        assert_eq!(vp.peek(0x100), Some(5));
+        assert_eq!(vp.stats().total(), 0);
+    }
+
+    #[test]
+    fn perfect_is_always_correct() {
+        let mut vp = PerfectValuePredictor::new();
+        assert_eq!(vp.observe(0x1, 123), ValuePrediction::Correct);
+        assert_eq!(vp.stats().correct_rate(), 1.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let mut vp = LastValuePredictor::new(16);
+        vp.observe(0x100, 1);
+        vp.observe(0x100, 1);
+        vp.observe(0x100, 2);
+        let s = vp.stats();
+        let sum = s.correct_rate() + s.wrong_rate() + s.no_predict_rate();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_rejected() {
+        let _ = LastValuePredictor::new(1000);
+    }
+
+    #[test]
+    fn stride_learns_after_two_deltas() {
+        let mut vp = StridePredictor::new(16);
+        assert_eq!(vp.observe(0x40, 100), ValuePrediction::NoPredict);
+        assert_eq!(vp.observe(0x40, 108), ValuePrediction::NoPredict);
+        assert_eq!(vp.observe(0x40, 116), ValuePrediction::Correct);
+        assert_eq!(vp.observe(0x40, 999), ValuePrediction::Wrong);
+        // One wrong guess while the new delta settles, then correct again.
+        assert_eq!(vp.observe(0x40, 1007), ValuePrediction::Wrong);
+        assert_eq!(vp.observe(0x40, 1015), ValuePrediction::Correct);
+    }
+
+    #[test]
+    fn stride_zero_is_last_value_behaviour() {
+        let mut vp = StridePredictor::new(16);
+        vp.observe(0x40, 7);
+        vp.observe(0x40, 7);
+        assert_eq!(vp.observe(0x40, 7), ValuePrediction::Correct);
+    }
+
+    #[test]
+    fn stride_handles_wrapping_deltas() {
+        let mut vp = StridePredictor::new(16);
+        vp.observe(0x40, u64::MAX - 4);
+        vp.observe(0x40, 3); // stride 8 across the wrap
+        assert_eq!(vp.observe(0x40, 11), ValuePrediction::Correct);
+    }
+
+    #[test]
+    fn stride_peek_does_not_train() {
+        let mut vp = StridePredictor::new(16);
+        assert_eq!(vp.peek(0x40), None);
+        vp.train(0x40, 10);
+        vp.train(0x40, 20);
+        vp.train(0x40, 30);
+        assert_eq!(vp.peek(0x40), Some(40));
+        assert_eq!(vp.stats().total(), 0);
+        assert_eq!(vp.capacity(), 16);
+    }
+
+    #[test]
+    fn hybrid_beats_both_components_on_mixed_pcs() {
+        let mut hybrid = HybridValuePredictor::new(64);
+        let mut last = LastValuePredictor::new(64);
+        let mut stride = StridePredictor::new(64);
+        // PC 0x100 strides; PC 0x200 repeats; interleaved.
+        let mut h = 0u64;
+        let mut l = 0u64;
+        let mut st = 0u64;
+        for k in 0..200u64 {
+            for (pc, v) in [(0x100u64, 100 + 8 * k), (0x204u64, 42)] {
+                if hybrid.observe(pc, v) == ValuePrediction::Correct { h += 1; }
+                if last.observe(pc, v) == ValuePrediction::Correct { l += 1; }
+                if stride.observe(pc, v) == ValuePrediction::Correct { st += 1; }
+            }
+        }
+        assert!(h >= l, "hybrid {h} vs last {l}");
+        assert!(h >= st, "hybrid {h} vs stride {st}");
+        assert!(h > 350, "hybrid should get nearly everything ({h}/400)");
+    }
+
+    #[test]
+    fn hybrid_rates_form_distribution() {
+        let mut vp = HybridValuePredictor::new(16);
+        vp.observe(0x10, 1);
+        vp.observe(0x10, 2);
+        vp.observe(0x10, 3);
+        let s = vp.stats();
+        let sum = s.correct_rate() + s.wrong_rate() + s.no_predict_rate();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn stride_bad_size_rejected() {
+        let _ = StridePredictor::new(100);
+    }
+}

@@ -1,0 +1,294 @@
+//! Tiny deterministic micro-workloads with exactly known epoch structure.
+//!
+//! These generate short traces whose MLP under the epoch model can be
+//! computed by hand, making them the backbone of the simulator test
+//! suites — including the paper's worked Examples 1–5.
+//!
+//! All addresses are placed in a high "cold" region so that every access
+//! misses a cold cache; filler ALU instructions carry no cross
+//! dependences.
+
+use mlp_isa::{Inst, Reg};
+
+/// Base address for guaranteed-cold data lines.
+pub const COLD_BASE: u64 = 0x4000_0000;
+/// Base PC used by the micro traces (hot, tiny code footprint).
+pub const PC_BASE: u64 = 0x1000;
+
+fn cold(i: u64) -> u64 {
+    COLD_BASE + i * 4096 // distinct pages, distinct lines
+}
+
+/// `n` independent missing loads, each into its own register, separated by
+/// `gap` filler ALU instructions.
+///
+/// Under an unconstrained out-of-order window all `n` misses overlap: one
+/// epoch, MLP = `n`.
+///
+/// # Examples
+///
+/// ```
+/// let t = mlp_workloads::micro::independent_misses(4, 2);
+/// assert_eq!(t.len(), 4 * 3); // load + 2 fillers each
+/// ```
+pub fn independent_misses(n: usize, gap: usize) -> Vec<Inst> {
+    let mut v = Vec::new();
+    let mut pc = PC_BASE;
+    for k in 0..n {
+        let dst = Reg::int(8 + (k % 8) as u8);
+        v.push(Inst::load(pc, Reg::int(1), 0, dst, cold(k as u64)));
+        pc += 4;
+        for _ in 0..gap {
+            v.push(filler(&mut pc));
+        }
+    }
+    v
+}
+
+/// `n` pointer-chasing missing loads: each load's address register is the
+/// previous load's destination, so no two can overlap. MLP = 1 regardless
+/// of microarchitecture.
+pub fn pointer_chase(n: usize, gap: usize) -> Vec<Inst> {
+    let mut v = Vec::new();
+    let mut pc = PC_BASE;
+    for k in 0..n {
+        let node = cold(k as u64);
+        let next = cold(k as u64 + 1);
+        v.push(Inst::load(pc, Reg::int(4), 0, Reg::int(4), node).with_value(next));
+        pc += 4;
+        for _ in 0..gap {
+            v.push(filler(&mut pc));
+        }
+    }
+    v
+}
+
+/// `n` independent missing loads with a serializing `MEMBAR` between each
+/// pair: under configurations that serialize (A–D), MLP = 1.
+pub fn serialized_misses(n: usize) -> Vec<Inst> {
+    let mut v = Vec::new();
+    let mut pc = PC_BASE;
+    for k in 0..n {
+        let dst = Reg::int(8 + (k % 8) as u8);
+        v.push(Inst::load(pc, Reg::int(1), 0, dst, cold(k as u64)));
+        pc += 4;
+        if k + 1 < n {
+            v.push(Inst::membar(pc));
+            pc += 4;
+        }
+    }
+    v
+}
+
+/// One filler ALU instruction (self-contained dependence-wise: reads the
+/// zero register so it never waits on anything).
+pub fn filler(pc: &mut u64) -> Inst {
+    let i = Inst::alu(*pc, &[Reg::ZERO], Reg::int(30));
+    *pc += 4;
+    i
+}
+
+/// A structurally valid random micro trace for property-based tests:
+/// a seed-deterministic mix of ALU ops, hot and cold loads, stores,
+/// conditional branches (fall-through targets, so the PC stream stays
+/// linear), membars and prefetches over a small register set.
+///
+/// # Examples
+///
+/// ```
+/// let a = mlp_workloads::micro::random_trace(7, 100);
+/// let b = mlp_workloads::micro::random_trace(7, 100);
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 100);
+/// ```
+pub fn random_trace(seed: u64, len: usize) -> Vec<Inst> {
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let mut v = Vec::with_capacity(len);
+    let mut pc = PC_BASE;
+    let r = Reg::int;
+    for k in 0..len {
+        let h = mix(seed ^ (k as u64).wrapping_mul(0x100_0000_01b3));
+        let reg_a = r(8 + (h >> 8) as u8 % 8);
+        let reg_b = r(8 + (h >> 16) as u8 % 8);
+        let inst = match h % 100 {
+            0..=39 => Inst::alu(pc, &[reg_a, reg_b], r(8 + (h >> 24) as u8 % 8)),
+            40..=54 => {
+                // cold load: distinct page per index
+                Inst::load(pc, reg_a, 0, reg_b, cold(1000 + k as u64)).with_value(h)
+            }
+            55..=64 => Inst::load(pc, Reg::int(1), 0, reg_b, 0x8000 + (h % 64) * 8),
+            65..=74 => Inst::store(pc, reg_a, 0, reg_b, 0x8000 + (h % 64) * 8),
+            75..=89 => Inst::cond_branch(pc, reg_a, h & 1 == 0, pc + 4),
+            90..=93 => Inst::membar(pc),
+            94..=96 => Inst::prefetch(pc, Reg::int(1), cold(2000 + k as u64)),
+            _ => Inst::nop(pc),
+        };
+        pc += 4;
+        v.push(inst);
+    }
+    v
+}
+
+/// The paper's **Example 1** (window-size termination): five instructions
+/// where, with a window of 4, epoch sets are `{i1, i4}`, `{i2, i3, i5}`
+/// and MLP = 1.5.
+pub fn paper_example_1() -> Vec<Inst> {
+    let r = Reg::int;
+    vec![
+        // i1: load 0(r1)->r2    (Dmiss)
+        Inst::load(PC_BASE, r(1), 0, r(2), cold(0)).with_value(cold(10)),
+        // i2: add r2,r3->r4
+        Inst::alu(PC_BASE + 4, &[r(2), r(3)], r(4)).with_value(cold(10)),
+        // i3: load (r4)->r5     (Dmiss, dependent on i1 through i2)
+        Inst::load(PC_BASE + 8, r(4), 0, r(5), cold(10)),
+        // i4: add r0,r1->r2
+        Inst::alu(PC_BASE + 12, &[r(0), r(1)], r(2)),
+        // i5: load (r7)->r8     (Dmiss, independent)
+        Inst::load(PC_BASE + 16, r(7), 0, r(8), cold(20)),
+    ]
+}
+
+/// The paper's **Example 2** (serializing instruction): epoch sets
+/// `{i1, i2}`, `{i3, i4, i5}`, MLP = 1.5.
+pub fn paper_example_2() -> Vec<Inst> {
+    let r = Reg::int;
+    vec![
+        // i1: load (r1)->r2     (Dmiss)
+        Inst::load(PC_BASE, r(1), 0, r(2), cold(0)).with_value(7),
+        // i2: membar
+        Inst::membar(PC_BASE + 4),
+        // i3: add r2,r3->r4
+        Inst::alu(PC_BASE + 8, &[r(2), r(3)], r(4)).with_value(cold(10)),
+        // i4: load (r4)->r5     (Dmiss)
+        Inst::load(PC_BASE + 12, r(4), 0, r(5), cold(10)),
+        // i5: load (r7)->r8     (Dmiss)
+        Inst::load(PC_BASE + 16, r(7), 0, r(8), cold(20)),
+    ]
+}
+
+/// The paper's **Example 3** shape (I-miss + unresolvable branch): a
+/// missing load, an instruction-fetch miss, a dependent missing load, a
+/// mispredicted dependent branch and a final missing load.
+///
+/// The returned trace places `i2` on a cold code line (I-miss); the branch
+/// `i4` depends on `i3`'s loaded value and must be treated as mispredicted
+/// by the simulator (use a forced-mispredict branch observer in tests).
+pub fn paper_example_3() -> Vec<Inst> {
+    let r = Reg::int;
+    let cold_pc = 0x9000_0000; // far from PC_BASE: its line is cold
+    vec![
+        // i1: load (r1)->r2     (Dmiss)
+        Inst::load(PC_BASE, r(1), 0, r(2), cold(0)).with_value(1),
+        // i2: add r2,r3->r4     (Imiss: fetched from a cold line)
+        Inst::alu(cold_pc, &[r(2), r(3)], r(4)).with_value(cold(10)),
+        // i3: load (r4)->r5     (Dmiss)
+        Inst::load(cold_pc + 4, r(4), 0, r(5), cold(10)).with_value(0),
+        // i4: beq r5,0,tgt      (Mispred, depends on i3)
+        Inst::cond_branch(cold_pc + 8, r(5), true, cold_pc + 12),
+        // i5: load (r7)->r8     (Dmiss)
+        Inst::load(cold_pc + 12, r(7), 0, r(8), cold(20)),
+    ]
+}
+
+/// The paper's **Example 4** (load issue policy): four loads and a store
+/// whose address depends on the second load.
+pub fn paper_example_4() -> Vec<Inst> {
+    let r = Reg::int;
+    vec![
+        // i1: load 8(r1)->r2    (Dmiss)
+        Inst::load(PC_BASE, r(1), 8, r(2), cold(0)).with_value(cold(10)),
+        // i2: load 0(r2)->r3    (Dmiss, depends on i1)
+        Inst::load(PC_BASE + 4, r(2), 0, r(3), cold(10)).with_value(cold(30)),
+        // i3: load 108(r1)->r4  (Dmiss, independent)
+        Inst::load(PC_BASE + 8, r(1), 108, r(4), cold(20)),
+        // i4: store r5 -> 0(r3) (address depends on i2)
+        Inst::store(PC_BASE + 12, r(3), 0, r(5), cold(30)),
+        // i5: load 388(r1)->r6  (Dmiss, independent)
+        Inst::load(PC_BASE + 16, r(1), 388, r(6), cold(40)),
+    ]
+}
+
+/// The paper's **Example 5** (branch issue policy): a missing load, a
+/// resolvable branch that depends on it, a mispredicted branch that does
+/// *not*, and an independent missing load.
+pub fn paper_example_5() -> Vec<Inst> {
+    let r = Reg::int;
+    vec![
+        // i1: load 8(r1)->r2    (Dmiss)
+        Inst::load(PC_BASE, r(1), 8, r(2), cold(0)).with_value(1),
+        // i2: beq r2,1,0x1100   (depends on the miss; not mispredicted —
+        // a cold predictor guesses not-taken, which is what happens)
+        Inst::cond_branch(PC_BASE + 4, r(2), false, 0x1100),
+        // i3: beq r1,1,...      (Mispred, independent of the miss: taken,
+        // which a cold predictor gets wrong; the target is the next
+        // instruction so the dynamic stream stays linear)
+        Inst::cond_branch(PC_BASE + 8, r(1), true, PC_BASE + 12),
+        // i4: load 108(r1)->r4  (Dmiss, independent)
+        Inst::load(PC_BASE + 12, r(1), 108, r(4), cold(20)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_misses_touch_distinct_lines() {
+        let t = independent_misses(8, 1);
+        let lines: std::collections::HashSet<_> =
+            t.iter().filter_map(|i| i.read_line()).collect();
+        assert_eq!(lines.len(), 8);
+    }
+
+    #[test]
+    fn pointer_chase_is_chained() {
+        let t = pointer_chase(5, 0);
+        for w in t.windows(2) {
+            assert_eq!(w[0].value, w[1].mem.unwrap().addr);
+            assert_eq!(w[0].dst, w[1].srcs[0]);
+        }
+    }
+
+    #[test]
+    fn serialized_misses_interleave_membars() {
+        let t = serialized_misses(3);
+        assert_eq!(t.len(), 5);
+        assert!(t[1].is_serializing());
+        assert!(t[3].is_serializing());
+    }
+
+    #[test]
+    fn example_shapes() {
+        assert_eq!(paper_example_1().len(), 5);
+        assert_eq!(paper_example_2().len(), 5);
+        assert_eq!(paper_example_3().len(), 5);
+        assert_eq!(paper_example_4().len(), 5);
+        assert_eq!(paper_example_5().len(), 4);
+    }
+
+    #[test]
+    fn example1_dependences() {
+        let t = paper_example_1();
+        // i3 depends on i2's destination, which depends on i1's.
+        assert_eq!(t[2].srcs[0], t[1].dst);
+        assert!(t[1].srcs.contains(&t[0].dst));
+        // i5 independent of all prior destinations
+        let i5_src = t[4].srcs[0].unwrap();
+        for prev in &t[..4] {
+            assert_ne!(prev.dst, Some(i5_src));
+        }
+    }
+
+    #[test]
+    fn example4_store_depends_on_i2() {
+        let t = paper_example_4();
+        assert_eq!(t[3].srcs[0], t[1].dst);
+        // the store address equals i2's loaded value
+        assert_eq!(t[3].mem.unwrap().addr, t[1].value);
+    }
+}

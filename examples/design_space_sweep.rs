@@ -1,0 +1,97 @@
+//! A design-space sweep a microarchitect might actually run: for a fixed
+//! transistor budget question — "should I grow the issue window, the
+//! ROB, or add runahead?" — compare the MLP and estimated performance of
+//! the candidates, using both simulators like the paper does.
+//!
+//! ```text
+//! cargo run --release --example design_space_sweep
+//! ```
+
+use mlp_cyclesim::{CycleSim, CycleSimConfig};
+use mlp_model::CpiModel;
+use mlp_workloads::{Workload, WorkloadKind};
+use mlpsim::{IssueConfig, MlpsimConfig, Simulator, WindowModel};
+
+const LATENCY: u64 = 1000;
+
+fn main() {
+    let kind = WorkloadKind::Database;
+    println!("Candidate evaluation for {kind} at {LATENCY}-cycle off-chip latency\n");
+
+    // Calibrate the CPI model once with the cycle-accurate simulator
+    // (the paper's Table 1 methodology).
+    let mut wl = Workload::new(kind, 42);
+    let real = CycleSim::new(CycleSimConfig::default().with_mem_latency(LATENCY))
+        .run(&mut wl, 300_000, 800_000);
+    let mut wl = Workload::new(kind, 42);
+    let perf =
+        CycleSim::new(CycleSimConfig::default().perfect_l2()).run(&mut wl, 300_000, 800_000);
+    let base_model = CpiModel::from_measured(
+        real.cpi(),
+        perf.cpi(),
+        real.offchip.total() as f64 / real.insts as f64,
+        LATENCY as f64,
+        real.mlp(),
+    );
+    println!(
+        "cycle-accurate calibration: CPI {:.2}, CPI_perf {:.2}, Overlap_CM {:.2}\n",
+        real.cpi(),
+        perf.cpi(),
+        base_model.overlap_cm
+    );
+
+    // Candidate machines, all evaluated with the fast epoch model.
+    let ooo = |issue, iw, rob| {
+        MlpsimConfig::builder()
+            .issue(issue)
+            .window(WindowModel::OutOfOrder {
+                iw,
+                rob,
+                fetch_buffer: 32,
+            })
+            .build()
+    };
+    let candidates: Vec<(&str, MlpsimConfig)> = vec![
+        ("baseline 64D", ooo(IssueConfig::D, 64, 64)),
+        ("double the issue window: 128D", ooo(IssueConfig::D, 128, 128)),
+        ("grow only the ROB: 64D/ROB256", ooo(IssueConfig::D, 64, 256)),
+        ("grow only the ROB: 64D/ROB1024", ooo(IssueConfig::D, 64, 1024)),
+        (
+            "non-serializing atomics: 64E/ROB256",
+            ooo(IssueConfig::E, 64, 256),
+        ),
+        (
+            "runahead, 2048 max distance",
+            MlpsimConfig::builder()
+                .issue(IssueConfig::D)
+                .window(WindowModel::Runahead { max_dist: 2048 })
+                .build(),
+        ),
+    ];
+
+    println!(
+        "{:<38} {:>7} {:>8} {:>12}",
+        "candidate", "MLP", "CPI est", "speedup"
+    );
+    let mut base_cpi = None;
+    for (label, cfg) in candidates {
+        let mut wl = Workload::new(kind, 42);
+        let r = Simulator::new(cfg).run(&mut wl, 500_000, 2_000_000);
+        let model = CpiModel {
+            miss_rate: r.offchip.total() as f64 / r.insts as f64,
+            ..base_model
+        };
+        let cpi = model.cpi(r.mlp());
+        let base = *base_cpi.get_or_insert(cpi);
+        println!(
+            "{label:<38} {:>7.3} {:>8.2} {:>11.1}%",
+            r.mlp(),
+            cpi,
+            100.0 * (base / cpi - 1.0)
+        );
+    }
+    println!(
+        "\nThe epoch model makes each candidate a sub-second evaluation; only\n\
+         the calibration runs needed the cycle-accurate simulator."
+    );
+}

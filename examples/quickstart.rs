@@ -1,0 +1,59 @@
+//! Quickstart: measure the MLP of a workload under the paper's default
+//! processor and see how runahead execution changes it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mlp_workloads::{Workload, WorkloadKind};
+use mlpsim::{MlpsimConfig, Simulator, WindowModel};
+
+fn main() {
+    let warmup = 500_000;
+    let measure = 2_000_000;
+
+    // 1. A synthetic commercial workload, calibrated to the paper's
+    //    database trace statistics.
+    let kind = WorkloadKind::Database;
+
+    // 2. The paper's default processor: issue configuration C, 64-entry
+    //    issue window and ROB, 2MB L2, gshare front end.
+    let mut sim = Simulator::new(MlpsimConfig::default());
+    let mut trace = Workload::new(kind, 42);
+    let base = sim.run(&mut trace, warmup, measure);
+
+    println!("== {kind} on the default out-of-order core ==");
+    println!("{base}");
+    println!();
+
+    // 3. The same workload on a runahead processor (§3.5): the epoch
+    //    model shows how many more off-chip accesses overlap.
+    let rae_cfg = MlpsimConfig::builder()
+        .issue(mlpsim::IssueConfig::D)
+        .window(WindowModel::Runahead { max_dist: 2048 })
+        .build();
+    let mut trace = Workload::new(kind, 42);
+    let rae = Simulator::new(rae_cfg).run(&mut trace, warmup, measure);
+
+    println!("== {kind} with runahead execution ==");
+    println!("{rae}");
+    println!();
+    println!(
+        "Runahead improves MLP by {:.1}% ({:.3} -> {:.3})",
+        100.0 * (rae.mlp() / base.mlp() - 1.0),
+        base.mlp(),
+        rae.mlp()
+    );
+
+    // 4. What ended each epoch? (The paper's Figure 5 in miniature.)
+    println!();
+    println!("Epoch-terminating conditions (default core):");
+    for (name, count) in base.inhibitors.as_rows() {
+        if count > 0 {
+            println!(
+                "  {name:<14} {count:>8}  ({:.1}%)",
+                100.0 * count as f64 / base.epochs as f64
+            );
+        }
+    }
+}
