@@ -10,5 +10,8 @@ fn main() {
         .unwrap_or_else(RunScale::quick);
     let t0 = Instant::now();
     println!("{}", exp::extensions::run_ablations(scale).render());
-    println!("[ablations regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+    println!(
+        "[ablations regenerated in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -14,5 +14,8 @@ fn main() {
     let t0 = Instant::now();
     let result = exp::figure10::run(scale);
     println!("{}", result.render());
-    println!("[figure10 regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+    println!(
+        "[figure10 regenerated in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -11,7 +11,9 @@ use mlpsim::{MlpsimConfig, Simulator, WindowModel};
 
 fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache");
-    let addrs: Vec<u64> = (0..4096u64).map(|k| (k.wrapping_mul(2654435761)) << 6).collect();
+    let addrs: Vec<u64> = (0..4096u64)
+        .map(|k| (k.wrapping_mul(2654435761)) << 6)
+        .collect();
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("l2_access_stream", |b| {
         let mut cache = Cache::new(CacheConfig::new(2 * 1024 * 1024, 4));
@@ -26,7 +28,9 @@ fn bench_cache(c: &mut Criterion) {
 
 fn bench_hierarchy(c: &mut Criterion) {
     let mut g = c.benchmark_group("hierarchy");
-    let trace: Vec<_> = Workload::new(WorkloadKind::Database, 1).take(20_000).collect();
+    let trace: Vec<_> = Workload::new(WorkloadKind::Database, 1)
+        .take(20_000)
+        .collect();
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("classify_database_trace", |b| {
         b.iter(|| {
@@ -77,7 +81,9 @@ fn bench_workload_generation(c: &mut Criterion) {
 
 fn bench_tracefile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracefile");
-    let trace: Vec<_> = Workload::new(WorkloadKind::SpecJbb2000, 3).take(50_000).collect();
+    let trace: Vec<_> = Workload::new(WorkloadKind::SpecJbb2000, 3)
+        .take(50_000)
+        .collect();
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("encode_decode", |b| {
         b.iter(|| {

@@ -10,5 +10,8 @@ fn main() {
         .unwrap_or_else(RunScale::quick);
     let t0 = Instant::now();
     println!("{}", exp::extensions::run_rae_timing(scale).render());
-    println!("[rae-timing regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+    println!(
+        "[rae-timing regenerated in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -165,6 +165,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "in-order branch issue")]
     fn config_d_rejected() {
-        CycleSimConfig::default().with_issue(IssueConfig::D).validate();
+        CycleSimConfig::default()
+            .with_issue(IssueConfig::D)
+            .validate();
     }
 }

@@ -8,13 +8,12 @@
 //! exact cycle accounting.
 
 use crate::{CycleReport, CycleSimConfig};
+use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
-use mlp_predict::{
-    BranchObserver, BranchPredictor, BranchStats, PerfectBranchPredictor,
-};
+use mlp_predict::{BranchObserver, BranchPredictor, BranchStats, PerfectBranchPredictor};
 use mlpsim::{BranchMode, OffchipCounts};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 #[derive(Clone, Debug)]
 struct Entry {
@@ -101,7 +100,7 @@ struct Machine<'a, T> {
     now: u64,
     // front end
     fetch_queue: VecDeque<(Inst, bool)>, // decoded, with mispredict flag
-    pending_fetch: Option<Inst>, // waiting for its I-line to arrive
+    pending_fetch: Option<Inst>,         // waiting for its I-line to arrive
     fetch_stall_until: u64,
     awaiting_redirect: bool,
     last_ifetch_line: u64,
@@ -113,9 +112,12 @@ struct Machine<'a, T> {
     next_seq: u64,
     unissued: usize,
     last_writer: [u64; Reg::COUNT], // seq + 1; 0 = none
-    store_fwd: HashMap<u64, u64>,   // addr8 -> latest store seq
+    store_fwd: FxHashMap<u64, u64>, // addr8 -> latest store seq
     serialize_block: Option<u64>,
     completions: BTreeMap<u64, Vec<u64>>,
+    // Reused scratch for issue(), so the per-cycle scan does not allocate.
+    decisions_scratch: Vec<u64>,
+    planned_scratch: Vec<u64>,
     // MLP(t) integration (useful accesses) and fM (all transfers)
     outstanding: BTreeMap<u64, u32>,
     fm_outstanding: BTreeMap<u64, u32>,
@@ -146,21 +148,23 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 BranchMode::Perfect => Branches::Perfect(PerfectBranchPredictor::new()),
             },
             now: 0,
-            fetch_queue: VecDeque::new(),
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_buffer + 1),
             pending_fetch: None,
             fetch_stall_until: 0,
             awaiting_redirect: false,
             last_ifetch_line: u64::MAX,
             trace_done: false,
             fetched: 0,
-            rob: VecDeque::new(),
+            rob: VecDeque::with_capacity(cfg.rob.min(1 << 14)),
             head_seq: 0,
             next_seq: 0,
             unissued: 0,
             last_writer: [0; Reg::COUNT],
-            store_fwd: HashMap::new(),
+            store_fwd: mlp_hash::map_with_capacity(1024),
             serialize_block: None,
             completions: BTreeMap::new(),
+            decisions_scratch: Vec::with_capacity(64),
+            planned_scratch: Vec::with_capacity(16),
             outstanding: BTreeMap::new(),
             fm_outstanding: BTreeMap::new(),
             mlp_cursor: 0,
@@ -323,13 +327,11 @@ impl<'a, T: TraceSource> Machine<'a, T> {
     // ----- stages ---------------------------------------------------------
 
     fn drain_completions(&mut self) {
-        let done: Vec<u64> = self
-            .completions
-            .range(..=self.now)
-            .map(|(&k, _)| k)
-            .collect();
-        for k in done {
-            for seq in self.completions.remove(&k).expect("key just listed") {
+        while let Some((&k, _)) = self.completions.iter().next() {
+            if k > self.now {
+                break;
+            }
+            for seq in self.completions.remove(&k).expect("key just read") {
                 if seq >= self.head_seq {
                     let idx = (seq - self.head_seq) as usize;
                     self.rob[idx].completed = true;
@@ -404,8 +406,10 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         let wait_staddr = self.cfg.issue.loads_wait_store_addresses();
 
         // Collect issue decisions first (borrow discipline), apply after.
-        let mut decisions: Vec<u64> = Vec::new();
-        let mut planned_lines: Vec<u64> = Vec::new();
+        let mut decisions = std::mem::take(&mut self.decisions_scratch);
+        let mut planned_lines = std::mem::take(&mut self.planned_scratch);
+        decisions.clear();
+        planned_lines.clear();
         for (i, e) in self.rob.iter().enumerate() {
             if issued_now + decisions.len() >= self.cfg.issue_width {
                 break;
@@ -478,10 +482,12 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 unissued_store_blocks_loads = true;
             }
         }
-        for seq in decisions {
+        for &seq in &decisions {
             self.do_issue(seq);
             issued_now += 1;
         }
+        self.decisions_scratch = decisions;
+        self.planned_scratch = planned_lines;
         issued_now
     }
 
@@ -533,7 +539,11 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         let line = line_of(addr);
         if !self.cfg.perfect_l2 && self.mshr.is_pending(line) {
             let ready = self.mshr.ready_at(line).expect("pending");
-            return if kind == OpKind::Prefetch { now + 1 } else { ready };
+            return if kind == OpKind::Prefetch {
+                now + 1
+            } else {
+                ready
+            };
         }
         let access = self.hierarchy.load(addr);
         let data_at = match access {
@@ -605,7 +615,7 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             let mut producers = [None; 3];
             for (k, src) in inst.dep_srcs().enumerate() {
                 let w = self.last_writer[src.index()];
-                if w > 0 && w - 1 >= self.head_seq {
+                if w > self.head_seq {
                     producers[k] = Some(w - 1);
                 }
             }

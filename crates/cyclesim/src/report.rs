@@ -71,7 +71,13 @@ impl CycleReport {
 
 impl fmt::Display for CycleReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cycles: {}  insts: {}  CPI: {:.3}", self.cycles, self.insts, self.cpi())?;
+        writeln!(
+            f,
+            "cycles: {}  insts: {}  CPI: {:.3}",
+            self.cycles,
+            self.insts,
+            self.cpi()
+        )?;
         write!(
             f,
             "off-chip: {} (D {} / I {} / P {})  MLP: {:.3}",

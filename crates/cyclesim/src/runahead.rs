@@ -22,6 +22,7 @@
 //! (the `rae-timing` experiment).
 
 use crate::{CycleReport, CycleSimConfig};
+use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
 use mlp_predict::{
@@ -29,7 +30,7 @@ use mlp_predict::{
     PerfectValuePredictor, ValueObserver, ValuePrediction,
 };
 use mlpsim::{BranchMode, OffchipCounts, ValueMode};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 #[derive(Clone, Debug)]
 struct Entry {
@@ -149,7 +150,7 @@ impl RunaheadSim {
         let mut now: u64 = 0;
         // Front end: instructions flow replay -> fetch queue -> dispatch.
         let mut replay: VecDeque<Inst> = VecDeque::new();
-        let mut fetch_queue: VecDeque<(Inst, bool)> = VecDeque::new();
+        let mut fetch_queue: VecDeque<(Inst, bool)> = VecDeque::with_capacity(cfg.fetch_buffer + 1);
         let mut pending_fetch: Option<Inst> = None;
         let mut fetch_stall_until: u64 = 0;
         let mut awaiting_redirect = false;
@@ -157,13 +158,13 @@ impl RunaheadSim {
         let mut trace_done = false;
         let mut fetched_trace: u64 = 0;
         // Back end.
-        let mut rob: VecDeque<Entry> = VecDeque::new();
+        let mut rob: VecDeque<Entry> = VecDeque::with_capacity(cfg.rob.min(1 << 14));
         let mut head_seq: u64 = 0;
         let mut next_seq: u64 = 0;
         let mut unissued: usize = 0;
         let mut last_writer = [0u64; Reg::COUNT];
         let mut poison_regs = [false; Reg::COUNT];
-        let mut store_pending: HashMap<u64, u64> = HashMap::new();
+        let mut store_pending: FxHashMap<u64, u64> = mlp_hash::map_with_capacity(1024);
         let mut serialize_block = false;
         let mut completions: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         let mut outstanding: BTreeMap<u64, u32> = BTreeMap::new();
@@ -184,6 +185,8 @@ impl RunaheadSim {
         let mut active_cycles: u64 = 0;
         let branch_base = BranchStats::default();
         let mut idle: u64 = 0;
+        // Reused across cycles so the issue scan does not allocate.
+        let mut decisions: Vec<u64> = Vec::with_capacity(cfg.issue_width);
 
         'outer: loop {
             if retired >= limit
@@ -200,9 +203,11 @@ impl RunaheadSim {
             }
             mshr.expire(now);
             // Complete.
-            let keys: Vec<u64> = completions.range(..=now).map(|(&k, _)| k).collect();
-            for k in keys {
-                for seq in completions.remove(&k).expect("key listed") {
+            while let Some((&k, _)) = completions.iter().next() {
+                if k > now {
+                    break;
+                }
+                for seq in completions.remove(&k).expect("key just read") {
                     if seq >= head_seq {
                         rob[(seq - head_seq) as usize].completed = true;
                     }
@@ -300,7 +305,7 @@ impl RunaheadSim {
 
             // Enter runahead: the head blocks on an off-chip read.
             if runahead_exit.is_none() {
-                let enter = rob.front().map_or(false, |h| {
+                let enter = rob.front().is_some_and(|h| {
                     h.issued
                         && !h.completed
                         && h.inst.kind.reads_memory()
@@ -334,7 +339,9 @@ impl RunaheadSim {
                     for e in drained {
                         ra_source.push_back(e.inst);
                     }
-                    fetch_queue.drain(..).for_each(|(i, _)| ra_source.push_back(i));
+                    fetch_queue
+                        .drain(..)
+                        .for_each(|(i, _)| ra_source.push_back(i));
                     if let Some(i) = pending_fetch.take() {
                         ra_source.push_back(i);
                     }
@@ -356,7 +363,7 @@ impl RunaheadSim {
 
             // Issue.
             let in_runahead = runahead_exit.is_some();
-            let mut decisions: Vec<u64> = Vec::new();
+            decisions.clear();
             {
                 let mut branch_ok = true;
                 for (i, e) in rob.iter().enumerate() {
@@ -382,10 +389,11 @@ impl RunaheadSim {
                     if can && e.inst.kind.reads_memory() && !in_runahead {
                         if let Some(m) = e.inst.mem {
                             if let Some(&sseq) = store_pending.get(&(m.addr & !7)) {
-                                if sseq >= head_seq && sseq < seq {
-                                    if !rob[(sseq - head_seq) as usize].issued {
-                                        can = false;
-                                    }
+                                if sseq >= head_seq
+                                    && sseq < seq
+                                    && !rob[(sseq - head_seq) as usize].issued
+                                {
+                                    can = false;
                                 }
                             }
                             let l = line_of(m.addr);
@@ -405,7 +413,7 @@ impl RunaheadSim {
                     }
                 }
             }
-            for seq in decisions {
+            for &seq in &decisions {
                 worked = true;
                 let idx = (seq - head_seq) as usize;
                 let (inst, mispredicted, poisoned_in) = {
@@ -415,11 +423,14 @@ impl RunaheadSim {
                     // issue left its poison in poison_regs[its dst] = the
                     // source register itself.
                     let producer_poison =
-                        e.inst.dep_srcs().enumerate().any(|(j, r)| match e.producers[j] {
-                            Some(p) if p >= head_seq => rob[(p - head_seq) as usize].poisoned,
-                            Some(_) => poison_regs[r.index()],
-                            None => false,
-                        });
+                        e.inst
+                            .dep_srcs()
+                            .enumerate()
+                            .any(|(j, r)| match e.producers[j] {
+                                Some(p) if p >= head_seq => rob[(p - head_seq) as usize].poisoned,
+                                Some(_) => poison_regs[r.index()],
+                                None => false,
+                            });
                     (e.inst, e.mispredicted, e.arch_poison || producer_poison)
                 };
                 let poisoned_in = in_runahead && poisoned_in;
@@ -531,8 +542,7 @@ impl RunaheadSim {
                 let Some(&(ref inst, mispredicted)) = fetch_queue.front() else {
                     break;
                 };
-                let serializing =
-                    inst.is_serializing() && cfg.issue.serializing() && !in_runahead;
+                let serializing = inst.is_serializing() && cfg.issue.serializing() && !in_runahead;
                 if serializing && !rob.is_empty() {
                     break;
                 }
@@ -544,7 +554,7 @@ impl RunaheadSim {
                 let mut arch_poison = false;
                 for (j, src) in inst.dep_srcs().enumerate() {
                     let w = last_writer[src.index()];
-                    if w > 0 && w - 1 >= head_seq {
+                    if w > head_seq {
                         producers[j] = Some(w - 1);
                     } else if poison_regs[src.index()] {
                         // Architectural source whose last (pseudo-retired)
@@ -760,8 +770,11 @@ mod tests {
             .collect();
         let warm = full.len() as u64;
         full.extend_from_slice(trace);
-        RunaheadSim::new(CycleSimConfig::default(), max_dist)
-            .run(&mut SliceTrace::new(&full), warm, u64::MAX)
+        RunaheadSim::new(CycleSimConfig::default(), max_dist).run(
+            &mut SliceTrace::new(&full),
+            warm,
+            u64::MAX,
+        )
     }
 
     #[test]
@@ -779,7 +792,10 @@ mod tests {
         let mut conv_cfg = CycleSimConfig::default().with_window(6);
         conv_cfg.iw = 6;
         let max_hot_pc = t.iter().map(|i| i.pc).max().unwrap();
-        let mut full: Vec<Inst> = (micro::PC_BASE..=max_hot_pc).step_by(4).map(Inst::nop).collect();
+        let mut full: Vec<Inst> = (micro::PC_BASE..=max_hot_pc)
+            .step_by(4)
+            .map(Inst::nop)
+            .collect();
         let warm = full.len() as u64;
         full.extend_from_slice(&t);
         let conv = CycleSim::new(conv_cfg.clone()).run(&mut SliceTrace::new(&full), warm, u64::MAX);
@@ -805,11 +821,17 @@ mod tests {
         let t = micro::pointer_chase(6, 2);
         let conv = {
             let max_hot_pc = t.iter().map(|i| i.pc).max().unwrap();
-            let mut full: Vec<Inst> =
-                (micro::PC_BASE..=max_hot_pc).step_by(4).map(Inst::nop).collect();
+            let mut full: Vec<Inst> = (micro::PC_BASE..=max_hot_pc)
+                .step_by(4)
+                .map(Inst::nop)
+                .collect();
             let warm = full.len() as u64;
             full.extend_from_slice(&t);
-            CycleSim::new(CycleSimConfig::default()).run(&mut SliceTrace::new(&full), warm, u64::MAX)
+            CycleSim::new(CycleSimConfig::default()).run(
+                &mut SliceTrace::new(&full),
+                warm,
+                u64::MAX,
+            )
         };
         let rae = run_warm(&t, 2048);
         assert_eq!(rae.offchip.total(), conv.offchip.total());
@@ -824,11 +846,17 @@ mod tests {
         let t = micro::serialized_misses(6);
         let conv = {
             let max_hot_pc = t.iter().map(|i| i.pc).max().unwrap();
-            let mut full: Vec<Inst> =
-                (micro::PC_BASE..=max_hot_pc).step_by(4).map(Inst::nop).collect();
+            let mut full: Vec<Inst> = (micro::PC_BASE..=max_hot_pc)
+                .step_by(4)
+                .map(Inst::nop)
+                .collect();
             let warm = full.len() as u64;
             full.extend_from_slice(&t);
-            CycleSim::new(CycleSimConfig::default()).run(&mut SliceTrace::new(&full), warm, u64::MAX)
+            CycleSim::new(CycleSimConfig::default()).run(
+                &mut SliceTrace::new(&full),
+                warm,
+                u64::MAX,
+            )
         };
         let rae = run_warm(&t, 2048);
         assert!(

@@ -22,11 +22,12 @@
 //! vehicle for the multithreading question, not a validated reference.
 
 use crate::CycleSimConfig;
+use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
 use mlp_predict::{BranchObserver, BranchPredictor, PerfectBranchPredictor};
 use mlpsim::{BranchMode, OffchipCounts};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Address-space tag: thread `t`'s addresses live at `t << ASID_SHIFT`.
 const ASID_SHIFT: u32 = 44;
@@ -91,7 +92,7 @@ struct Thread<'a> {
     next_seq: u64,
     unissued: usize,
     last_writer: [u64; Reg::COUNT],
-    store_pending: HashMap<u64, u64>, // addr8 -> seq of youngest older store
+    store_pending: FxHashMap<u64, u64>, // addr8 -> seq of youngest older store
     serialize_block: bool,
     retired: u64,
 }
@@ -175,19 +176,19 @@ impl SmtSim {
             .into_iter()
             .map(|trace| Thread {
                 trace,
-                fetch_queue: VecDeque::new(),
+                fetch_queue: VecDeque::with_capacity(cfg.fetch_buffer / n + 1),
                 pending_fetch: None,
                 fetch_stall_until: 0,
                 awaiting_redirect: false,
                 last_ifetch_line: u64::MAX,
                 trace_done: false,
                 fetched: 0,
-                rob: VecDeque::new(),
+                rob: VecDeque::with_capacity(rob_each.min(1 << 14)),
                 head_seq: 0,
                 next_seq: 0,
                 unissued: 0,
                 last_writer: [0; Reg::COUNT],
-                store_pending: HashMap::new(),
+                store_pending: mlp_hash::map_with_capacity(1024),
                 serialize_block: false,
                 retired: 0,
             })
@@ -202,6 +203,8 @@ impl SmtSim {
         };
         let mut rr = 0usize; // round-robin priority cursor
         let mut idle_guard: u64 = 0;
+        // Reused across cycles/threads so the issue scan does not allocate.
+        let mut decisions: Vec<u64> = Vec::with_capacity(cfg.issue_width);
         let mut measuring = warmup == 0;
         let mut measure_start: u64 = 0;
 
@@ -218,9 +221,11 @@ impl SmtSim {
         while !done(&ts, insts_per_thread) {
             mshr.expire(now);
             // Complete.
-            let keys: Vec<u64> = completions.range(..=now).map(|(&k, _)| k).collect();
-            for k in keys {
-                for (tid, seq) in completions.remove(&k).expect("key listed") {
+            while let Some((&k, _)) = completions.iter().next() {
+                if k > now {
+                    break;
+                }
+                for (tid, seq) in completions.remove(&k).expect("key just read") {
                     let t = &mut ts[tid];
                     if seq >= t.head_seq {
                         let idx = (seq - t.head_seq) as usize;
@@ -265,7 +270,7 @@ impl SmtSim {
                     break;
                 }
                 let head = ts[tid].head_seq;
-                let mut decisions: Vec<u64> = Vec::new();
+                decisions.clear();
                 {
                     let t = &ts[tid];
                     let mut branch_ok = true;
@@ -277,9 +282,10 @@ impl SmtSim {
                             continue;
                         }
                         let seq = head + i as u64;
-                        let ready = e.producers.iter().flatten().all(|&p| {
-                            p < t.head_seq || t.rob[(p - t.head_seq) as usize].completed
-                        });
+                        let ready =
+                            e.producers.iter().flatten().all(|&p| {
+                                p < t.head_seq || t.rob[(p - t.head_seq) as usize].completed
+                            });
                         let mut can = ready;
                         if e.kind.is_branch() && !branch_ok {
                             can = false;
@@ -317,7 +323,7 @@ impl SmtSim {
                     }
                 }
                 budget -= decisions.len().min(budget);
-                for seq in decisions {
+                for &seq in &decisions {
                     worked = true;
                     let idx = (seq - ts[tid].head_seq) as usize;
                     let (kind, mem_addr, mispredicted) = {
@@ -330,7 +336,11 @@ impl SmtSim {
                             let line = line_of(addr);
                             if !cfg.perfect_l2 && mshr.is_pending(line) {
                                 let ready = mshr.ready_at(line).expect("pending");
-                                if kind == OpKind::Prefetch { now + 1 } else { ready }
+                                if kind == OpKind::Prefetch {
+                                    now + 1
+                                } else {
+                                    ready
+                                }
                             } else {
                                 let data_at = match hierarchy.load(addr) {
                                     Access::L1Hit => now + cfg.l1_latency,
@@ -358,9 +368,7 @@ impl SmtSim {
                                                             _ => report.offchip.dmiss += 1,
                                                         }
                                                     }
-                                                    *outstanding
-                                                        .entry(ready_at)
-                                                        .or_insert(0) += 1;
+                                                    *outstanding.entry(ready_at).or_insert(0) += 1;
                                                     ready_at
                                                 }
                                                 MshrOutcome::Full => now + cfg.mem_latency,
@@ -368,7 +376,11 @@ impl SmtSim {
                                         }
                                     }
                                 };
-                                if kind == OpKind::Prefetch { now + 1 } else { data_at }
+                                if kind == OpKind::Prefetch {
+                                    now + 1
+                                } else {
+                                    data_at
+                                }
                             }
                         }
                         OpKind::Branch(_) => {
@@ -413,7 +425,7 @@ impl SmtSim {
                     let mut producers = [None; 3];
                     for (k, src) in inst.dep_srcs().enumerate() {
                         let w = t.last_writer[src.index()];
-                        if w > 0 && w - 1 >= t.head_seq {
+                        if w > t.head_seq {
                             producers[k] = Some(w - 1);
                         }
                     }

@@ -145,7 +145,10 @@ fn mshr_capacity_limits_overlap() {
         },
         &t,
     );
-    assert!(narrow.cycles > wide.cycles, "2 MSHRs must throttle 8 misses");
+    assert!(
+        narrow.cycles > wide.cycles,
+        "2 MSHRs must throttle 8 misses"
+    );
     assert!(narrow.mlp() <= 2.05);
 }
 
@@ -252,8 +255,11 @@ fn runahead_value_prediction_unblocks_chains() {
     let warm = full.len() as u64;
     full.extend_from_slice(&t);
 
-    let plain = RunaheadSim::new(CycleSimConfig::default(), 2048)
-        .run(&mut SliceTrace::new(&full), warm, u64::MAX);
+    let plain = RunaheadSim::new(CycleSimConfig::default(), 2048).run(
+        &mut SliceTrace::new(&full),
+        warm,
+        u64::MAX,
+    );
     let vp = RunaheadSim::new(CycleSimConfig::default(), 2048)
         .with_value_prediction(ValueMode::Perfect)
         .run(&mut SliceTrace::new(&full), warm, u64::MAX);
@@ -263,5 +269,10 @@ fn runahead_value_prediction_unblocks_chains() {
         vp.cycles,
         plain.cycles
     );
-    assert!(vp.mlp() > plain.mlp() + 1.0, "{:.2} vs {:.2}", vp.mlp(), plain.mlp());
+    assert!(
+        vp.mlp() > plain.mlp() + 1.0,
+        "{:.2} vs {:.2}",
+        vp.mlp(),
+        plain.mlp()
+    );
 }

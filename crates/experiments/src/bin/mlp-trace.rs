@@ -38,8 +38,12 @@ fn main() {
             let [_, kind, count, path, rest @ ..] = args.as_slice() else {
                 usage()
             };
-            let Some(kind) = parse_kind(kind) else { usage() };
-            let Ok(count) = count.parse::<usize>() else { usage() };
+            let Some(kind) = parse_kind(kind) else {
+                usage()
+            };
+            let Ok(count) = count.parse::<usize>() else {
+                usage()
+            };
             let seed = rest
                 .first()
                 .map(|s| s.parse::<u64>().unwrap_or_else(|_| usage()))

@@ -7,7 +7,7 @@
 //! interconnects" — this experiment exposes exactly that distribution for
 //! the default processor and for runahead.
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -48,32 +48,30 @@ pub fn run(scale: RunScale) -> EpochStats {
                 .build(),
         ),
     ];
-    let mut distributions = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        for (machine, cfg) in &machines {
-            let r = run_mlpsim(kind, cfg.clone(), scale);
-            let total: u64 = r.epoch_size_histogram.iter().sum();
-            let mut cdf = Vec::new();
-            for &b in &BUCKETS {
-                let upto: u64 = r
-                    .epoch_size_histogram
-                    .iter()
-                    .take(b + 1)
-                    .sum();
-                cdf.push(if total == 0 {
-                    0.0
-                } else {
-                    upto as f64 / total as f64
-                });
-            }
-            distributions.push(Distribution {
-                kind,
-                machine,
-                cdf,
-                mlp: r.mlp(),
+        jobs.extend((0..machines.len()).map(|mi| (kind, mi)));
+    }
+    let distributions = sweep(jobs, |&(kind, mi)| {
+        let (machine, cfg) = &machines[mi];
+        let r = run_mlpsim(kind, cfg.clone(), scale);
+        let total: u64 = r.epoch_size_histogram.iter().sum();
+        let mut cdf = Vec::new();
+        for &b in &BUCKETS {
+            let upto: u64 = r.epoch_size_histogram.iter().take(b + 1).sum();
+            cdf.push(if total == 0 {
+                0.0
+            } else {
+                upto as f64 / total as f64
             });
         }
-    }
+        Distribution {
+            kind,
+            machine,
+            cdf,
+            mlp: r.mlp(),
+        }
+    });
     EpochStats { distributions }
 }
 
@@ -93,9 +91,7 @@ impl EpochStats {
             "<=16".into(),
             "<=32".into(),
         ])
-        .with_title(
-            "Epoch statistics: cumulative share of epochs by accesses per epoch (§4.1)",
-        );
+        .with_title("Epoch statistics: cumulative share of epochs by accesses per epoch (§4.1)");
         for d in &self.distributions {
             let mut row = vec![
                 d.kind.name().to_string(),

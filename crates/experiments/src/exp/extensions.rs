@@ -10,7 +10,7 @@
 //!   *useful* ones; measuring both shows how much store traffic inflates
 //!   the naive metric.
 
-use crate::runner::{run_cyclesim, run_mlpsim, workload, SEED};
+use crate::runner::{cursor, cursor_seeded, run_cyclesim, run_mlpsim, sweep, SEED};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -19,8 +19,7 @@ use mlp_workloads::WorkloadKind;
 use mlpsim::{IssueConfig, MlpsimConfig, ValueMode, WindowModel};
 
 /// Store-buffer capacities swept (`None` = the paper's infinite buffer).
-pub const STORE_BUFFERS: [Option<usize>; 5] =
-    [Some(1), Some(2), Some(4), Some(8), None];
+pub const STORE_BUFFERS: [Option<usize>; 5] = [Some(1), Some(2), Some(4), Some(8), None];
 
 /// One workload's store-buffer sweep.
 #[derive(Clone, Debug)]
@@ -40,16 +39,23 @@ pub struct StoreBufferStudy {
 
 /// Runs the store-buffer sweep on the paper's default processor.
 pub fn run_store_buffer(scale: RunScale) -> StoreBufferStudy {
-    let mut series = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, Option<usize>)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        let mut points = Vec::new();
-        for &sb in &STORE_BUFFERS {
-            let cfg = MlpsimConfig::builder().store_buffer(sb).build();
-            let r = run_mlpsim(kind, cfg, scale);
-            points.push((r.mlp(), r.store_mlp()));
-        }
-        series.push(StoreBufferSeries { kind, points });
+        jobs.extend(STORE_BUFFERS.iter().map(|&sb| (kind, sb)));
     }
+    let points = sweep(jobs, |&(kind, sb)| {
+        let cfg = MlpsimConfig::builder().store_buffer(sb).build();
+        let r = run_mlpsim(kind, cfg, scale);
+        (r.mlp(), r.store_mlp())
+    });
+    let series = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kind)| StoreBufferSeries {
+            kind,
+            points: points[ki * STORE_BUFFERS.len()..(ki + 1) * STORE_BUFFERS.len()].to_vec(),
+        })
+        .collect();
     StoreBufferStudy { series }
 }
 
@@ -101,48 +107,69 @@ pub struct Ablations {
 
 /// Runs all three ablations.
 pub fn run_ablations(scale: RunScale) -> Ablations {
-    let mut fetch_buffer = Vec::new();
-    let mut value_predictors = Vec::new();
-    let mut rae_distance = Vec::new();
+    let mut fb_jobs: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        for &fb in &FETCH_BUFFERS {
-            let cfg = MlpsimConfig::builder()
-                .window(WindowModel::OutOfOrder {
-                    iw: 64,
-                    rob: 64,
-                    fetch_buffer: fb,
-                })
-                .build();
-            fetch_buffer.push((kind, fb, run_mlpsim(kind, cfg, scale).mlp()));
-        }
-
-        let rae = MlpsimConfig::builder()
-            .issue(IssueConfig::D)
-            .window(WindowModel::Runahead { max_dist: 2048 })
+        fb_jobs.extend(FETCH_BUFFERS.iter().map(|&fb| (kind, fb)));
+    }
+    let fetch_buffer = sweep(fb_jobs, |&(kind, fb)| {
+        let cfg = MlpsimConfig::builder()
+            .window(WindowModel::OutOfOrder {
+                iw: 64,
+                rob: 64,
+                fetch_buffer: fb,
+            })
             .build();
-        let base = run_mlpsim(kind, rae.clone(), scale).mlp();
-        for (label, mode) in [
-            ("last-value 16K", ValueMode::LastValue(16 * 1024)),
-            ("stride 16K", ValueMode::Stride(16 * 1024)),
-            ("hybrid 16K", ValueMode::Hybrid(16 * 1024)),
-            ("last-value 1K", ValueMode::LastValue(1024)),
-        ] {
-            let cfg = MlpsimConfig {
-                value: mode,
+        (kind, fb, run_mlpsim(kind, cfg, scale).mlp())
+    });
+
+    let rae = MlpsimConfig::builder()
+        .issue(IssueConfig::D)
+        .window(WindowModel::Runahead { max_dist: 2048 })
+        .build();
+    let vp_modes = [
+        ("last-value 16K", ValueMode::LastValue(16 * 1024)),
+        ("stride 16K", ValueMode::Stride(16 * 1024)),
+        ("hybrid 16K", ValueMode::Hybrid(16 * 1024)),
+        ("last-value 1K", ValueMode::LastValue(1024)),
+    ];
+    // Index 0 is the no-VP base the gains are measured against.
+    let mut vp_jobs: Vec<(WorkloadKind, usize)> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        vp_jobs.extend((0..=vp_modes.len()).map(|vi| (kind, vi)));
+    }
+    let vp_mlps = sweep(vp_jobs, |&(kind, vi)| {
+        let cfg = if vi == 0 {
+            rae.clone()
+        } else {
+            MlpsimConfig {
+                value: vp_modes[vi - 1].1,
                 ..rae.clone()
-            };
-            let gain = 100.0 * (run_mlpsim(kind, cfg, scale).mlp() / base - 1.0);
+            }
+        };
+        run_mlpsim(kind, cfg, scale).mlp()
+    });
+    let chunk = 1 + vp_modes.len();
+    let mut value_predictors = Vec::new();
+    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let base = vp_mlps[ki * chunk];
+        for (vi, &(label, _)) in vp_modes.iter().enumerate() {
+            let gain = 100.0 * (vp_mlps[ki * chunk + 1 + vi] / base - 1.0);
             value_predictors.push((kind, label, gain));
         }
-
-        for &dist in &RAE_DISTS {
-            let cfg = MlpsimConfig::builder()
-                .issue(IssueConfig::D)
-                .window(WindowModel::Runahead { max_dist: dist })
-                .build();
-            rae_distance.push((kind, dist, run_mlpsim(kind, cfg, scale).mlp()));
-        }
     }
+
+    let mut rd_jobs: Vec<(WorkloadKind, usize)> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        rd_jobs.extend(RAE_DISTS.iter().map(|&dist| (kind, dist)));
+    }
+    let rae_distance = sweep(rd_jobs, |&(kind, dist)| {
+        let cfg = MlpsimConfig::builder()
+            .issue(IssueConfig::D)
+            .window(WindowModel::Runahead { max_dist: dist })
+            .build();
+        (kind, dist, run_mlpsim(kind, cfg, scale).mlp())
+    });
+
     Ablations {
         fetch_buffer,
         value_predictors,
@@ -166,7 +193,11 @@ impl Ablations {
         let mut t = TextTable::new(vec!["Benchmark", "Predictor", "MLP gain"])
             .with_title("Ablation: value-predictor organisation on runahead");
         for &(kind, label, gain) in &self.value_predictors {
-            t.row(vec![kind.name().into(), label.into(), format!("{gain:+.1}%")]);
+            t.row(vec![
+                kind.name().into(),
+                label.into(),
+                format!("{gain:+.1}%"),
+            ]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -196,43 +227,47 @@ pub fn run_smt(scale: RunScale) -> SmtStudy {
 
     let insts = scale.cycle_measure / 2;
     let warm = scale.cycle_warmup;
-    let mut rows = Vec::new();
-    let solo = |kind: WorkloadKind| -> (f64, f64) {
-        let mut wl = workload(kind);
-        let r = SmtSim::new(CycleSimConfig::default().with_mem_latency(1000))
-            .run(vec![&mut wl], warm, insts);
-        (r.mlp(), r.ipc())
-    };
-    for kind in WorkloadKind::ALL {
-        let (mlp, ipc) = solo(kind);
-        rows.push((format!("{} alone", kind.name()), mlp, ipc, vec![insts]));
-    }
+    let total = warm + insts;
+    // Solo runs first, then the co-run pairs, in presentation order.
     let pairs = [
         (WorkloadKind::Database, WorkloadKind::Database),
         (WorkloadKind::Database, WorkloadKind::SpecJbb2000),
         (WorkloadKind::Database, WorkloadKind::SpecWeb99),
         (WorkloadKind::SpecJbb2000, WorkloadKind::SpecWeb99),
     ];
-    for (a, b) in pairs {
-        let mut wa = workload(a);
-        let mut wb = mlp_workloads::Workload::new(b, SEED + 1);
-        let r = SmtSim::new(CycleSimConfig::default().with_mem_latency(1000))
-            .run(vec![&mut wa, &mut wb], warm, insts);
-        rows.push((
-            format!("{} + {}", a.name(), b.name()),
-            r.mlp(),
-            r.ipc(),
-            r.insts.clone(),
-        ));
-    }
+    let mut jobs: Vec<(WorkloadKind, Option<WorkloadKind>)> =
+        WorkloadKind::ALL.into_iter().map(|k| (k, None)).collect();
+    jobs.extend(pairs.into_iter().map(|(a, b)| (a, Some(b))));
+    let rows = sweep(jobs, |&(a, b)| {
+        let mut sim = SmtSim::new(CycleSimConfig::default().with_mem_latency(1000));
+        match b {
+            None => {
+                let mut wl = cursor(a, total);
+                let r = sim.run(vec![&mut wl], warm, insts);
+                (format!("{} alone", a.name()), r.mlp(), r.ipc(), vec![insts])
+            }
+            Some(b) => {
+                let mut wa = cursor(a, total);
+                let mut wb = cursor_seeded(b, SEED + 1, total);
+                let r = sim.run(vec![&mut wa, &mut wb], warm, insts);
+                (
+                    format!("{} + {}", a.name(), b.name()),
+                    r.mlp(),
+                    r.ipc(),
+                    r.insts.clone(),
+                )
+            }
+        }
+    });
     SmtStudy { rows }
 }
 
 impl SmtStudy {
     /// Renders the study.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec!["Threads", "Chip MLP", "IPC"])
-            .with_title("Extension: MLP on a 2-way SMT core (paper future work), 1000-cycle memory");
+        let mut t = TextTable::new(vec!["Threads", "Chip MLP", "IPC"]).with_title(
+            "Extension: MLP on a 2-way SMT core (paper future work), 1000-cycle memory",
+        );
         for (label, mlp, ipc, _) in &self.rows {
             t.row(vec![label.clone(), f3(*mlp), format!("{ipc:.3}")]);
         }
@@ -248,14 +283,17 @@ impl SmtStudy {
     }
 }
 
+/// One timing-study row: `(kind, conventional CPI, runahead CPI,
+/// measured speedup %, MLPsim-predicted speedup %, conv MLP(t),
+/// RAE MLP(t), RAE+VP measured speedup %)`.
+pub type RaeTimingRow = (WorkloadKind, f64, f64, f64, f64, f64, f64, f64);
+
 /// Runahead in the timing domain: measured speedup vs the CPI-equation
 /// prediction from MLPsim's MLP.
 #[derive(Clone, Debug)]
 pub struct RaeTiming {
-    /// `(kind, conventional CPI, runahead CPI, measured speedup %,
-    /// MLPsim-predicted speedup %, conv MLP(t), RAE MLP(t),
-    /// RAE+VP measured speedup %)` rows.
-    pub rows: Vec<(WorkloadKind, f64, f64, f64, f64, f64, f64, f64)>,
+    /// One row per workload.
+    pub rows: Vec<RaeTimingRow>,
 }
 
 /// Measures runahead end to end in the cycle model (something the
@@ -266,19 +304,19 @@ pub fn run_rae_timing(scale: RunScale) -> RaeTiming {
     use mlp_model::CpiModel;
 
     let latency = 1000u64;
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
+    let rows = sweep(WorkloadKind::ALL.to_vec(), |&kind| {
         let base_cfg = CycleSimConfig::default().with_mem_latency(latency);
         let conv = run_cyclesim(kind, base_cfg.clone(), scale);
         let perf = run_cyclesim(kind, base_cfg.clone().perfect_l2(), scale);
-        let mut wl = workload(kind);
+        let total = scale.cycle_warmup + scale.cycle_measure;
+        let mut wl = cursor(kind, total);
         let rae = RunaheadSim::new(base_cfg.clone(), 2048).run(
             &mut wl,
             scale.cycle_warmup,
             scale.cycle_measure,
         );
         let measured = 100.0 * (conv.cpi() / rae.cpi() - 1.0);
-        let mut wl = workload(kind);
+        let mut wl = cursor(kind, total);
         let rae_vp = RunaheadSim::new(base_cfg, 2048)
             .with_value_prediction(mlpsim::ValueMode::LastValue(16 * 1024))
             .run(&mut wl, scale.cycle_warmup, scale.cycle_measure);
@@ -302,7 +340,7 @@ pub fn run_rae_timing(scale: RunScale) -> RaeTiming {
             scale,
         );
         let predicted = model.improvement_pct(m_conv.mlp(), m_rae.mlp());
-        rows.push((
+        (
             kind,
             conv.cpi(),
             rae.cpi(),
@@ -311,8 +349,8 @@ pub fn run_rae_timing(scale: RunScale) -> RaeTiming {
             conv.mlp(),
             rae.mlp(),
             measured_vp,
-        ));
-    }
+        )
+    });
     RaeTiming { rows }
 }
 
@@ -366,17 +404,18 @@ pub struct FmStudy {
 /// Measures useful-access MLP and all-transfer fM side by side on the
 /// cycle-accurate model.
 pub fn run_fm(scale: RunScale) -> FmStudy {
-    let mut rows = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, u64)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        for latency in [200u64, 1000] {
-            let r = run_cyclesim(
-                kind,
-                CycleSimConfig::default().with_mem_latency(latency),
-                scale,
-            );
-            rows.push((kind, latency, r.mlp(), r.fm()));
-        }
+        jobs.extend([200u64, 1000].into_iter().map(|latency| (kind, latency)));
     }
+    let rows = sweep(jobs, |&(kind, latency)| {
+        let r = run_cyclesim(
+            kind,
+            CycleSimConfig::default().with_mem_latency(latency),
+            scale,
+        );
+        (kind, latency, r.mlp(), r.fm())
+    });
     FmStudy { rows }
 }
 
@@ -384,16 +423,9 @@ impl FmStudy {
     /// Renders the comparison.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec!["Benchmark", "Latency", "MLP (useful)", "fM (all)"])
-            .with_title(
-                "Extension: useful-access MLP vs Sorin et al.'s fM (all transfers, §6)",
-            );
+            .with_title("Extension: useful-access MLP vs Sorin et al.'s fM (all transfers, §6)");
         for &(kind, lat, mlp, fm) in &self.rows {
-            t.row(vec![
-                kind.name().into(),
-                lat.to_string(),
-                f3(mlp),
-                f3(fm),
-            ]);
+            t.row(vec![kind.name().into(), lat.to_string(), f3(mlp), f3(fm)]);
         }
         t.render()
     }
@@ -418,37 +450,34 @@ pub struct L3Study {
 /// Compares the default no-L3 hierarchy against a 16MB off-chip L3
 /// (80-cycle hit) at 1000-cycle memory latency, on the cycle model.
 pub fn run_l3(scale: RunScale) -> L3Study {
-    let mut rows = Vec::new();
+    let hierarchies: [(&'static str, HierarchyConfig); 2] = [
+        ("no L3 (paper default)", HierarchyConfig::default()),
+        (
+            "16MB off-chip L3",
+            HierarchyConfig::default().with_l3_bytes(16 * 1024 * 1024),
+        ),
+    ];
+    let mut jobs: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        for (label, hierarchy) in [
-            ("no L3 (paper default)", HierarchyConfig::default()),
-            (
-                "16MB off-chip L3",
-                HierarchyConfig::default().with_l3_bytes(16 * 1024 * 1024),
-            ),
-        ] {
-            let cfg = CycleSimConfig {
-                hierarchy,
-                ..CycleSimConfig::default().with_mem_latency(1000)
-            };
-            let r = run_cyclesim(kind, cfg, scale);
-            rows.push((kind, label, r.cpi(), r.mlp(), r.miss_rate_per_100()));
-        }
+        jobs.extend((0..hierarchies.len()).map(|hi| (kind, hi)));
     }
+    let rows = sweep(jobs, |&(kind, hi)| {
+        let (label, hierarchy) = hierarchies[hi];
+        let cfg = CycleSimConfig {
+            hierarchy,
+            ..CycleSimConfig::default().with_mem_latency(1000)
+        };
+        let r = run_cyclesim(kind, cfg, scale);
+        (kind, label, r.cpi(), r.mlp(), r.miss_rate_per_100())
+    });
     L3Study { rows }
 }
 
 impl L3Study {
     /// Renders the comparison.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec![
-            "Benchmark",
-            "Hierarchy",
-            "CPI",
-            "MLP",
-            "off-chip/100",
-        ])
-        .with_title("Extension: an off-chip L3 (§2.1 future configuration), 1000-cycle memory");
+        let mut t = TextTable::new(vec!["Benchmark", "Hierarchy", "CPI", "MLP", "off-chip/100"])
+            .with_title("Extension: an off-chip L3 (§2.1 future configuration), 1000-cycle memory");
         for &(kind, label, cpi, mlp, mr) in &self.rows {
             t.row(vec![
                 kind.name().into(),
@@ -495,7 +524,16 @@ mod tests {
     #[test]
     fn rae_timing_render_and_lookup() {
         let r = RaeTiming {
-            rows: vec![(WorkloadKind::Database, 7.3, 5.0, 46.0, 40.0, 1.38, 2.1, 55.0)],
+            rows: vec![(
+                WorkloadKind::Database,
+                7.3,
+                5.0,
+                46.0,
+                40.0,
+                1.38,
+                2.1,
+                55.0,
+            )],
         };
         assert!(r.render().contains("timing domain"));
         assert_eq!(r.speedups(WorkloadKind::Database), Some((46.0, 40.0)));
@@ -515,10 +553,19 @@ mod tests {
     #[test]
     fn l3_render_and_lookup() {
         let s = L3Study {
-            rows: vec![(WorkloadKind::Database, "no L3 (paper default)", 7.3, 1.38, 0.86)],
+            rows: vec![(
+                WorkloadKind::Database,
+                "no L3 (paper default)",
+                7.3,
+                1.38,
+                0.86,
+            )],
         };
         assert!(s.render().contains("off-chip L3"));
-        assert_eq!(s.cpi(WorkloadKind::Database, "no L3 (paper default)"), Some(7.3));
+        assert_eq!(
+            s.cpi(WorkloadKind::Database, "no L3 (paper default)"),
+            Some(7.3)
+        );
         assert_eq!(s.cpi(WorkloadKind::Database, "16MB off-chip L3"), None);
     }
 

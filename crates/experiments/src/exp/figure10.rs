@@ -3,7 +3,7 @@
 //! conventional 64D/ROB256 processor (lower graph).
 
 use super::figure8::RAE_MAX_DIST;
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f3, pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -26,7 +26,13 @@ pub enum Arm {
 
 impl Arm {
     /// All arms in order.
-    pub const ALL: [Arm; 5] = [Arm::Base, Arm::PerfI, Arm::PerfVp, Arm::PerfBp, Arm::PerfVpBp];
+    pub const ALL: [Arm; 5] = [
+        Arm::Base,
+        Arm::PerfI,
+        Arm::PerfVp,
+        Arm::PerfBp,
+        Arm::PerfVpBp,
+    ];
 
     /// Label used in the rendered series.
     pub fn label(self) -> &'static str {
@@ -67,8 +73,8 @@ impl Series {
     /// Percent gain of each arm over the base.
     pub fn gains(&self) -> [f64; 5] {
         let mut g = [0.0; 5];
-        for k in 0..5 {
-            g[k] = 100.0 * (self.mlp[k] / self.mlp[0] - 1.0);
+        for (gk, &m) in g.iter_mut().zip(&self.mlp) {
+            *gk = 100.0 * (m / self.mlp[0] - 1.0);
         }
         g
     }
@@ -108,21 +114,33 @@ pub fn conventional_base() -> MlpsimConfig {
 
 /// Runs the limit study.
 pub fn run(scale: RunScale) -> Figure10 {
-    let run_series = |base: MlpsimConfig| -> Vec<Series> {
+    // Both graphs in one sweep: (baseline index, workload, arm).
+    let bases = [rae_base(), conventional_base()];
+    let mut jobs: Vec<(usize, WorkloadKind, Arm)> = Vec::new();
+    for bi in 0..bases.len() {
+        for kind in WorkloadKind::ALL {
+            jobs.extend(Arm::ALL.iter().map(|&arm| (bi, kind, arm)));
+        }
+    }
+    let mlps = sweep(jobs, |&(bi, kind, arm)| {
+        run_mlpsim(kind, arm.apply(bases[bi].clone()), scale).mlp()
+    });
+    let mut it = mlps.into_iter();
+    let mut collect_series = || -> Vec<Series> {
         WorkloadKind::ALL
-            .iter()
-            .map(|&kind| {
+            .into_iter()
+            .map(|kind| {
                 let mut mlp = [0.0; 5];
-                for (k, arm) in Arm::ALL.iter().enumerate() {
-                    mlp[k] = run_mlpsim(kind, arm.apply(base.clone()), scale).mlp();
+                for cell in &mut mlp {
+                    *cell = it.next().expect("one result per job");
                 }
                 Series { kind, mlp }
             })
             .collect()
     };
     Figure10 {
-        rae: run_series(rae_base()),
-        conventional: run_series(conventional_base()),
+        rae: collect_series(),
+        conventional: collect_series(),
     }
 }
 
@@ -157,7 +175,10 @@ impl Figure10 {
         };
         format!(
             "{}\n{}",
-            render_one("Figure 10 (upper): limit study on runahead execution (MLP)", &self.rae),
+            render_one(
+                "Figure 10 (upper): limit study on runahead execution (MLP)",
+                &self.rae
+            ),
             render_one(
                 "Figure 10 (lower): limit study on 64D/ROB256 without RAE (MLP)",
                 &self.conventional

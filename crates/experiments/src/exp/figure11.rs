@@ -8,7 +8,7 @@
 
 use super::figure8::RAE_MAX_DIST;
 use super::table1;
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f2, pct, TextTable};
 use crate::RunScale;
 use mlp_model::CpiModel;
@@ -104,24 +104,32 @@ pub fn run(scale: RunScale) -> Figure11 {
     // Table 1 methodology supplies CPI_perf and Overlap_CM at 1000 cycles.
     let t1 = table1::run_with_latencies(scale, &[LATENCY]);
     let configs = sample_configs();
-    let mut series = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
+        jobs.extend((0..configs.len()).map(|ci| (kind, ci)));
+    }
+    let stats = sweep(jobs, |&(kind, ci)| {
+        let r = run_mlpsim(kind, configs[ci].1.clone(), scale);
+        (r.mlp(), r.offchip.total() as f64 / r.insts as f64)
+    });
+    let mut series = Vec::new();
+    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
         let row = t1
             .row(kind, LATENCY)
             .expect("table 1 has every workload at the chosen latency");
         let mut points = Vec::new();
         let mut base_cpi = None;
-        for (label, cfg) in &configs {
-            let r = run_mlpsim(kind, cfg.clone(), scale);
+        for (ci, (label, _)) in configs.iter().enumerate() {
+            let (mlp, miss_rate) = stats[ki * configs.len() + ci];
             let model = CpiModel {
-                miss_rate: r.offchip.total() as f64 / r.insts as f64,
+                miss_rate,
                 ..row.model
             };
-            let cpi = model.cpi(r.mlp());
+            let cpi = model.cpi(mlp);
             let base = *base_cpi.get_or_insert(cpi);
             points.push(Point {
                 label,
-                mlp: r.mlp(),
+                mlp,
                 cpi,
                 improvement_pct: 100.0 * (base / cpi - 1.0),
             });

@@ -6,7 +6,7 @@
 //! distance. The divergence between the two curves is what makes MLP
 //! exploitable at all.
 
-use crate::runner::workload;
+use crate::runner::{cursor, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_isa::{OpKind, TraceSource};
@@ -39,13 +39,12 @@ pub struct Figure2 {
 
 /// Runs Figure 2.
 pub fn run(scale: RunScale) -> Figure2 {
-    let mut series = Vec::new();
-    for kind in WorkloadKind::ALL {
-        let mut wl = workload(kind);
+    let series = sweep(WorkloadKind::ALL.to_vec(), |&kind| {
+        let total = scale.warmup + scale.measure;
+        let mut wl = cursor(kind, total);
         let mut mem = Hierarchy::new(HierarchyConfig::default());
         let mut distances: Vec<u64> = Vec::new();
         let mut last_miss_at: Option<u64> = None;
-        let total = scale.warmup + scale.measure;
         for n in 0..total {
             let Some(inst) = wl.next_inst() else { break };
             let mut missed = mem.ifetch(inst.pc).is_off_chip();
@@ -76,8 +75,7 @@ pub fn run(scale: RunScale) -> Figure2 {
         let observed = THRESHOLDS
             .iter()
             .map(|&t| {
-                distances.iter().filter(|&&d| d <= t).count() as f64
-                    / distances.len().max(1) as f64
+                distances.iter().filter(|&&d| d <= t).count() as f64 / distances.len().max(1) as f64
             })
             .collect();
         let p = 1.0 / mean;
@@ -85,13 +83,13 @@ pub fn run(scale: RunScale) -> Figure2 {
             .iter()
             .map(|&t| 1.0 - (1.0 - p).powi(t as i32))
             .collect();
-        series.push(Series {
+        Series {
             kind,
             mean_distance: mean,
             observed,
             uniform,
-        });
-    }
+        }
+    });
     Figure2 { series }
 }
 
@@ -119,7 +117,13 @@ impl Figure2 {
         let means: Vec<String> = self
             .series
             .iter()
-            .map(|s| format!("{}: mean inter-miss {:.0} insts", s.kind.name(), s.mean_distance))
+            .map(|s| {
+                format!(
+                    "{}: mean inter-miss {:.0} insts",
+                    s.kind.name(),
+                    s.mean_distance
+                )
+            })
             .collect();
         format!("{}\n{}\n", t.render(), means.join("; "))
     }

@@ -3,7 +3,7 @@
 //! MLP as a function of coupled issue-window/ROB size (16–256) for each
 //! of the paper's five issue configurations A–E.
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -30,18 +30,33 @@ pub struct Figure4 {
 
 /// Runs Figure 4.
 pub fn run(scale: RunScale) -> Figure4 {
+    let mut jobs: Vec<(WorkloadKind, usize, IssueConfig)> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for &size in &SIZES {
+            for &issue in &IssueConfig::ALL {
+                jobs.push((kind, size, issue));
+            }
+        }
+    }
+    let mlps = sweep(jobs, |&(kind, size, issue)| {
+        run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .issue(issue)
+                .coupled_window(size)
+                .build(),
+            scale,
+        )
+        .mlp()
+    });
+    let mut it = mlps.into_iter();
     let mut surfaces = Vec::new();
     for kind in WorkloadKind::ALL {
         let mut mlp = Vec::new();
-        for &size in &SIZES {
+        for _ in &SIZES {
             let mut row = [0.0; 5];
-            for (ci, &issue) in IssueConfig::ALL.iter().enumerate() {
-                let r = run_mlpsim(
-                    kind,
-                    MlpsimConfig::builder().issue(issue).coupled_window(size).build(),
-                    scale,
-                );
-                row[ci] = r.mlp();
+            for cell in &mut row {
+                *cell = it.next().expect("one result per job");
             }
             mlp.push(row);
         }
@@ -55,8 +70,8 @@ impl Figure4 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for s in &self.surfaces {
-            let mut t = TextTable::new(vec!["ROB/IW size", "A", "B", "C", "D", "E"])
-                .with_title(format!(
+            let mut t =
+                TextTable::new(vec!["ROB/IW size", "A", "B", "C", "D", "E"]).with_title(format!(
                     "Figure 4: MLP vs window size and issue constraints — {}",
                     s.kind.name()
                 ));

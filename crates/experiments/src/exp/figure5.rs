@@ -5,7 +5,7 @@
 //! `Mispred br`, `Imiss end`, `Missing load` (config A only), `Dep store`
 //! (configs A/B) and `Serialize`.
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -54,24 +54,30 @@ pub fn run(scale: RunScale) -> Figure5 {
 
 /// Runs a subset of the grid.
 pub fn run_grid(scale: RunScale, sizes: &[usize], configs: &[IssueConfig]) -> Figure5 {
-    let mut bars = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, usize, IssueConfig)> = Vec::new();
     for kind in WorkloadKind::ALL {
         for &size in sizes {
             for &issue in configs {
-                let r = run_mlpsim(
-                    kind,
-                    MlpsimConfig::builder().issue(issue).coupled_window(size).build(),
-                    scale,
-                );
-                bars.push(Bar {
-                    kind,
-                    size,
-                    issue,
-                    counts: r.inhibitors,
-                });
+                jobs.push((kind, size, issue));
             }
         }
     }
+    let bars = sweep(jobs, |&(kind, size, issue)| {
+        let r = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .issue(issue)
+                .coupled_window(size)
+                .build(),
+            scale,
+        );
+        Bar {
+            kind,
+            size,
+            issue,
+            counts: r.inhibitors,
+        }
+    });
     Figure5 { bars }
 }
 
@@ -137,6 +143,8 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-12);
         let fig = Figure5 { bars: vec![b] };
         assert!(fig.render().contains("Serialize"));
-        assert!(fig.bar(WorkloadKind::Database, 64, IssueConfig::C).is_some());
+        assert!(fig
+            .bar(WorkloadKind::Database, 64, IssueConfig::C)
+            .is_some());
     }
 }

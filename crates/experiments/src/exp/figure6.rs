@@ -4,7 +4,7 @@
 //! 2×, 4× and 8× the issue window, plus a fixed 2048-entry ROB, and the
 //! "INF" reference (2048-entry window and ROB under configuration E).
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -48,25 +48,28 @@ pub fn run(scale: RunScale) -> Figure6 {
 
 /// Runs a subset of the grid.
 pub fn run_grid(scale: RunScale, iw_sizes: &[usize], configs: &[IssueConfig]) -> Figure6 {
-    let mut bars = Vec::new();
-    let mut inf = Vec::new();
+    let mut bar_jobs: Vec<(WorkloadKind, usize, IssueConfig)> = Vec::new();
     for kind in WorkloadKind::ALL {
         for &iw in iw_sizes {
             for &issue in configs {
-                let mut by_mult = [0.0; 4];
-                for (k, &mult) in ROB_MULTS.iter().enumerate() {
-                    by_mult[k] = run_one(kind, issue, iw, iw * mult, scale);
-                }
-                let rob_2048 = run_one(kind, issue, iw, BIG_ROB, scale);
-                bars.push(Bar {
-                    kind,
-                    iw,
-                    issue,
-                    by_mult,
-                    rob_2048,
-                });
+                bar_jobs.push((kind, iw, issue));
             }
         }
+    }
+    let bars = sweep(bar_jobs, |&(kind, iw, issue)| {
+        let mut by_mult = [0.0; 4];
+        for (k, &mult) in ROB_MULTS.iter().enumerate() {
+            by_mult[k] = run_one(kind, issue, iw, iw * mult, scale);
+        }
+        Bar {
+            kind,
+            iw,
+            issue,
+            by_mult,
+            rob_2048: run_one(kind, issue, iw, BIG_ROB, scale),
+        }
+    });
+    let inf = sweep(WorkloadKind::ALL.to_vec(), |&kind| {
         let r = run_mlpsim(
             kind,
             MlpsimConfig::builder()
@@ -79,8 +82,8 @@ pub fn run_grid(scale: RunScale, iw_sizes: &[usize], configs: &[IssueConfig]) ->
                 .build(),
             scale,
         );
-        inf.push((kind, r.mlp()));
-    }
+        (kind, r.mlp())
+    });
     Figure6 { bars, inf }
 }
 
@@ -105,12 +108,13 @@ impl Figure6 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for &(kind, inf_mlp) in &self.inf {
-            let mut t = TextTable::new(vec!["Bar", "1X", "2X", "4X", "8X", "ROB 2048"])
-                .with_title(format!(
+            let mut t = TextTable::new(vec!["Bar", "1X", "2X", "4X", "8X", "ROB 2048"]).with_title(
+                format!(
                     "Figure 6: Decoupling issue window and ROB — {} (INF = {:.3})",
                     kind.name(),
                     inf_mlp
-                ));
+                ),
+            );
             for b in self.bars.iter().filter(|b| b.kind == kind) {
                 t.row(vec![
                     format!("{}{}", b.iw, b.issue.letter()),

@@ -4,7 +4,7 @@
 //! apart) — except when the removed misses sat in low-MLP epochs, as the
 //! paper observes for SPECweb99.
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f2, f3, TextTable};
 use crate::RunScale;
 use mlp_mem::HierarchyConfig;
@@ -39,21 +39,28 @@ pub struct Figure7 {
 
 /// Runs Figure 7 with the paper's default processor configuration.
 pub fn run(scale: RunScale) -> Figure7 {
-    let mut series = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, u64)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        let mut points = Vec::new();
-        for &bytes in &L2_SIZES {
-            let r = run_mlpsim(
-                kind,
-                MlpsimConfig::builder()
-                    .hierarchy(HierarchyConfig::default().with_l2_bytes(bytes))
-                    .build(),
-                scale,
-            );
-            points.push((r.mlp(), r.miss_rate_per_100()));
-        }
-        series.push(Series { kind, points });
+        jobs.extend(L2_SIZES.iter().map(|&bytes| (kind, bytes)));
     }
+    let points = sweep(jobs, |&(kind, bytes)| {
+        let r = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .hierarchy(HierarchyConfig::default().with_l2_bytes(bytes))
+                .build(),
+            scale,
+        );
+        (r.mlp(), r.miss_rate_per_100())
+    });
+    let series = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kind)| Series {
+            kind,
+            points: points[ki * L2_SIZES.len()..(ki + 1) * L2_SIZES.len()].to_vec(),
+        })
+        .collect();
     Figure7 { series }
 }
 

@@ -4,7 +4,7 @@
 //! out-of-order configurations: 64-entry issue window with configuration
 //! D and a 64- or 256-entry ROB.
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f3, pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -75,16 +75,24 @@ pub fn configs() -> [MlpsimConfig; 3] {
 
 /// Runs Figure 8.
 pub fn run(scale: RunScale) -> Figure8 {
-    let [c64, c256, rae] = configs();
-    let mut rows = Vec::new();
+    let cfgs = configs();
+    let mut jobs: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        rows.push(Row {
-            kind,
-            conv_64: run_mlpsim(kind, c64.clone(), scale).mlp(),
-            conv_256: run_mlpsim(kind, c256.clone(), scale).mlp(),
-            rae: run_mlpsim(kind, rae.clone(), scale).mlp(),
-        });
+        jobs.extend((0..cfgs.len()).map(|ci| (kind, ci)));
     }
+    let mlps = sweep(jobs, |&(kind, ci)| {
+        run_mlpsim(kind, cfgs[ci].clone(), scale).mlp()
+    });
+    let rows = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kind)| Row {
+            kind,
+            conv_64: mlps[3 * ki],
+            conv_256: mlps[3 * ki + 1],
+            rae: mlps[3 * ki + 2],
+        })
+        .collect();
     Figure8 { rows }
 }
 

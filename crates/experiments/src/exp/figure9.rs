@@ -5,7 +5,7 @@
 //! predictor's correct/wrong/no-predict mix.
 
 use super::figure8;
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f3, pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -33,8 +33,8 @@ impl Row {
     /// Percent MLP improvement per configuration.
     pub fn gains(&self) -> [f64; 3] {
         let mut g = [0.0; 3];
-        for k in 0..3 {
-            g[k] = 100.0 * (self.with_vp[k] / self.without[k] - 1.0);
+        for (k, gk) in g.iter_mut().enumerate() {
+            *gk = 100.0 * (self.with_vp[k] / self.without[k] - 1.0);
         }
         g
     }
@@ -50,34 +50,39 @@ pub struct Figure9 {
 /// Runs Figure 9 and Table 6.
 pub fn run(scale: RunScale) -> Figure9 {
     let base = figure8::configs();
-    let mut rows = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        let mut without = [0.0; 3];
-        let mut with_vp = [0.0; 3];
-        let mut accuracy = (0.0, 0.0, 0.0);
-        for (k, cfg) in base.iter().enumerate() {
-            without[k] = run_mlpsim(kind, cfg.clone(), scale).mlp();
-            let vp_cfg = MlpsimConfig {
-                value: ValueMode::LastValue(VP_ENTRIES),
-                ..cfg.clone()
-            };
-            let r = run_mlpsim(kind, vp_cfg, scale);
-            with_vp[k] = r.mlp();
-            if k == 2 {
-                accuracy = (
-                    r.value_stats.correct_rate(),
-                    r.value_stats.wrong_rate(),
-                    r.value_stats.no_predict_rate(),
-                );
-            }
-        }
-        rows.push(Row {
-            kind,
-            without,
-            with_vp,
-            accuracy,
-        });
+        jobs.extend((0..base.len()).map(|k| (kind, k)));
     }
+    let pairs = sweep(jobs, |&(kind, k)| {
+        let cfg = &base[k];
+        let without = run_mlpsim(kind, cfg.clone(), scale).mlp();
+        let vp_cfg = MlpsimConfig {
+            value: ValueMode::LastValue(VP_ENTRIES),
+            ..cfg.clone()
+        };
+        let r = run_mlpsim(kind, vp_cfg, scale);
+        let accuracy = (
+            r.value_stats.correct_rate(),
+            r.value_stats.wrong_rate(),
+            r.value_stats.no_predict_rate(),
+        );
+        (without, r.mlp(), accuracy)
+    });
+    let rows = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kind)| {
+            let chunk = &pairs[3 * ki..3 * ki + 3];
+            Row {
+                kind,
+                without: [chunk[0].0, chunk[1].0, chunk[2].0],
+                with_vp: [chunk[0].1, chunk[1].1, chunk[2].1],
+                // Table 6 reports accuracy on the RAE configuration.
+                accuracy: chunk[2].2,
+            }
+        })
+        .collect();
     Figure9 { rows }
 }
 

@@ -5,7 +5,7 @@
 //! `CPI_perf` (perfect L2); `Overlap_CM` is then derived from the CPI
 //! equation, exactly as in the paper's §2.2.
 
-use crate::runner::run_cyclesim;
+use crate::runner::{run_cyclesim, sweep};
 use crate::table::{f2, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -49,16 +49,27 @@ pub fn run(scale: RunScale) -> Table1 {
 
 /// Runs Table 1 for a caller-chosen set of latencies.
 pub fn run_with_latencies(scale: RunScale, latencies: &[u64]) -> Table1 {
-    let mut rows = Vec::new();
+    // One job per cycle-simulator run: the perfect-L2 run (`None`, its
+    // CPI is latency-independent) plus one realistic run per latency.
+    let mut jobs: Vec<(WorkloadKind, Option<u64>)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        // CPI_perf is latency-independent (memory is never touched).
-        let perf = run_cyclesim(kind, CycleSimConfig::default().perfect_l2(), scale);
-        for &latency in latencies {
-            let real = run_cyclesim(
-                kind,
-                CycleSimConfig::default().with_mem_latency(latency),
-                scale,
-            );
+        jobs.push((kind, None));
+        jobs.extend(latencies.iter().map(|&l| (kind, Some(l))));
+    }
+    let reports = sweep(jobs, |&(kind, lat)| match lat {
+        None => run_cyclesim(kind, CycleSimConfig::default().perfect_l2(), scale),
+        Some(latency) => run_cyclesim(
+            kind,
+            CycleSimConfig::default().with_mem_latency(latency),
+            scale,
+        ),
+    });
+    let chunk = 1 + latencies.len();
+    let mut rows = Vec::new();
+    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let perf = &reports[ki * chunk];
+        for (li, &latency) in latencies.iter().enumerate() {
+            let real = &reports[ki * chunk + 1 + li];
             let miss_rate = real.offchip.total() as f64 / real.insts as f64;
             let model = CpiModel::from_measured(
                 real.cpi(),

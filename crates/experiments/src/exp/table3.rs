@@ -7,7 +7,7 @@
 //! MLP. The paper's claim, reproduced here: the two agree closely, and
 //! nearly exactly at 1000-cycle latency.
 
-use crate::runner::{run_cyclesim, run_mlpsim};
+use crate::runner::{run_cyclesim, run_mlpsim, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -64,37 +64,43 @@ pub fn run_grid(scale: RunScale, sizes: &[usize], configs: &[IssueConfig]) -> Ta
         measure: scale.cycle_measure,
         ..scale
     };
-    let mut rows = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, usize, IssueConfig)> = Vec::new();
     for kind in WorkloadKind::ALL {
         for &size in sizes {
             for &issue in configs {
-                let m = run_mlpsim(
-                    kind,
-                    MlpsimConfig::builder().issue(issue).coupled_window(size).build(),
-                    scale,
-                );
-                let mut cyc = [0.0; 3];
-                for (k, &lat) in LATENCIES.iter().enumerate() {
-                    let c = run_cyclesim(
-                        kind,
-                        CycleSimConfig::default()
-                            .with_window(size)
-                            .with_issue(issue)
-                            .with_mem_latency(lat),
-                        scale,
-                    );
-                    cyc[k] = c.mlp();
-                }
-                rows.push(Row {
-                    kind,
-                    size,
-                    issue,
-                    cyclesim: cyc,
-                    mlpsim: m.mlp(),
-                });
+                jobs.push((kind, size, issue));
             }
         }
     }
+    let rows = sweep(jobs, |&(kind, size, issue)| {
+        let m = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .issue(issue)
+                .coupled_window(size)
+                .build(),
+            scale,
+        );
+        let mut cyc = [0.0; 3];
+        for (k, &lat) in LATENCIES.iter().enumerate() {
+            let c = run_cyclesim(
+                kind,
+                CycleSimConfig::default()
+                    .with_window(size)
+                    .with_issue(issue)
+                    .with_mem_latency(lat),
+                scale,
+            );
+            cyc[k] = c.mlp();
+        }
+        Row {
+            kind,
+            size,
+            issue,
+            cyclesim: cyc,
+            mlpsim: m.mlp(),
+        }
+    });
     Table3 { rows }
 }
 
@@ -129,10 +135,7 @@ impl Table3 {
 
     /// Worst-case relative error of the epoch model at 1000 cycles.
     pub fn max_error_at_1000(&self) -> f64 {
-        self.rows
-            .iter()
-            .map(Row::error_at_1000)
-            .fold(0.0, f64::max)
+        self.rows.iter().map(Row::error_at_1000).fold(0.0, f64::max)
     }
 }
 

@@ -8,7 +8,7 @@
 //! never run through the cycle simulator. The paper reports agreement
 //! within 2%.
 
-use crate::runner::{run_cyclesim, run_mlpsim};
+use crate::runner::{run_cyclesim, run_mlpsim, sweep};
 use crate::table::{f2, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -66,35 +66,47 @@ pub fn run(scale: RunScale) -> Table4 {
         measure: scale.cycle_measure,
         ..scale
     };
-    let mut rows = Vec::new();
+    // One job per (workload, configuration): realistic + perfect cycle
+    // runs and the epoch-model run for that configuration.
+    let mut jobs: Vec<(WorkloadKind, IssueConfig)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        // Per-configuration cycle measurements (realistic and perfect L2).
-        let mut models = Vec::new();
-        let mut measured = Vec::new();
-        let mut mlpsim_stats = Vec::new();
-        for &issue in &CONFIGS {
-            let base = CycleSimConfig::default()
-                .with_window(SIZE)
-                .with_issue(issue)
-                .with_mem_latency(LATENCY);
-            let real = run_cyclesim(kind, base.clone(), scale);
-            let perf = run_cyclesim(kind, base.perfect_l2(), scale);
-            let miss_rate = real.offchip.total() as f64 / real.insts as f64;
-            models.push(CpiModel::from_measured(
-                real.cpi(),
-                perf.cpi(),
-                miss_rate,
-                LATENCY as f64,
-                real.mlp(),
-            ));
-            measured.push(real.cpi());
-            let m = run_mlpsim(
-                kind,
-                MlpsimConfig::builder().issue(issue).coupled_window(SIZE).build(),
-                scale,
-            );
-            mlpsim_stats.push((m.mlp(), m.offchip.total() as f64 / m.insts as f64));
-        }
+        jobs.extend(CONFIGS.iter().map(|&issue| (kind, issue)));
+    }
+    let per_config = sweep(jobs, |&(kind, issue)| {
+        let base = CycleSimConfig::default()
+            .with_window(SIZE)
+            .with_issue(issue)
+            .with_mem_latency(LATENCY);
+        let real = run_cyclesim(kind, base.clone(), scale);
+        let perf = run_cyclesim(kind, base.perfect_l2(), scale);
+        let miss_rate = real.offchip.total() as f64 / real.insts as f64;
+        let model = CpiModel::from_measured(
+            real.cpi(),
+            perf.cpi(),
+            miss_rate,
+            LATENCY as f64,
+            real.mlp(),
+        );
+        let m = run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .issue(issue)
+                .coupled_window(SIZE)
+                .build(),
+            scale,
+        );
+        (
+            model,
+            real.cpi(),
+            (m.mlp(), m.offchip.total() as f64 / m.insts as f64),
+        )
+    });
+    let mut rows = Vec::new();
+    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let chunk = &per_config[ki * CONFIGS.len()..(ki + 1) * CONFIGS.len()];
+        let models: Vec<CpiModel> = chunk.iter().map(|&(m, ..)| m).collect();
+        let measured: Vec<f64> = chunk.iter().map(|&(_, c, _)| c).collect();
+        let mlpsim_stats: Vec<(f64, f64)> = chunk.iter().map(|&(.., s)| s).collect();
         for (ti, &target) in CONFIGS.iter().enumerate() {
             let (mlp, miss_rate) = mlpsim_stats[ti];
             let mut estimated = [0.0; 3];

@@ -1,6 +1,6 @@
 //! Table 5: MLP of in-order issue (stall-on-miss vs stall-on-use).
 
-use crate::runner::run_mlpsim;
+use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f2, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -26,28 +26,30 @@ pub struct Table5 {
 
 /// Runs Table 5.
 pub fn run(scale: RunScale) -> Table5 {
-    let mut rows = Vec::new();
+    let mut jobs: Vec<(WorkloadKind, InOrderPolicy)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        let som = run_mlpsim(
-            kind,
-            MlpsimConfig::builder()
-                .window(WindowModel::InOrder(InOrderPolicy::StallOnMiss))
-                .build(),
-            scale,
-        );
-        let sou = run_mlpsim(
-            kind,
-            MlpsimConfig::builder()
-                .window(WindowModel::InOrder(InOrderPolicy::StallOnUse))
-                .build(),
-            scale,
-        );
-        rows.push(Row {
-            kind,
-            stall_on_miss: som.mlp(),
-            stall_on_use: sou.mlp(),
-        });
+        jobs.push((kind, InOrderPolicy::StallOnMiss));
+        jobs.push((kind, InOrderPolicy::StallOnUse));
     }
+    let mlps = sweep(jobs, |&(kind, policy)| {
+        run_mlpsim(
+            kind,
+            MlpsimConfig::builder()
+                .window(WindowModel::InOrder(policy))
+                .build(),
+            scale,
+        )
+        .mlp()
+    });
+    let rows = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kind)| Row {
+            kind,
+            stall_on_miss: mlps[2 * ki],
+            stall_on_use: mlps[2 * ki + 1],
+        })
+        .collect();
     Table5 { rows }
 }
 

@@ -16,8 +16,26 @@ use mlp_experiments::{exp, RunScale};
 use std::time::Instant;
 
 const EXPERIMENTS: [&str; 20] = [
-    "table1", "figure2", "table3", "table4", "table5", "figure4", "figure5", "figure6",
-    "figure7", "figure8", "figure9", "figure10", "figure11", "store-mlp", "ablations", "epochs", "fm", "l3", "smt", "rae-timing",
+    "table1",
+    "figure2",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "store-mlp",
+    "ablations",
+    "epochs",
+    "fm",
+    "l3",
+    "smt",
+    "rae-timing",
 ];
 
 fn run_one(name: &str, scale: RunScale) -> Option<String> {

@@ -1,29 +1,80 @@
 //! Shared helpers for driving the simulators over the calibrated
 //! workloads.
+//!
+//! Two things make figure/table sweeps fast here:
+//!
+//! 1. **Shared trace materialization** — every run of a given workload
+//!    replays the same `(kind, SEED)` instruction stream, so the stream
+//!    is generated once into the process-wide
+//!    [`mlp_workloads::TraceStore`] and each run gets a cheap
+//!    [`TraceCursor`](mlp_workloads::TraceCursor) over the shared
+//!    `Arc<[Inst]>` instead of re-running the workload generator.
+//! 2. **Parallel sweeps** — [`sweep`] fans the independent points of a
+//!    figure/table across cores via `mlp_par::par_map`, which returns
+//!    results in input order, so rendered output is byte-identical to a
+//!    serial run regardless of thread count (configure with the
+//!    `MLP_THREADS` environment variable).
 
 use crate::RunScale;
 use mlp_cyclesim::{CycleReport, CycleSim, CycleSimConfig};
-use mlp_workloads::{Workload, WorkloadKind};
+use mlp_workloads::{TraceCursor, TraceStore, Workload, WorkloadKind};
 use mlpsim::{MlpsimConfig, Report, Simulator};
 
 /// The seed used by every experiment: results are fully deterministic.
 pub const SEED: u64 = 42;
 
+/// Extra instructions materialized beyond `warmup + measure`, covering
+/// engine read-ahead (fetch buffers, lookahead windows, runahead
+/// distance) so a run never drains the cursor before hitting its retire
+/// limit. Generous: the largest read-ahead in the repo is the 8192-entry
+/// runahead distance sweep.
+const TRACE_SLACK: u64 = 32_768;
+
 /// Creates the calibrated workload trace for `kind`.
+///
+/// Prefer [`cursor`] (or the `run_*` helpers) in sweeps: a streaming
+/// `Workload` regenerates the trace per run, a cursor replays the shared
+/// materialized copy.
 pub fn workload(kind: WorkloadKind) -> Workload {
     Workload::new(kind, SEED)
 }
 
+/// A replay cursor over the shared materialized trace for `kind`,
+/// covering at least `insts` instructions plus engine read-ahead slack.
+pub fn cursor(kind: WorkloadKind, insts: u64) -> TraceCursor {
+    cursor_seeded(kind, SEED, insts)
+}
+
+/// [`cursor`] with an explicit seed (the SMT experiment runs sibling
+/// threads on distinct seeds).
+pub fn cursor_seeded(kind: WorkloadKind, seed: u64, insts: u64) -> TraceCursor {
+    let len = insts.saturating_add(TRACE_SLACK) as usize;
+    TraceStore::global().trace(kind, seed, len).cursor()
+}
+
 /// Runs the epoch model over `kind` at the given scale.
 pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> Report {
-    let mut wl = workload(kind);
-    Simulator::new(config).run(&mut wl, scale.warmup, scale.measure)
+    let mut cur = cursor(kind, scale.warmup + scale.measure);
+    Simulator::new(config).run(&mut cur, scale.warmup, scale.measure)
 }
 
 /// Runs the cycle-accurate model over `kind` at the given scale.
 pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale) -> CycleReport {
-    let mut wl = workload(kind);
-    CycleSim::new(config).run(&mut wl, scale.cycle_warmup, scale.cycle_measure)
+    let mut cur = cursor(kind, scale.cycle_warmup + scale.cycle_measure);
+    CycleSim::new(config).run(&mut cur, scale.cycle_warmup, scale.cycle_measure)
+}
+
+/// Maps `f` over the sweep points of a figure/table in parallel.
+///
+/// Results come back in `jobs` order, so tables built from them render
+/// identically whether the sweep ran on one thread or many.
+pub fn sweep<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    mlp_par::par_map(&jobs, f)
 }
 
 #[cfg(test)]
@@ -43,5 +94,18 @@ mod tests {
         let b = run_mlpsim(WorkloadKind::SpecWeb99, MlpsimConfig::default(), scale);
         assert_eq!(a.offchip, b.offchip);
         assert_eq!(a.epochs, b.epochs);
+    }
+
+    #[test]
+    fn cursor_matches_streaming_workload() {
+        let fresh: Vec<_> = workload(WorkloadKind::Database).take(1_000).collect();
+        let cached: Vec<_> = cursor(WorkloadKind::Database, 1_000).take(1_000).collect();
+        assert_eq!(fresh, cached);
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let out = sweep((0..64u64).collect(), |&x| x * x);
+        assert_eq!(out, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
     }
 }

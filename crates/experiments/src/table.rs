@@ -80,7 +80,11 @@ impl TextTable {
             let _ = write!(line, "{:<width$}", h, width = widths[i] + 2);
         }
         let _ = writeln!(out, "{}", line.trim_end());
-        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
         for row in &self.rows {
             let mut line = String::new();

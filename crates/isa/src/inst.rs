@@ -277,10 +277,7 @@ impl Inst {
     /// Iterates over the source registers that carry real dependences
     /// (skipping empty slots and the zero register).
     pub fn dep_srcs(&self) -> impl Iterator<Item = Reg> + '_ {
-        self.srcs
-            .iter()
-            .filter_map(|s| *s)
-            .filter(|r| !r.is_zero())
+        self.srcs.iter().filter_map(|s| *s).filter(|r| !r.is_zero())
     }
 
     /// The destination register, unless it is the zero register (writes to
@@ -450,7 +447,14 @@ mod tests {
 
     #[test]
     fn atomic_reads_and_writes() {
-        let a = Inst::casa(0x100, Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), 0x9000);
+        let a = Inst::casa(
+            0x100,
+            Reg::int(1),
+            Reg::int(2),
+            Reg::int(3),
+            Reg::int(4),
+            0x9000,
+        );
         assert_eq!(a.read_line(), Some(0x9000));
         assert_eq!(a.write_line(), Some(0x9000));
         assert!(a.is_serializing());

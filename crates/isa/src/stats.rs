@@ -194,7 +194,14 @@ mod tests {
             Inst::ret(24, 0x24),
             Inst::indirect(28, Reg::int(5), 0x300),
             Inst::membar(32),
-            Inst::casa(36, Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), 0x8000),
+            Inst::casa(
+                36,
+                Reg::int(1),
+                Reg::int(2),
+                Reg::int(3),
+                Reg::int(4),
+                0x8000,
+            ),
             Inst::nop(40),
         ];
         let mix: InstMix = insts.iter().collect();

@@ -246,7 +246,14 @@ mod tests {
             Inst::call(0x114, 0x4000),
             Inst::ret(0x4000, 0x118),
             Inst::membar(0x118),
-            Inst::casa(0x11c, Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), 0xb000),
+            Inst::casa(
+                0x11c,
+                Reg::int(1),
+                Reg::int(2),
+                Reg::int(3),
+                Reg::int(4),
+                0xb000,
+            ),
             Inst::nop(0x120),
         ]
     }

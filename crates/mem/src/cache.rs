@@ -32,7 +32,7 @@ impl CacheConfig {
         assert!(assoc > 0, "associativity must be non-zero");
         let lines = size_bytes / LINE_BYTES;
         assert!(
-            lines % assoc as u64 == 0,
+            lines.is_multiple_of(assoc as u64),
             "capacity must be a whole number of sets"
         );
         let sets = lines / assoc as u64;

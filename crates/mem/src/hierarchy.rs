@@ -401,7 +401,7 @@ mod tests {
             .with_l3_bytes(1024 * 1024),
         );
         assert_eq!(m.load(0x4000), Access::OffChip); // cold everywhere
-        // Evict from the tiny L2 with conflicting lines; the L3 keeps it.
+                                                     // Evict from the tiny L2 with conflicting lines; the L3 keeps it.
         let l2_sets = 8192 / 64 / 4;
         let stride = l2_sets as u64 * 64;
         for k in 1..=8u64 {

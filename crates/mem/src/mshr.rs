@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use mlp_hash::FxHashMap;
 
 /// Outcome of registering a miss with the [`Mshr`] file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,7 +39,7 @@ pub enum MshrOutcome {
 pub struct Mshr {
     capacity: usize,
     latency: u64,
-    in_flight: HashMap<u64, u64>, // line -> ready cycle
+    in_flight: FxHashMap<u64, u64>, // line -> ready cycle
 }
 
 impl Mshr {
@@ -54,7 +54,7 @@ impl Mshr {
         Mshr {
             capacity,
             latency,
-            in_flight: HashMap::with_capacity(capacity),
+            in_flight: mlp_hash::map_with_capacity(capacity),
         }
     }
 

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use mlp_hash::FxHashMap;
 
 /// Geometry of the translation lookaside buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +36,7 @@ impl Default for TlbConfig {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    entries: HashMap<u64, u64>, // page -> last-use stamp
+    entries: FxHashMap<u64, u64>, // page -> last-use stamp
     clock: u64,
     hits: u64,
     misses: u64,
@@ -56,7 +56,7 @@ impl Tlb {
         );
         Tlb {
             config,
-            entries: HashMap::with_capacity(config.entries),
+            entries: mlp_hash::map_with_capacity(config.entries),
             clock: 0,
             hits: 0,
             misses: 0,

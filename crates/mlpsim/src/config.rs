@@ -136,9 +136,10 @@ impl Default for BranchMode {
 }
 
 /// Value-prediction modelling mode for missing loads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ValueMode {
     /// No value prediction.
+    #[default]
     None,
     /// A tagged last-value predictor with the given entry count
     /// (the paper uses 16K entries).
@@ -151,12 +152,6 @@ pub enum ValueMode {
     Hybrid(usize),
     /// Perfect value prediction (the limit study's `perfVP`).
     Perfect,
-}
-
-impl Default for ValueMode {
-    fn default() -> ValueMode {
-        ValueMode::None
-    }
 }
 
 /// Complete configuration of an MLPsim run.
@@ -231,7 +226,10 @@ impl MlpsimConfig {
             WindowModel::OutOfOrder { iw, rob, .. } => {
                 assert!(iw > 0, "issue window must be non-empty");
                 assert!(rob > 0, "reorder buffer must be non-empty");
-                assert!(rob >= iw, "ROB smaller than the issue window is not meaningful");
+                assert!(
+                    rob >= iw,
+                    "ROB smaller than the issue window is not meaningful"
+                );
             }
             WindowModel::Runahead { max_dist } => {
                 assert!(max_dist > 0, "runahead distance must be non-zero");

@@ -14,10 +14,10 @@
 use super::{Branches, EpochTracker, MissKind, Values};
 use crate::config::{InOrderPolicy, MlpsimConfig};
 use crate::report::{Inhibitor, Report};
+use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, OpKind, Reg, TraceSource};
 use mlp_mem::Hierarchy;
 use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
-use std::collections::HashMap;
 
 const PRUNE_LIMIT: usize = 8192;
 
@@ -36,7 +36,7 @@ pub(crate) fn run<T: TraceSource>(
 
     let mut e: u64 = 0;
     let mut avail = [0u64; Reg::COUNT];
-    let mut line_avail: HashMap<u64, u64> = HashMap::new();
+    let mut line_avail: FxHashMap<u64, u64> = mlp_hash::map_with_capacity(1024);
     let mut insts: u64 = 0;
     let mut consumed: u64 = 0;
     let limit = warmup.saturating_add(measure);

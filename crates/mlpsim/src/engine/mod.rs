@@ -3,13 +3,13 @@ mod ooo;
 
 use crate::config::{BranchMode, MlpsimConfig, ValueMode, WindowModel};
 use crate::report::{Inhibitor, InhibitorCounts, OffchipCounts, Report};
+use mlp_hash::FxHashMap;
 use mlp_isa::{Inst, TraceSource};
 use mlp_predict::{
     BranchObserver, BranchPredictor, BranchStats, HybridValuePredictor, LastValuePredictor,
-    PerfectBranchPredictor, PerfectValuePredictor, StridePredictor, ValueObserver,
-    ValuePrediction, ValueStats,
+    PerfectBranchPredictor, PerfectValuePredictor, StridePredictor, ValueObserver, ValuePrediction,
+    ValueStats,
 };
-use std::collections::HashMap;
 
 /// The kind of a useful off-chip access, for attribution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,7 +25,10 @@ pub(crate) enum MissKind {
 /// advanced past them.
 #[derive(Debug, Default)]
 pub(crate) struct EpochTracker {
-    open: HashMap<u64, EpochAcc>,
+    open: FxHashMap<u64, EpochAcc>,
+    /// Reused key scratch for `close_before`, so the per-epoch close does
+    /// not allocate.
+    scratch: Vec<u64>,
     pub(crate) measuring: bool,
     epochs: u64,
     offchip: OffchipCounts,
@@ -50,6 +53,7 @@ const HIST_BUCKETS: usize = 65;
 impl EpochTracker {
     pub(crate) fn new() -> EpochTracker {
         EpochTracker {
+            open: mlp_hash::map_with_capacity(64),
             histogram: vec![0; HIST_BUCKETS],
             ..EpochTracker::default()
         }
@@ -111,11 +115,14 @@ impl EpochTracker {
         if self.open.is_empty() {
             return;
         }
-        let done: Vec<u64> = self.open.keys().copied().filter(|&t| t < e).collect();
-        for t in done {
+        let mut done = std::mem::take(&mut self.scratch);
+        done.clear();
+        done.extend(self.open.keys().copied().filter(|&t| t < e));
+        for &t in &done {
             let acc = self.open.remove(&t).expect("key just listed");
             self.finalize(acc);
         }
+        self.scratch = done;
     }
 
     /// Finalizes everything (end of run).
@@ -140,7 +147,10 @@ impl EpochTracker {
             Inhibitor::ImissStart
         } else {
             match (acc.first_block, acc.policy) {
-                (Some(b @ (Inhibitor::Serialize | Inhibitor::MispredBr | Inhibitor::ImissEnd)), _) => b,
+                (
+                    Some(b @ (Inhibitor::Serialize | Inhibitor::MispredBr | Inhibitor::ImissEnd)),
+                    _,
+                ) => b,
                 (_, Some(p)) => p,
                 (Some(b), None) => b,
                 (None, None) => Inhibitor::None,

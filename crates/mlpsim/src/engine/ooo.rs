@@ -18,13 +18,19 @@
 use super::{Branches, EpochTracker, MissKind, Values};
 use crate::config::{MlpsimConfig, WindowModel};
 use crate::report::{Inhibitor, Report};
+use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::Hierarchy;
 use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Prune the in-flight line / store-forwarding maps beyond this size.
 const PRUNE_LIMIT: usize = 8192;
+
+/// Cap on speculative pre-sizing of per-run containers, so configurations
+/// with huge (or effectively infinite) windows do not reserve absurd
+/// amounts up front.
+const PRESIZE_LIMIT: usize = 16_384;
 
 struct Engine<'a, T> {
     trace: &'a mut T,
@@ -47,17 +53,17 @@ struct Engine<'a, T> {
     window: VecDeque<u64>, // completion epochs, fetch order
     max_complete: u64,
     deferred: usize,
-    issue_buckets: HashMap<u64, usize>,
+    issue_buckets: FxHashMap<u64, usize>,
     avail: [u64; Reg::COUNT],
-    line_avail: HashMap<u64, u64>,
-    store_fwd: HashMap<u64, u64>,
+    line_avail: FxHashMap<u64, u64>,
+    store_fwd: FxHashMap<u64, u64>,
     last_mem_exec: u64,
     last_mem_cause: Inhibitor,
     store_addr_frontier: u64,
     last_branch_exec: u64,
     store_buffer: Option<usize>,
     sb_occupancy: usize,
-    sb_releases: HashMap<u64, usize>,
+    sb_releases: FxHashMap<u64, usize>,
     fetch_block: Option<(u64, Inhibitor)>,
     // fetch lookahead
     lookahead: VecDeque<Inst>,
@@ -102,22 +108,22 @@ pub(crate) fn run<T: TraceSource>(
         values: Values::new(cfg.value),
         tracker: EpochTracker::new(),
         e: 0,
-        window: VecDeque::new(),
+        window: VecDeque::with_capacity(rob.min(PRESIZE_LIMIT)),
         max_complete: 0,
         deferred: 0,
-        issue_buckets: HashMap::new(),
+        issue_buckets: mlp_hash::map_with_capacity(64),
         avail: [0; Reg::COUNT],
-        line_avail: HashMap::new(),
-        store_fwd: HashMap::new(),
+        line_avail: mlp_hash::map_with_capacity(1024),
+        store_fwd: mlp_hash::map_with_capacity(1024),
         last_mem_exec: 0,
         last_mem_cause: Inhibitor::MissingLoad,
         store_addr_frontier: 0,
         last_branch_exec: 0,
         store_buffer: cfg.store_buffer,
         sb_occupancy: 0,
-        sb_releases: HashMap::new(),
+        sb_releases: mlp_hash::map_with_capacity(64),
         fetch_block: None,
-        lookahead: VecDeque::new(),
+        lookahead: VecDeque::with_capacity(fetch_buffer.min(PRESIZE_LIMIT) + 1),
         iclassified: 0,
         consumed: 0,
         limit: warmup.saturating_add(measure),

@@ -217,7 +217,11 @@ impl fmt::Display for Report {
         )?;
         writeln!(f, "epochs:   {}", self.epochs)?;
         writeln!(f, "MLP:      {:.3}", self.mlp())?;
-        write!(f, "miss rate: {:.3} per 100 insts", self.miss_rate_per_100())
+        write!(
+            f,
+            "miss rate: {:.3} per 100 insts",
+            self.miss_rate_per_100()
+        )
     }
 }
 

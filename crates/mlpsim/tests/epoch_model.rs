@@ -316,7 +316,13 @@ fn in_order_prefetches_overlap() {
             micro::COLD_BASE + (k + 1) * 4096,
         ));
     }
-    t.push(Inst::load(micro::PC_BASE + 12, r(1), 0, r(8), micro::COLD_BASE));
+    t.push(Inst::load(
+        micro::PC_BASE + 12,
+        r(1),
+        0,
+        r(8),
+        micro::COLD_BASE,
+    ));
     let som = run_with_warm_code(
         MlpsimConfig::builder()
             .window(WindowModel::InOrder(InOrderPolicy::StallOnMiss))
@@ -390,7 +396,13 @@ fn fetch_buffer_lets_imiss_overlap_full_window() {
         t.push(micro::filler(&mut pc));
     }
     t.push(Inst::nop(0x9000_0000)); // cold I-line
-    t.push(Inst::load(0x9000_0004, r(1), 0, r(9), micro::COLD_BASE + 4096));
+    t.push(Inst::load(
+        0x9000_0004,
+        r(1),
+        0,
+        r(9),
+        micro::COLD_BASE + 4096,
+    ));
 
     let mk = |fb: usize| {
         MlpsimConfig::builder()
@@ -428,7 +440,14 @@ fn missing_casa_serializes_and_counts() {
     let r = mlp_isa::Reg::int;
     let t = vec![
         Inst::load(micro::PC_BASE, r(1), 0, r(8), micro::COLD_BASE),
-        Inst::casa(micro::PC_BASE + 4, r(2), r(3), r(4), r(7), micro::COLD_BASE + 4096),
+        Inst::casa(
+            micro::PC_BASE + 4,
+            r(2),
+            r(3),
+            r(4),
+            r(7),
+            micro::COLD_BASE + 4096,
+        ),
         Inst::load(micro::PC_BASE + 8, r(1), 0, r(9), micro::COLD_BASE + 8192),
     ];
     let c = run_with_warm_code(ooo(IssueConfig::C, 64, 64), &t);
@@ -456,6 +475,10 @@ fn value_mode_stride_and_hybrid_run() {
         };
         let r = run_with_warm_code(cfg, &t);
         assert_eq!(r.offchip.total(), 5);
-        assert_eq!(r.value_stats.total(), 5, "every miss consults the predictor");
+        assert_eq!(
+            r.value_stats.total(),
+            5,
+            "every miss consults the predictor"
+        );
     }
 }

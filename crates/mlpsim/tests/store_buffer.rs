@@ -27,7 +27,10 @@ fn store_burst(n: usize, gap: usize) -> Vec<Inst> {
 
 fn run(cfg: MlpsimConfig, trace: &[Inst]) -> mlpsim::Report {
     let max_pc = trace.iter().map(|i| i.pc).max().unwrap_or(micro::PC_BASE);
-    let mut full: Vec<Inst> = (micro::PC_BASE..=max_pc).step_by(4).map(Inst::nop).collect();
+    let mut full: Vec<Inst> = (micro::PC_BASE..=max_pc)
+        .step_by(4)
+        .map(Inst::nop)
+        .collect();
     let warm = full.len() as u64;
     full.extend_from_slice(trace);
     Simulator::new(cfg).run(&mut SliceTrace::new(&full), warm, u64::MAX)
@@ -52,10 +55,7 @@ fn infinite_buffer_overlaps_all_fills() {
 #[test]
 fn single_entry_buffer_serializes_fills() {
     let t = store_burst(8, 2);
-    let r = run(
-        MlpsimConfig::builder().store_buffer(Some(1)).build(),
-        &t,
-    );
+    let r = run(MlpsimConfig::builder().store_buffer(Some(1)).build(), &t);
     assert_eq!(r.store_fills, 8);
     assert!(
         r.store_mlp() < 2.5,
@@ -74,10 +74,7 @@ fn buffer_size_sweep_is_monotone() {
     let t = store_burst(12, 2);
     let mut last = 0.0;
     for cap in [1usize, 2, 4, 8, 16] {
-        let r = run(
-            MlpsimConfig::builder().store_buffer(Some(cap)).build(),
-            &t,
-        );
+        let r = run(MlpsimConfig::builder().store_buffer(Some(cap)).build(), &t);
         assert!(
             r.store_mlp() >= last - 0.3,
             "store MLP should grow with buffer size (cap {cap}: {:.2} after {last:.2})",
@@ -94,7 +91,13 @@ fn full_store_buffer_limits_load_mlp_too() {
     let mut t = Vec::new();
     let mut pc = micro::PC_BASE;
     for k in 0..6u64 {
-        t.push(Inst::store(pc, Reg::int(1), 0, Reg::int(2), micro::COLD_BASE + k * 4096));
+        t.push(Inst::store(
+            pc,
+            Reg::int(1),
+            0,
+            Reg::int(2),
+            micro::COLD_BASE + k * 4096,
+        ));
         pc += 4;
         t.push(Inst::load(
             pc,

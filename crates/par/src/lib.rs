@@ -1,0 +1,194 @@
+//! Ordered parallel map for the experiment sweep engine.
+//!
+//! Every figure/table in the paper is a sweep of independent simulator runs,
+//! so the parallelism we need is exactly "map a pure function over a job
+//! list and keep the order". [`par_map`] does that with `std::thread::scope`:
+//! workers claim job indices from a shared atomic counter (so long jobs do
+//! not convoy short ones) and send `(index, result)` pairs back over a
+//! channel; the caller reassembles them in input order. Output is therefore
+//! byte-identical to a serial map regardless of scheduling.
+//!
+//! Thread count: [`set_thread_override`] (used by tests) takes precedence,
+//! then the `MLP_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. With one thread (or one job) the
+//! map runs inline on the caller with no thread or channel overhead.
+//!
+//! Built on the standard library rather than an external pool (e.g. rayon)
+//! because the build environment cannot fetch crates; the sweep layer only
+//! needs this one primitive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Programmatic thread-count override; `0` means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker count (`Some(n)`) or restore automatic selection
+/// (`None`). Used by the parallel-equals-serial regression tests; normal
+/// callers configure threads with the `MLP_THREADS` environment variable.
+pub fn set_thread_override(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Number of worker threads a sweep will use right now.
+pub fn thread_count() -> usize {
+    let forced = OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("MLP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_threads()
+}
+
+/// The host's available parallelism (ignoring overrides).
+pub fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// Results are identical to `items.iter().map(f).collect()` for any pure
+/// `f`. A panic in any worker propagates to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Drain while workers run; ends when the last sender drops. If a
+        // worker panics its sender drops early and scope exit re-raises.
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index was claimed exactly once"))
+        .collect()
+}
+
+/// [`par_map`] over an owned `Vec`, consuming the items.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(&items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The override is process-global and the test harness runs tests
+    // concurrently, so serialize every test that touches it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn preserves_order() {
+        let _g = lock();
+        let items: Vec<u64> = (0..257).collect();
+        set_thread_override(Some(8));
+        let out = par_map(&items, |&x| x * 3 + 1);
+        set_thread_override(None);
+        assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let _g = lock();
+        let items: Vec<u64> = (0..64).collect();
+        set_thread_override(Some(1));
+        let serial = par_map(&items, |&x| x.wrapping_mul(0x9e37_79b9));
+        set_thread_override(Some(4));
+        let parallel = par_map(&items, |&x| x.wrapping_mul(0x9e37_79b9));
+        set_thread_override(None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_ordered() {
+        let _g = lock();
+        set_thread_override(Some(4));
+        let items: Vec<u64> = (0..40).collect();
+        let out = par_map(&items, |&x| {
+            // Early indices do the most work, inverting completion order.
+            let spins = (40 - x) * 10_000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        set_thread_override(None);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = lock();
+        set_thread_override(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            par_map(&[1u32, 2, 3, 4], |&x| {
+                if x == 3 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        set_thread_override(None);
+        assert!(result.is_err());
+    }
+}

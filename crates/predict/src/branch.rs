@@ -262,7 +262,10 @@ mod tests {
             }
         }
         // History-based prediction captures strict alternation.
-        assert!(late_mis <= 2, "gshare should learn alternation, got {late_mis} late mispredicts");
+        assert!(
+            late_mis <= 2,
+            "gshare should learn alternation, got {late_mis} late mispredicts"
+        );
     }
 
     #[test]
@@ -280,14 +283,19 @@ mod tests {
         let mut mis = 0;
         let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
         for _ in 0..400 {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (lcg >> 33) & 1 == 1;
             let br = Inst::cond_branch(0x300, Reg::int(1), taken, 0x4000);
             if p.observe(&br) {
                 mis += 1;
             }
         }
-        assert!(mis > 100, "random outcomes should defeat any predictor, got {mis}");
+        assert!(
+            mis > 100,
+            "random outcomes should defeat any predictor, got {mis}"
+        );
     }
 
     #[test]
@@ -312,7 +320,10 @@ mod tests {
         p.observe(&Inst::call(0x2000, 0x3000));
         assert!(!p.observe(&Inst::ret(0x3000, 0x2004)));
         assert!(!p.observe(&Inst::ret(0x2000, 0x1004)));
-        assert!(p.observe(&Inst::ret(0x1000, 0x104)), "overflowed entry lost");
+        assert!(
+            p.observe(&Inst::ret(0x1000, 0x104)),
+            "overflowed entry lost"
+        );
     }
 
     #[test]

@@ -499,9 +499,15 @@ mod tests {
         let mut st = 0u64;
         for k in 0..200u64 {
             for (pc, v) in [(0x100u64, 100 + 8 * k), (0x204u64, 42)] {
-                if hybrid.observe(pc, v) == ValuePrediction::Correct { h += 1; }
-                if last.observe(pc, v) == ValuePrediction::Correct { l += 1; }
-                if stride.observe(pc, v) == ValuePrediction::Correct { st += 1; }
+                if hybrid.observe(pc, v) == ValuePrediction::Correct {
+                    h += 1;
+                }
+                if last.observe(pc, v) == ValuePrediction::Correct {
+                    l += 1;
+                }
+                if stride.observe(pc, v) == ValuePrediction::Correct {
+                    st += 1;
+                }
             }
         }
         assert!(h >= l, "hybrid {h} vs last {l}");

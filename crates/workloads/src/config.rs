@@ -162,7 +162,7 @@ impl WorkloadConfig {
     pub fn validate(&self) {
         assert!(self.ring_slots > 0, "ring must be non-empty");
         assert!(
-            self.ring_slots % self.zone_period == 0,
+            self.ring_slots.is_multiple_of(self.zone_period),
             "zone period must divide the ring size"
         );
         assert!(
@@ -324,7 +324,10 @@ mod tests {
             WorkloadKind::SpecJbb2000.config(),
             WorkloadConfig::specjbb2000()
         );
-        assert_eq!(WorkloadKind::SpecWeb99.config(), WorkloadConfig::specweb99());
+        assert_eq!(
+            WorkloadKind::SpecWeb99.config(),
+            WorkloadConfig::specweb99()
+        );
     }
 
     #[test]

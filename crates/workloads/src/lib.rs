@@ -44,7 +44,9 @@
 mod config;
 pub mod micro;
 mod program;
+mod store;
 mod walker;
 
 pub use config::{WorkloadConfig, WorkloadKind};
+pub use store::{SharedTrace, TraceCursor, TraceStore};
 pub use walker::Workload;

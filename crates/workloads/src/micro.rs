@@ -240,8 +240,7 @@ mod tests {
     #[test]
     fn independent_misses_touch_distinct_lines() {
         let t = independent_misses(8, 1);
-        let lines: std::collections::HashSet<_> =
-            t.iter().filter_map(|i| i.read_line()).collect();
+        let lines: std::collections::HashSet<_> = t.iter().filter_map(|i| i.read_line()).collect();
         assert_eq!(lines.len(), 8);
     }
 

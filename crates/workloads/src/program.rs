@@ -104,7 +104,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 fn site_hash(seed: u64, idx: usize, salt: u64) -> u64 {
-    splitmix64(seed ^ (idx as u64).wrapping_mul(0x1000_0000_1b3) ^ salt.wrapping_mul(0x9e37))
+    splitmix64(seed ^ (idx as u64).wrapping_mul(0x0100_0000_01b3) ^ salt.wrapping_mul(0x9e37))
 }
 
 fn site_unit(seed: u64, idx: usize, salt: u64) -> f64 {
@@ -181,7 +181,7 @@ impl Program {
             };
         }
         if in_zone {
-            if zone_off % cfg.zone_gap == 0 {
+            if zone_off.is_multiple_of(cfg.zone_gap) {
                 let chain = site_unit(seed, idx, 4) < cfg.chain_frac;
                 return Slot::ColdLoad { chain, zone };
             }

@@ -1,0 +1,293 @@
+//! Shared materialized traces: generate once, replay everywhere.
+//!
+//! Every sweep point of a figure/table simulates the same `(kind, seed)`
+//! workload, but streaming generation pays the full walker cost per run. A
+//! [`TraceStore`] materializes each requested `(kind, seed)` stream once
+//! into an immutable `Arc<[Inst]>` and hands out cheap replay
+//! [`TraceCursor`]s, so N sweep points share one generation pass. The store
+//! is sharded per trace: concurrent sweep workers materializing *different*
+//! traces never serialize on each other, and workers asking for the same
+//! trace block only while the first one generates it.
+//!
+//! Prefixes are stable: the cached buffer is extended by continuing the same
+//! generator instance, so the first `n` cached instructions are always
+//! exactly the first `n` instructions of `Workload::with_config(cfg, seed)`
+//! no matter how the cache grew. A cursor for a request of length `n`
+//! replays exactly those `n` instructions, which keeps every simulator run a
+//! pure function of `(config, kind, seed, n)` — independent of cache state,
+//! thread count or request interleaving.
+
+use crate::{Workload, WorkloadKind};
+use mlp_isa::Inst;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An immutable, shareable prefix of a workload's instruction stream.
+#[derive(Clone)]
+pub struct SharedTrace {
+    insts: Arc<[Inst]>,
+    len: usize,
+}
+
+impl SharedTrace {
+    /// The materialized instructions.
+    pub fn as_slice(&self) -> &[Inst] {
+        &self.insts[..self.len]
+    }
+
+    /// Number of instructions in this trace.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A replay cursor positioned at the first instruction.
+    pub fn cursor(&self) -> TraceCursor {
+        TraceCursor {
+            insts: Arc::clone(&self.insts),
+            len: self.len,
+            pos: 0,
+        }
+    }
+}
+
+/// A lightweight replaying reader over a [`SharedTrace`].
+///
+/// Implements `Iterator<Item = Inst>` and therefore
+/// [`mlp_isa::TraceSource`]; cloning or re-creating cursors is O(1) and
+/// never re-generates the trace.
+#[derive(Clone)]
+pub struct TraceCursor {
+    insts: Arc<[Inst]>,
+    len: usize,
+    pos: usize,
+}
+
+impl TraceCursor {
+    /// Reset to the first instruction.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Instructions not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+}
+
+impl Iterator for TraceCursor {
+    type Item = Inst;
+
+    fn next(&mut self) -> Option<Inst> {
+        if self.pos < self.len {
+            let i = self.insts[self.pos];
+            self.pos += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+/// One cached trace: the paused generator plus everything it has emitted.
+struct Entry {
+    generator: Workload,
+    buf: Vec<Inst>,
+    /// Immutable snapshot of `buf`, rebuilt lazily after growth.
+    shared: Option<Arc<[Inst]>>,
+}
+
+impl Entry {
+    fn new(kind: WorkloadKind, seed: u64) -> Entry {
+        Entry {
+            generator: Workload::new(kind, seed),
+            buf: Vec::new(),
+            shared: None,
+        }
+    }
+
+    fn trace_of_len(&mut self, len: usize) -> SharedTrace {
+        if self.buf.len() < len {
+            let need = len - self.buf.len();
+            self.buf.reserve(need);
+            self.buf.extend(self.generator.by_ref().take(need));
+            self.shared = None;
+        }
+        let insts = self
+            .shared
+            .get_or_insert_with(|| Arc::from(self.buf.as_slice()));
+        SharedTrace {
+            insts: Arc::clone(insts),
+            len,
+        }
+    }
+}
+
+type EntryMap = HashMap<(WorkloadKind, u64), Arc<Mutex<Entry>>>;
+
+/// A concurrent cache of materialized workload traces.
+pub struct TraceStore {
+    entries: Mutex<EntryMap>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The process-wide store used by the experiment runner.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(TraceStore::new)
+    }
+
+    /// The first `len` instructions of `Workload::new(kind, seed)`,
+    /// materialized (or re-used) and shared.
+    pub fn trace(&self, kind: WorkloadKind, seed: u64, len: usize) -> SharedTrace {
+        let cell = {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(
+                entries
+                    .entry((kind, seed))
+                    .or_insert_with(|| Arc::new(Mutex::new(Entry::new(kind, seed)))),
+            )
+        };
+        let mut entry = cell.lock().unwrap_or_else(|e| e.into_inner());
+        entry.trace_of_len(len)
+    }
+
+    /// Drop every cached trace (used to benchmark cold-vs-cached sweeps).
+    /// Outstanding `SharedTrace`s stay valid; future requests regenerate.
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Total instructions currently materialized across all traces.
+    pub fn cached_insts(&self) -> u64 {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .values()
+            .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()).buf.len() as u64)
+            .sum()
+    }
+
+    /// Number of distinct `(kind, seed)` traces cached.
+    pub fn cached_traces(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_isa::TraceSource;
+
+    #[test]
+    fn cached_trace_matches_fresh_generation() {
+        let store = TraceStore::new();
+        let t = store.trace(WorkloadKind::Database, 42, 5_000);
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::Database, 42)
+            .take(5_000)
+            .collect();
+        assert_eq!(t.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn growth_preserves_prefix() {
+        let store = TraceStore::new();
+        let short = store.trace(WorkloadKind::SpecJbb2000, 7, 1_000);
+        let long = store.trace(WorkloadKind::SpecJbb2000, 7, 4_000);
+        assert_eq!(&long.as_slice()[..1_000], short.as_slice());
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::SpecJbb2000, 7)
+            .take(4_000)
+            .collect();
+        assert_eq!(long.as_slice(), fresh.as_slice());
+        // The short handle still replays its original window.
+        assert_eq!(short.cursor().count(), 1_000);
+    }
+
+    #[test]
+    fn cursor_replays_and_rewinds() {
+        let store = TraceStore::new();
+        let t = store.trace(WorkloadKind::SpecWeb99, 3, 2_000);
+        let mut c = t.cursor();
+        let first: Vec<Inst> = c.by_ref().take(100).collect();
+        assert_eq!(c.remaining(), 1_900);
+        c.rewind();
+        let again: Vec<Inst> = c.by_ref().take(100).collect();
+        assert_eq!(first, again);
+        // TraceSource is available through the Iterator blanket impl.
+        let mut c2 = t.cursor();
+        assert_eq!(c2.take_insts(2_000).len(), 2_000);
+        assert!(c2.next_inst().is_none());
+    }
+
+    #[test]
+    fn distinct_seeds_and_kinds_do_not_alias() {
+        let store = TraceStore::new();
+        let a = store.trace(WorkloadKind::Database, 1, 500);
+        let b = store.trace(WorkloadKind::Database, 2, 500);
+        let c = store.trace(WorkloadKind::SpecWeb99, 1, 500);
+        assert_ne!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+        assert_eq!(store.cached_traces(), 3);
+        assert_eq!(store.cached_insts(), 1_500);
+    }
+
+    #[test]
+    fn clear_then_regenerate_is_identical() {
+        let store = TraceStore::new();
+        let a = store.trace(WorkloadKind::Database, 9, 1_000);
+        let before: Vec<Inst> = a.as_slice().to_vec();
+        store.clear();
+        assert_eq!(store.cached_traces(), 0);
+        let b = store.trace(WorkloadKind::Database, 9, 1_000);
+        assert_eq!(b.as_slice(), before.as_slice());
+        // The pre-clear handle remains readable.
+        assert_eq!(a.as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn concurrent_requests_agree() {
+        let store = TraceStore::new();
+        let outputs =
+            mlp_par_stub::run_threads(8, || store.trace(WorkloadKind::SpecJbb2000, 5, 10_000));
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::SpecJbb2000, 5)
+            .take(10_000)
+            .collect();
+        for t in outputs {
+            assert_eq!(t.as_slice(), fresh.as_slice());
+        }
+    }
+
+    /// Tiny scoped-thread helper so this crate need not depend on mlp-par.
+    mod mlp_par_stub {
+        pub fn run_threads<R: Send>(n: usize, f: impl Fn() -> R + Sync) -> Vec<R> {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(&f)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        }
+    }
+}

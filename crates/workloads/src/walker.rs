@@ -1,9 +1,10 @@
 use crate::program::{layout, BranchBehavior, Program, Slot};
 use crate::{WorkloadConfig, WorkloadKind};
+use mlp_hash::FxHashMap;
 use mlp_isa::{Inst, Reg};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Register conventions of the synthetic programs.
 mod regs {
@@ -77,10 +78,10 @@ pub struct Workload {
     idx: usize,
     call_stack: Vec<usize>,
     excursion: Option<Excursion>,
-    planned: HashMap<u32, VecDeque<u64>>,
-    sticky: HashMap<u32, u64>,
+    planned: FxHashMap<u32, VecDeque<u64>>,
+    sticky: FxHashMap<u32, u64>,
     chase_pos: usize,
-    branch_visits: HashMap<u32, u32>,
+    branch_visits: FxHashMap<u32, u32>,
     last_cold_reg: Reg,
     last_cold_value: u64,
     alu_rot: usize,
@@ -107,10 +108,10 @@ impl Workload {
             idx: 0,
             call_stack: Vec::new(),
             excursion: None,
-            planned: HashMap::new(),
-            sticky: HashMap::new(),
+            planned: FxHashMap::default(),
+            sticky: FxHashMap::default(),
             chase_pos: 0,
-            branch_visits: HashMap::new(),
+            branch_visits: FxHashMap::default(),
             last_cold_reg: regs::cold(),
             last_cold_value: layout::HOT_DATA_BASE,
             alu_rot: 0,
@@ -193,15 +194,15 @@ impl Workload {
                 self.last_cold_value = value;
                 // Base register is a recent on-chip ALU value, so the miss
                 // is overlappable (independent of other misses).
-                Inst::load(pc, regs::alu_dst(self.alu_rot), 0, regs::cold(), addr)
-                    .with_value(value)
+                Inst::load(pc, regs::alu_dst(self.alu_rot), 0, regs::cold(), addr).with_value(value)
             }
             Slot::DepStore => {
                 // Address derived from the most recent missing value: the
                 // store cannot resolve until that miss returns. The target
                 // line itself stays on chip (hot region).
-                let addr = layout::HOT_DATA_BASE
-                    + (self.last_cold_value % self.program.cfg.hot_data_bytes) & !7;
+                let addr = (layout::HOT_DATA_BASE
+                    + (self.last_cold_value % self.program.cfg.hot_data_bytes))
+                    & !7;
                 Inst::store(pc, self.last_cold_reg, 0, regs::alu_dst(self.alu_rot), addr)
             }
             Slot::ColdStore => {
@@ -209,7 +210,13 @@ impl Workload {
                 // goes off chip but the store buffer hides it (unless the
                 // simulator models a finite buffer).
                 let addr = self.fresh_cold_addr();
-                Inst::store(pc, regs::alu_dst(self.alu_rot), 0, regs::alu_dst(self.alu_rot.wrapping_sub(1)), addr)
+                Inst::store(
+                    pc,
+                    regs::alu_dst(self.alu_rot),
+                    0,
+                    regs::alu_dst(self.alu_rot.wrapping_sub(1)),
+                    addr,
+                )
             }
             Slot::Consume => {
                 // Use the most recent missing value promptly, as real code
@@ -239,7 +246,7 @@ impl Workload {
                     } => {
                         let v = self.branch_visits.entry(idx as u32).or_insert(0);
                         *v += 1;
-                        let flip = *v % period as u32 == 0;
+                        let flip = v.is_multiple_of(period as u32);
                         mostly_taken ^ flip
                     }
                 };
@@ -337,6 +344,7 @@ impl Iterator for Workload {
 mod tests {
     use super::*;
     use mlp_isa::{InstMix, OpKind};
+    use std::collections::HashMap;
 
     fn mix(kind: WorkloadKind, n: usize) -> InstMix {
         let wl = Workload::new(kind, 11);
@@ -345,8 +353,12 @@ mod tests {
 
     #[test]
     fn deterministic_across_instances() {
-        let a: Vec<Inst> = Workload::new(WorkloadKind::SpecWeb99, 5).take(50_000).collect();
-        let b: Vec<Inst> = Workload::new(WorkloadKind::SpecWeb99, 5).take(50_000).collect();
+        let a: Vec<Inst> = Workload::new(WorkloadKind::SpecWeb99, 5)
+            .take(50_000)
+            .collect();
+        let b: Vec<Inst> = Workload::new(WorkloadKind::SpecWeb99, 5)
+            .take(50_000)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -354,7 +366,10 @@ mod tests {
     fn database_mix_is_sane() {
         let m = mix(WorkloadKind::Database, 200_000);
         assert!(m.frac(m.loads) > 0.15 && m.frac(m.loads) < 0.40, "{m}");
-        assert!(m.frac(m.branches()) > 0.05 && m.frac(m.branches()) < 0.25, "{m}");
+        assert!(
+            m.frac(m.branches()) > 0.05 && m.frac(m.branches()) < 0.25,
+            "{m}"
+        );
         assert!(m.serializing() > 0, "{m}");
     }
 
@@ -418,7 +433,10 @@ mod tests {
             .take(500_000)
             .filter(|i| i.pc >= layout::COLD_CODE_BASE)
             .count();
-        assert!(cold_pcs > 0, "database workload must take cold-code excursions");
+        assert!(
+            cold_pcs > 0,
+            "database workload must take cold-code excursions"
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ fn consumers_read_missing_values_promptly() {
     let mut consumed_quickly = 0;
     let mut cold_loads = 0;
     for (k, i) in insts.iter().enumerate() {
-        let is_cold = i.kind == OpKind::Load
-            && i.mem.map(|m| m.addr >= 0x4000_0000).unwrap_or(false);
+        let is_cold =
+            i.kind == OpKind::Load && i.mem.map(|m| m.addr >= 0x4000_0000).unwrap_or(false);
         if !is_cold {
             continue;
         }
@@ -118,7 +118,10 @@ fn chase_nodes_are_revisited_with_stable_values() {
             seen.insert(addr, i.value);
         }
     }
-    assert!(revisits > 100, "tiny heap must be re-walked (got {revisits})");
+    assert!(
+        revisits > 100,
+        "tiny heap must be re-walked (got {revisits})"
+    );
 }
 
 #[test]
@@ -154,7 +157,10 @@ fn custom_config_round_trips_through_walker() {
     let mut cfg = WorkloadConfig::specweb99();
     cfg.prefetch_coverage = 0.0;
     let wl = Workload::with_config(&cfg, 9);
-    let prefetches = wl.take(300_000).filter(|i| i.kind == OpKind::Prefetch).count();
+    let prefetches = wl
+        .take(300_000)
+        .filter(|i| i.kind == OpKind::Prefetch)
+        .count();
     assert_eq!(prefetches, 0, "coverage 0 must disable prefetching");
 }
 

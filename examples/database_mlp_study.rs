@@ -69,7 +69,10 @@ fn main() {
 
     // --- Issue policy & window sweep (Figure 4 in miniature) -------------
     println!("== MLP vs window size and issue configuration ==");
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "size", "A", "B", "C", "D", "E");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "size", "A", "B", "C", "D", "E"
+    );
     for size in [16usize, 32, 64, 128, 256] {
         print!("{size:>8}");
         for issue in IssueConfig::ALL {

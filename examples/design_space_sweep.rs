@@ -24,8 +24,7 @@ fn main() {
     let real = CycleSim::new(CycleSimConfig::default().with_mem_latency(LATENCY))
         .run(&mut wl, 300_000, 800_000);
     let mut wl = Workload::new(kind, 42);
-    let perf =
-        CycleSim::new(CycleSimConfig::default().perfect_l2()).run(&mut wl, 300_000, 800_000);
+    let perf = CycleSim::new(CycleSimConfig::default().perfect_l2()).run(&mut wl, 300_000, 800_000);
     let base_model = CpiModel::from_measured(
         real.cpi(),
         perf.cpi(),
@@ -53,9 +52,18 @@ fn main() {
     };
     let candidates: Vec<(&str, MlpsimConfig)> = vec![
         ("baseline 64D", ooo(IssueConfig::D, 64, 64)),
-        ("double the issue window: 128D", ooo(IssueConfig::D, 128, 128)),
-        ("grow only the ROB: 64D/ROB256", ooo(IssueConfig::D, 64, 256)),
-        ("grow only the ROB: 64D/ROB1024", ooo(IssueConfig::D, 64, 1024)),
+        (
+            "double the issue window: 128D",
+            ooo(IssueConfig::D, 128, 128),
+        ),
+        (
+            "grow only the ROB: 64D/ROB256",
+            ooo(IssueConfig::D, 64, 256),
+        ),
+        (
+            "grow only the ROB: 64D/ROB1024",
+            ooo(IssueConfig::D, 64, 1024),
+        ),
         (
             "non-serializing atomics: 64E/ROB256",
             ooo(IssueConfig::E, 64, 256),

@@ -7,9 +7,7 @@
 //! ```
 
 use mlp_workloads::{Workload, WorkloadKind};
-use mlpsim::{
-    BranchMode, IssueConfig, MlpsimConfig, Simulator, ValueMode, WindowModel,
-};
+use mlpsim::{BranchMode, IssueConfig, MlpsimConfig, Simulator, ValueMode, WindowModel};
 
 fn run(kind: WorkloadKind, cfg: MlpsimConfig) -> mlpsim::Report {
     let mut wl = Workload::new(kind, 42);

@@ -42,7 +42,12 @@ fn main() {
         let r = SmtSim::new(cfg.clone()).run(vec![&mut wa, &mut wb], warm, measure);
         // Time-sharing baseline: run A's instructions, then B's, each at
         // its solo speed — the harmonic-mean throughput.
-        let ipc_of = |k| solo.iter().find(|(s, ..)| *s == k).map(|&(_, _, i)| i).unwrap();
+        let ipc_of = |k| {
+            solo.iter()
+                .find(|(s, ..)| *s == k)
+                .map(|&(_, _, i)| i)
+                .unwrap()
+        };
         let serial = 2.0 / (1.0 / ipc_of(a) + 1.0 / ipc_of(b));
         println!(
             "  {:<26} chip MLP {:>6.3}   IPC {:>6.3}  ({:+.0}% vs time-sharing)",

@@ -72,7 +72,10 @@ fn miss_rates_are_ordered_like_the_paper() {
     let db = miss_rate_per_100(WorkloadKind::Database);
     let jbb = miss_rate_per_100(WorkloadKind::SpecJbb2000);
     let web = miss_rate_per_100(WorkloadKind::SpecWeb99);
-    assert!(db > jbb && jbb > web, "expected DB > JBB > Web: {db:.3} {jbb:.3} {web:.3}");
+    assert!(
+        db > jbb && jbb > web,
+        "expected DB > JBB > Web: {db:.3} {jbb:.3} {web:.3}"
+    );
 }
 
 #[test]
@@ -112,8 +115,14 @@ fn instruction_mixes_look_like_programs() {
         let loads = mix.frac(mix.loads + mix.atomics);
         let stores = mix.frac(mix.stores);
         let branches = mix.frac(mix.branches());
-        assert!((0.1..0.45).contains(&loads), "{kind}: load fraction {loads:.3}");
-        assert!((0.03..0.25).contains(&stores), "{kind}: store fraction {stores:.3}");
+        assert!(
+            (0.1..0.45).contains(&loads),
+            "{kind}: load fraction {loads:.3}"
+        );
+        assert!(
+            (0.03..0.25).contains(&stores),
+            "{kind}: store fraction {stores:.3}"
+        );
         assert!(
             (0.05..0.30).contains(&branches),
             "{kind}: branch fraction {branches:.3}"
@@ -189,8 +198,20 @@ fn value_predictability_ordering_matches_table6() {
     let db = rates[0].1;
     let jbb = rates[1].1;
     let web = rates[2].1;
-    assert!(db > jbb && db > web, "database most predictable: {db:.2} {jbb:.2} {web:.2}");
-    assert!(db > 0.25, "database correct rate {db:.2} too low vs paper 0.42");
-    assert!(jbb > 0.08, "jbb correct rate {jbb:.2} too low vs paper 0.20");
-    assert!(web > 0.12, "web correct rate {web:.2} too low vs paper 0.25");
+    assert!(
+        db > jbb && db > web,
+        "database most predictable: {db:.2} {jbb:.2} {web:.2}"
+    );
+    assert!(
+        db > 0.25,
+        "database correct rate {db:.2} too low vs paper 0.42"
+    );
+    assert!(
+        jbb > 0.08,
+        "jbb correct rate {jbb:.2} too low vs paper 0.20"
+    );
+    assert!(
+        web > 0.12,
+        "web correct rate {web:.2} too low vs paper 0.25"
+    );
 }

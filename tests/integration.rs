@@ -177,7 +177,11 @@ fn figure2_misses_are_clustered() {
         // The observed CDF must exceed the uniform one at short distances.
         // The paper's Figure 2: the divergence is extreme for SPECjbb2000
         // and SPECweb99, milder for the database workload.
-        let factor = if s.kind == WorkloadKind::Database { 1.15 } else { 2.0 };
+        let factor = if s.kind == WorkloadKind::Database {
+            1.15
+        } else {
+            2.0
+        };
         assert!(
             s.observed[idx] > factor * s.uniform[idx],
             "{}: observed {:.3} vs uniform {:.3} at distance 100",

@@ -95,9 +95,7 @@ fn table1_components_are_consistent() {
         assert!((0.0..=1.0).contains(&r.overlap_cm));
         assert!(r.mlp >= 1.0);
     }
-    let db = t1
-        .row(mlp_workloads::WorkloadKind::Database, 1000)
-        .unwrap();
+    let db = t1.row(mlp_workloads::WorkloadKind::Database, 1000).unwrap();
     assert!(
         db.cpi_off_chip > db.cpi_on_chip,
         "database at 1000 cycles is memory-dominated ({:.2} vs {:.2})",
@@ -121,10 +119,12 @@ fn simulators_agree_on_random_micro_traces() {
     let n_seeds = 12;
     for seed in 0..n_seeds {
         let t = micro::random_trace(seed * 7919 + 3, 600);
-        let m = Simulator::new(MlpsimConfig::default())
-            .run(&mut SliceTrace::new(&t), 0, u64::MAX);
-        let c = CycleSim::new(CycleSimConfig::default().with_mem_latency(1000))
-            .run(&mut SliceTrace::new(&t), 0, u64::MAX);
+        let m = Simulator::new(MlpsimConfig::default()).run(&mut SliceTrace::new(&t), 0, u64::MAX);
+        let c = CycleSim::new(CycleSimConfig::default().with_mem_latency(1000)).run(
+            &mut SliceTrace::new(&t),
+            0,
+            u64::MAX,
+        );
         let err = (m.mlp() - c.mlp()).abs() / c.mlp();
         total_err += err;
         worst = worst.max(err);
@@ -161,6 +161,12 @@ fn runahead_timing_confirms_epoch_model_prediction() {
     assert!(db_m > web_m, "memory-bound workloads gain more");
     // Prediction within a factor of two of measurement (model limits:
     // serializing drains' on-chip cost is folded into CPI_on).
-    assert!(db_p > 0.5 * db_m && db_p < 2.0 * db_m, "{db_p:.1} vs {db_m:.1}");
-    assert!(web_p > 0.4 * web_m && web_p < 2.5 * web_m, "{web_p:.1} vs {web_m:.1}");
+    assert!(
+        db_p > 0.5 * db_m && db_p < 2.0 * db_m,
+        "{db_p:.1} vs {db_m:.1}"
+    );
+    assert!(
+        web_p > 0.4 * web_m && web_p < 2.5 * web_m,
+        "{web_p:.1} vs {web_m:.1}"
+    );
 }

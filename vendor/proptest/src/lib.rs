@@ -1,0 +1,636 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses — the
+//! [`strategy::Strategy`] trait, `any`, ranges, tuples, `Just`,
+//! `prop_oneof!` / `prop_compose!` / `proptest!`, collection and option
+//! strategies, `sample::Index`, and `prop_assert*` — with deterministic
+//! per-test random streams (seeded from the test name, overridable with the
+//! `PROPTEST_SEED` env var). Failing cases are reported with their case
+//! number and re-runnable seed; there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner plumbing: config, RNG, and the failure type.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The input was rejected (not counted as failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A property-violation error with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An input-rejection error with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies while generating one case.
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// RNG for `case` of the test named `name`, honoring `PROPTEST_SEED`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            TestRng(SmallRng::seed_from_u64(Self::case_seed(name, case)))
+        }
+
+        /// The seed `for_case` uses — surfaced in failure messages.
+        pub fn case_seed(name: &str, case: u64) -> u64 {
+            let base = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0x70_72_6f_70_74_65_73_74); // "proptest"
+            let mut h = base;
+            for b in name.bytes() {
+                h = (h.rotate_left(5) ^ b as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+            }
+            h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform draw from `[0, span)`; `span` must be non-zero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            use rand::Rng;
+            self.0.gen_range(0..span)
+        }
+
+        /// `true` with probability `num / den`.
+        pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+            self.below(den as u64) < num as u64
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (what `prop_oneof!` arms become).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed arms (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given arms; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.arms.len() as u64) as usize;
+            self.arms[k].generate(rng)
+        }
+    }
+
+    /// Strategy generating a function's output lazily (`prop_compose!`).
+    pub struct LazyGen<T, F: Fn(&mut TestRng) -> T> {
+        f: F,
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> LazyGen<T, F> {
+        /// Wrap a generator closure as a strategy.
+        pub fn new(f: F) -> Self {
+            LazyGen {
+                f,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for LazyGen<T, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (see [`crate::arbitrary::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// The strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+)  ;
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` — the canonical whole-domain strategy for `T`.
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+    use std::marker::PhantomData;
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Things `collection::vec` accepts as a length range.
+    pub trait SizeRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (mostly `Some`).
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy: `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.ratio(3, 4) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    /// An abstract index into a collection of not-yet-known size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Resolve against a concrete collection size (must be non-zero).
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+}
+
+/// The glob-imported surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a proptest body; failure aborts only the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define a function returning a composed strategy.
+///
+/// Supports the common form `fn name()(var in strategy, ...) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$attr:meta])*
+        $vis:vis fn $name:ident ()
+        ( $($arg:pat in $strat:expr),+ $(,)? ) -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$attr])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::LazyGen::new(
+                move |rng: &mut $crate::test_runner::TestRng| -> $ret {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), rng);
+                    )+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases as u64 {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                let outcome = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "proptest `{}` failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name),
+                        case,
+                        cfg.cases,
+                        $crate::test_runner::TestRng::case_seed(stringify!($name), case),
+                        msg
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Declare property tests: each `#[test] fn` runs many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0u64..100, b in 0u64..100) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u32>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn composed_pairs_in_bounds((a, b) in pair()) {
+            prop_assert!(a < 100 && b < 100);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(k in prop_oneof![Just(1u32), Just(2), 5u32..7]) {
+            prop_assert!(k == 1 || k == 2 || k == 5 || k == 6);
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(ix in any::<prop::sample::Index>(), n in 1usize..50) {
+            prop_assert!(ix.index(n) < n);
+        }
+
+        #[test]
+        fn options_mix(o in prop::option::of(0u64..5)) {
+            if let Some(v) = o {
+                prop_assert!(v < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(crate::arbitrary::any::<u64>(), 0..20);
+        let a: Vec<Vec<u64>> = (0..10)
+            .map(|c| s.generate(&mut TestRng::for_case("det", c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..10)
+            .map(|c| s.generate(&mut TestRng::for_case("det", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
