@@ -1,0 +1,66 @@
+//! Registry-driven experiment bench: regenerates every registered
+//! table/figure as a `cargo bench` target and records per-experiment
+//! wall times in `results/BENCH_experiments.json`.
+//!
+//! This single driver replaces the old one-bench-file-per-figure layout;
+//! the registry is the source of truth for what exists.
+//!
+//! Scale via `MLP_BENCH_SCALE=quick|standard|full` (default: quick, so
+//! `cargo bench --workspace` stays fast). Filter with
+//! `MLP_BENCH_ONLY=<substring>` to time a subset.
+
+use mlp_experiments::registry;
+use mlp_experiments::RunScale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let (scale, scale_label) = match std::env::var("MLP_BENCH_SCALE") {
+        Ok(s) => (
+            RunScale::parse(&s).unwrap_or_else(RunScale::quick),
+            s.clone(),
+        ),
+        Err(_) => (RunScale::quick(), "quick".to_string()),
+    };
+    let selected = match std::env::var("MLP_BENCH_ONLY") {
+        Ok(sub) => {
+            let picked = registry::matching(&sub);
+            assert!(!picked.is_empty(), "MLP_BENCH_ONLY={sub} matches nothing");
+            picked
+        }
+        Err(_) => registry::REGISTRY.to_vec(),
+    };
+
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let t_all = Instant::now();
+    for e in &selected {
+        let t0 = Instant::now();
+        let run = e.run(scale);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("{}", run.text);
+        println!("[{} regenerated in {secs:.1}s]", e.name());
+        timings.push((e.name(), secs));
+    }
+    let total_secs = t_all.elapsed().as_secs_f64();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"registry experiments\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale_label}\",");
+    let _ = writeln!(json, "  \"host_cores\": {},", mlp_par::available_threads());
+    let _ = writeln!(json, "  \"threads\": {},", mlp_par::thread_count());
+    let _ = writeln!(json, "  \"total_secs\": {total_secs:.3},");
+    json.push_str("  \"experiments\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {secs:.3}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(out).expect("create results dir");
+    let path = format!("{out}/BENCH_experiments.json");
+    std::fs::write(&path, &json).expect("write BENCH_experiments.json");
+
+    println!("{json}");
+    println!("[experiment bench written to {path}]");
+}

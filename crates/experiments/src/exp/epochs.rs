@@ -7,6 +7,8 @@
 //! interconnects" — this experiment exposes exactly that distribution for
 //! the default processor and for runahead.
 
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
 use crate::runner::{run_mlpsim, sweep};
 use crate::table::{pct, TextTable};
 use crate::RunScale;
@@ -109,6 +111,67 @@ impl EpochStats {
         self.distributions
             .iter()
             .find(|d| d.kind == kind && d.machine == machine)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "epochs",
+            "Epoch statistics: accesses-per-epoch distribution",
+            "§4.1 (epoch model)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("machine", vec!["64C", "RAE"]);
+        rep.axis("bucket", BUCKETS.map(|b| b as u64).to_vec());
+        for d in &self.distributions {
+            let mut row = JsonRow::new()
+                .field("benchmark", d.kind.name())
+                .field("machine", d.machine)
+                .field("mlp", d.mlp);
+            for (name, &f) in CDF_FIELDS.iter().zip(&d.cdf) {
+                row = row.field(name, f);
+            }
+            rep.row(row);
+        }
+        rep
+    }
+}
+
+/// JSON field names for the CDF buckets, aligned with [`BUCKETS`].
+const CDF_FIELDS: [&str; 8] = [
+    "cdf_le_1",
+    "cdf_le_2",
+    "cdf_le_3",
+    "cdf_le_4",
+    "cdf_le_5",
+    "cdf_le_8",
+    "cdf_le_16",
+    "cdf_le_32",
+];
+
+/// Registry entry for the epoch-statistics experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "epochs"
+    }
+    fn module(&self) -> &'static str {
+        "epochs"
+    }
+    fn description(&self) -> &'static str {
+        "Distribution of useful off-chip accesses per epoch (64C and RAE)"
+    }
+    fn section(&self) -> &'static str {
+        "§4.1 (epoch model)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let e = run(scale);
+        ExperimentRun {
+            text: e.render(),
+            report: e.report(scale),
+        }
     }
 }
 

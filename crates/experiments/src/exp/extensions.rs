@@ -10,7 +10,9 @@
 //!   *useful* ones; measuring both shows how much store traffic inflates
 //!   the naive metric.
 
-use crate::runner::{cursor, cursor_seeded, run_cyclesim, run_mlpsim, sweep, SEED};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{cursor, cursor_seeded, run_cyclesim, run_mlpsim, sweep, sweep_grid, SEED};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -43,17 +45,19 @@ pub fn run_store_buffer(scale: RunScale) -> StoreBufferStudy {
     for kind in WorkloadKind::ALL {
         jobs.extend(STORE_BUFFERS.iter().map(|&sb| (kind, sb)));
     }
-    let points = sweep(jobs, |&(kind, sb)| {
+    let points = sweep_grid(jobs, |&(kind, sb)| {
         let cfg = MlpsimConfig::builder().store_buffer(sb).build();
         let r = run_mlpsim(kind, cfg, scale);
         (r.mlp(), r.store_mlp())
     });
     let series = WorkloadKind::ALL
         .into_iter()
-        .enumerate()
-        .map(|(ki, kind)| StoreBufferSeries {
+        .map(|kind| StoreBufferSeries {
             kind,
-            points: points[ki * STORE_BUFFERS.len()..(ki + 1) * STORE_BUFFERS.len()].to_vec(),
+            points: STORE_BUFFERS
+                .iter()
+                .map(|&sb| points[&(kind, sb)])
+                .collect(),
         })
         .collect();
     StoreBufferStudy { series }
@@ -86,6 +90,61 @@ impl StoreBufferStudy {
     /// The series for a workload.
     pub fn series_for(&self, kind: WorkloadKind) -> Option<&StoreBufferSeries> {
         self.series.iter().find(|s| s.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "store-mlp",
+            "Extension: store MLP under a finite store buffer",
+            "§7 (future work: store MLP)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis(
+            "store_buffer",
+            STORE_BUFFERS
+                .iter()
+                .map(|sb| sb.map(|n| n as u64))
+                .collect::<Vec<_>>(),
+        );
+        for s in &self.series {
+            for (i, &sb) in STORE_BUFFERS.iter().enumerate() {
+                rep.row(
+                    JsonRow::new()
+                        .field("benchmark", s.kind.name())
+                        .field("store_buffer", sb.map(|n| n as u64))
+                        .field("mlp", s.points[i].0)
+                        .field("store_mlp", s.points[i].1),
+                );
+            }
+        }
+        rep
+    }
+}
+
+/// Registry entry for the store-MLP study.
+pub struct StoreMlpExp;
+
+impl Experiment for StoreMlpExp {
+    fn name(&self) -> &'static str {
+        "store-mlp"
+    }
+    fn module(&self) -> &'static str {
+        "extensions"
+    }
+    fn description(&self) -> &'static str {
+        "Store MLP under a finite store buffer (paper future work)"
+    }
+    fn section(&self) -> &'static str {
+        "§7 (future work: store MLP)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let s = run_store_buffer(scale);
+        ExperimentRun {
+            text: s.render(),
+            report: s.report(scale),
+        }
     }
 }
 
@@ -137,7 +196,7 @@ pub fn run_ablations(scale: RunScale) -> Ablations {
     for kind in WorkloadKind::ALL {
         vp_jobs.extend((0..=vp_modes.len()).map(|vi| (kind, vi)));
     }
-    let vp_mlps = sweep(vp_jobs, |&(kind, vi)| {
+    let vp_mlps = sweep_grid(vp_jobs, |&(kind, vi)| {
         let cfg = if vi == 0 {
             rae.clone()
         } else {
@@ -148,12 +207,11 @@ pub fn run_ablations(scale: RunScale) -> Ablations {
         };
         run_mlpsim(kind, cfg, scale).mlp()
     });
-    let chunk = 1 + vp_modes.len();
     let mut value_predictors = Vec::new();
-    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
-        let base = vp_mlps[ki * chunk];
+    for kind in WorkloadKind::ALL {
+        let base = vp_mlps[&(kind, 0)];
         for (vi, &(label, _)) in vp_modes.iter().enumerate() {
-            let gain = 100.0 * (vp_mlps[ki * chunk + 1 + vi] / base - 1.0);
+            let gain = 100.0 * (vp_mlps[&(kind, vi + 1)] / base - 1.0);
             value_predictors.push((kind, label, gain));
         }
     }
@@ -209,6 +267,75 @@ impl Ablations {
         }
         out.push_str(&t.render());
         out
+    }
+
+    /// The structured report. Rows carry an `ablation` discriminator so
+    /// all three sweeps share one flat row list.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "ablations",
+            "Ablations: fetch buffer, value predictor, runahead distance",
+            "§5 (design-parameter ablations)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis(
+            "ablation",
+            vec!["fetch_buffer", "value_predictor", "rae_distance"],
+        );
+        for &(kind, fb, mlp) in &self.fetch_buffer {
+            rep.row(
+                JsonRow::new()
+                    .field("ablation", "fetch_buffer")
+                    .field("benchmark", kind.name())
+                    .field("fetch_buffer", fb as u64)
+                    .field("mlp", mlp),
+            );
+        }
+        for &(kind, label, gain) in &self.value_predictors {
+            rep.row(
+                JsonRow::new()
+                    .field("ablation", "value_predictor")
+                    .field("benchmark", kind.name())
+                    .field("predictor", label)
+                    .field("mlp_gain_pct", gain),
+            );
+        }
+        for &(kind, dist, mlp) in &self.rae_distance {
+            rep.row(
+                JsonRow::new()
+                    .field("ablation", "rae_distance")
+                    .field("benchmark", kind.name())
+                    .field("max_dist", dist as u64)
+                    .field("mlp", mlp),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for the ablation suite.
+pub struct AblationsExp;
+
+impl Experiment for AblationsExp {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+    fn module(&self) -> &'static str {
+        "extensions"
+    }
+    fn description(&self) -> &'static str {
+        "Ablations of fetch-buffer depth, VP organisation and runahead distance"
+    }
+    fn section(&self) -> &'static str {
+        "§5 (design-parameter ablations)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let a = run_ablations(scale);
+        ExperimentRun {
+            text: a.render(),
+            report: a.report(scale),
+        }
     }
 }
 
@@ -280,6 +407,52 @@ impl SmtStudy {
             .iter()
             .find(|(l, ..)| l.starts_with(prefix))
             .map(|&(_, m, i, _)| (m, i))
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "smt",
+            "Extension: MLP on a 2-way SMT core",
+            "§7 (future work: SMT)",
+            scale,
+        );
+        rep.axis("memory_latency", vec![1000u64]);
+        for (label, mlp, ipc, insts) in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("threads", label.clone())
+                    .field("chip_mlp", *mlp)
+                    .field("ipc", *ipc)
+                    .field("per_thread_insts", insts.clone()),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for the SMT study.
+pub struct SmtExp;
+
+impl Experiment for SmtExp {
+    fn name(&self) -> &'static str {
+        "smt"
+    }
+    fn module(&self) -> &'static str {
+        "extensions"
+    }
+    fn description(&self) -> &'static str {
+        "Chip-level MLP and throughput for co-running workloads on 2-way SMT"
+    }
+    fn section(&self) -> &'static str {
+        "§7 (future work: SMT)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let s = run_smt(scale);
+        ExperimentRun {
+            text: s.render(),
+            report: s.report(scale),
+        }
     }
 }
 
@@ -392,6 +565,59 @@ impl RaeTiming {
             .find(|&&(k, ..)| k == kind)
             .map(|&(_, _, _, m, p, ..)| (m, p))
     }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "rae-timing",
+            "Extension: runahead in the timing domain vs the epoch-model prediction",
+            "§4 (validation, extended)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("memory_latency", vec![1000u64]);
+        for &(kind, conv_cpi, rae_cpi, measured, predicted, conv_mlp, rae_mlp, measured_vp) in
+            &self.rows
+        {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", kind.name())
+                    .field("conv_cpi", conv_cpi)
+                    .field("rae_cpi", rae_cpi)
+                    .field("measured_speedup_pct", measured)
+                    .field("predicted_speedup_pct", predicted)
+                    .field("conv_mlp_timing", conv_mlp)
+                    .field("rae_mlp_timing", rae_mlp)
+                    .field("rae_vp_speedup_pct", measured_vp),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for the runahead timing study.
+pub struct RaeTimingExp;
+
+impl Experiment for RaeTimingExp {
+    fn name(&self) -> &'static str {
+        "rae-timing"
+    }
+    fn module(&self) -> &'static str {
+        "extensions"
+    }
+    fn description(&self) -> &'static str {
+        "Measured runahead speedup in the cycle model vs the CPI-equation prediction"
+    }
+    fn section(&self) -> &'static str {
+        "§4 (validation, extended)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let r = run_rae_timing(scale);
+        ExperimentRun {
+            text: r.render(),
+            report: r.report(scale),
+        }
+    }
 }
 
 /// The fM-vs-MLP comparison (paper §6 related work).
@@ -436,6 +662,53 @@ impl FmStudy {
             .iter()
             .find(|&&(k, l, _, _)| k == kind && l == latency)
             .map(|&(_, _, m, f)| (m, f))
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "fm",
+            "Extension: useful-access MLP vs Sorin et al.'s fM",
+            "§6 (related work)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("memory_latency", vec![200u64, 1000]);
+        for &(kind, latency, mlp, fm) in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", kind.name())
+                    .field("memory_latency", latency)
+                    .field("mlp_useful", mlp)
+                    .field("fm_all_transfers", fm),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for the fM comparison.
+pub struct FmExp;
+
+impl Experiment for FmExp {
+    fn name(&self) -> &'static str {
+        "fm"
+    }
+    fn module(&self) -> &'static str {
+        "extensions"
+    }
+    fn description(&self) -> &'static str {
+        "Useful-access MLP vs the all-transfer fM metric of Sorin et al."
+    }
+    fn section(&self) -> &'static str {
+        "§6 (related work)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run_fm(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 
@@ -496,6 +769,57 @@ impl L3Study {
             .iter()
             .find(|&&(k, l, ..)| k == kind && l == label)
             .map(|&(_, _, c, ..)| c)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "l3",
+            "Extension: an off-chip L3 at 1000-cycle memory latency",
+            "§2.1 (future configuration)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis(
+            "hierarchy",
+            vec!["no L3 (paper default)", "16MB off-chip L3"],
+        );
+        for &(kind, label, cpi, mlp, mr) in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", kind.name())
+                    .field("hierarchy", label)
+                    .field("cpi", cpi)
+                    .field("mlp", mlp)
+                    .field("miss_rate_per_100", mr),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for the off-chip-L3 study.
+pub struct L3Exp;
+
+impl Experiment for L3Exp {
+    fn name(&self) -> &'static str {
+        "l3"
+    }
+    fn module(&self) -> &'static str {
+        "extensions"
+    }
+    fn description(&self) -> &'static str {
+        "A 16MB off-chip L3 vs the paper's no-L3 hierarchy on the cycle model"
+    }
+    fn section(&self) -> &'static str {
+        "§2.1 (future configuration)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let l = run_l3(scale);
+        ExperimentRun {
+            text: l.render(),
+            report: l.report(scale),
+        }
     }
 }
 

@@ -3,7 +3,9 @@
 //! conventional 64D/ROB256 processor (lower graph).
 
 use super::figure8::RAE_MAX_DIST;
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f3, pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -122,25 +124,21 @@ pub fn run(scale: RunScale) -> Figure10 {
             jobs.extend(Arm::ALL.iter().map(|&arm| (bi, kind, arm)));
         }
     }
-    let mlps = sweep(jobs, |&(bi, kind, arm)| {
+    let mlps = sweep_grid(jobs, |&(bi, kind, arm)| {
         run_mlpsim(kind, arm.apply(bases[bi].clone()), scale).mlp()
     });
-    let mut it = mlps.into_iter();
-    let mut collect_series = || -> Vec<Series> {
+    let collect_series = |bi: usize| -> Vec<Series> {
         WorkloadKind::ALL
             .into_iter()
-            .map(|kind| {
-                let mut mlp = [0.0; 5];
-                for cell in &mut mlp {
-                    *cell = it.next().expect("one result per job");
-                }
-                Series { kind, mlp }
+            .map(|kind| Series {
+                kind,
+                mlp: Arm::ALL.map(|arm| mlps[&(bi, kind, arm)]),
             })
             .collect()
     };
     Figure10 {
-        rae: collect_series(),
-        conventional: collect_series(),
+        rae: collect_series(0),
+        conventional: collect_series(1),
     }
 }
 
@@ -189,6 +187,59 @@ impl Figure10 {
     /// The RAE-based series for a workload.
     pub fn rae_series(&self, kind: WorkloadKind) -> Option<&Series> {
         self.rae.iter().find(|s| s.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure10",
+            "Figure 10: perfect-I/VP/BP limit study",
+            "§5.7 (Figure 10)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("baseline", vec!["rae", "conventional"]);
+        rep.axis("arm", Arm::ALL.map(|a| a.label()).to_vec());
+        for (baseline, series) in [("rae", &self.rae), ("conventional", &self.conventional)] {
+            for s in series {
+                for (ai, arm) in Arm::ALL.into_iter().enumerate() {
+                    rep.row(
+                        JsonRow::new()
+                            .field("baseline", baseline)
+                            .field("benchmark", s.kind.name())
+                            .field("arm", arm.label())
+                            .field("mlp", s.mlp[ai])
+                            .field("gain_pct", s.gains()[ai]),
+                    );
+                }
+            }
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 10.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure10"
+    }
+    fn module(&self) -> &'static str {
+        "figure10"
+    }
+    fn description(&self) -> &'static str {
+        "Limit study: perfect ifetch/value/branch prediction over RAE and conventional"
+    }
+    fn section(&self) -> &'static str {
+        "§5.7 (Figure 10)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

@@ -8,7 +8,9 @@
 
 use super::figure8::RAE_MAX_DIST;
 use super::table1;
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f2, pct, TextTable};
 use crate::RunScale;
 use mlp_model::CpiModel;
@@ -108,19 +110,19 @@ pub fn run(scale: RunScale) -> Figure11 {
     for kind in WorkloadKind::ALL {
         jobs.extend((0..configs.len()).map(|ci| (kind, ci)));
     }
-    let stats = sweep(jobs, |&(kind, ci)| {
+    let stats = sweep_grid(jobs, |&(kind, ci)| {
         let r = run_mlpsim(kind, configs[ci].1.clone(), scale);
         (r.mlp(), r.offchip.total() as f64 / r.insts as f64)
     });
     let mut series = Vec::new();
-    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+    for kind in WorkloadKind::ALL {
         let row = t1
             .row(kind, LATENCY)
             .expect("table 1 has every workload at the chosen latency");
         let mut points = Vec::new();
         let mut base_cpi = None;
         for (ci, (label, _)) in configs.iter().enumerate() {
-            let (mlp, miss_rate) = stats[ki * configs.len() + ci];
+            let (mlp, miss_rate) = stats[&(kind, ci)];
             let model = CpiModel {
                 miss_rate,
                 ..row.model
@@ -176,6 +178,60 @@ impl Figure11 {
             .iter()
             .find(|p| p.label == label)
             .map(|p| p.improvement_pct)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure11",
+            "Figure 11: Overall performance improvement vs 64D",
+            "§5.8 (Figure 11)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis(
+            "configuration",
+            sample_configs().iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+        );
+        rep.axis("latency", vec![LATENCY]);
+        for s in &self.series {
+            for p in &s.points {
+                rep.row(
+                    JsonRow::new()
+                        .field("benchmark", s.kind.name())
+                        .field("configuration", p.label)
+                        .field("mlp", p.mlp)
+                        .field("cpi", p.cpi)
+                        .field("improvement_pct", p.improvement_pct),
+                );
+            }
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 11.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure11"
+    }
+    fn module(&self) -> &'static str {
+        "figure11"
+    }
+    fn description(&self) -> &'static str {
+        "MLP gains translated to overall performance via the CPI equation"
+    }
+    fn section(&self) -> &'static str {
+        "§5.8 (Figure 11)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

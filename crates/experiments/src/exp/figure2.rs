@@ -6,6 +6,8 @@
 //! distance. The divergence between the two curves is what makes MLP
 //! exploitable at all.
 
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
 use crate::runner::{cursor, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
@@ -131,6 +133,56 @@ impl Figure2 {
     /// The series for a workload.
     pub fn series_for(&self, kind: WorkloadKind) -> Option<&Series> {
         self.series.iter().find(|s| s.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure2",
+            "Figure 2: Clustering of Misses (cumulative P[next miss <= N])",
+            "§2.1 (Figure 2)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("distance", THRESHOLDS.to_vec());
+        for s in &self.series {
+            for (i, &d) in THRESHOLDS.iter().enumerate() {
+                rep.row(
+                    JsonRow::new()
+                        .field("benchmark", s.kind.name())
+                        .field("distance", d)
+                        .field("observed_cdf", s.observed[i])
+                        .field("uniform_cdf", s.uniform[i])
+                        .field("mean_inter_miss", s.mean_distance),
+                );
+            }
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 2.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure2"
+    }
+    fn module(&self) -> &'static str {
+        "figure2"
+    }
+    fn description(&self) -> &'static str {
+        "Clustering of off-chip accesses: observed vs uniform inter-miss CDF"
+    }
+    fn section(&self) -> &'static str {
+        "§2.1 (Figure 2)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

@@ -3,7 +3,9 @@
 //! MLP as a function of coupled issue-window/ROB size (16–256) for each
 //! of the paper's five issue configurations A–E.
 
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -38,7 +40,7 @@ pub fn run(scale: RunScale) -> Figure4 {
             }
         }
     }
-    let mlps = sweep(jobs, |&(kind, size, issue)| {
+    let mlps = sweep_grid(jobs, |&(kind, size, issue)| {
         run_mlpsim(
             kind,
             MlpsimConfig::builder()
@@ -49,14 +51,13 @@ pub fn run(scale: RunScale) -> Figure4 {
         )
         .mlp()
     });
-    let mut it = mlps.into_iter();
     let mut surfaces = Vec::new();
     for kind in WorkloadKind::ALL {
         let mut mlp = Vec::new();
-        for _ in &SIZES {
+        for &size in &SIZES {
             let mut row = [0.0; 5];
-            for cell in &mut row {
-                *cell = it.next().expect("one result per job");
+            for (cell, &issue) in row.iter_mut().zip(&IssueConfig::ALL) {
+                *cell = mlps[&(kind, size, issue)];
             }
             mlp.push(row);
         }
@@ -92,6 +93,58 @@ impl Figure4 {
         let si = SIZES.iter().position(|&x| x == size)?;
         let ci = IssueConfig::ALL.iter().position(|&x| x == issue)?;
         Some(s.mlp[si][ci])
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure4",
+            "Figure 4: MLP vs window size and issue constraints",
+            "§5.2 (Figure 4)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("size", SIZES.to_vec());
+        rep.axis("config", IssueConfig::ALL.map(|c| c.letter()).to_vec());
+        for s in &self.surfaces {
+            for (si, &size) in SIZES.iter().enumerate() {
+                for (ci, &issue) in IssueConfig::ALL.iter().enumerate() {
+                    rep.row(
+                        JsonRow::new()
+                            .field("benchmark", s.kind.name())
+                            .field("size", size)
+                            .field("config", issue.letter())
+                            .field("mlp", s.mlp[si][ci]),
+                    );
+                }
+            }
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 4.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure4"
+    }
+    fn module(&self) -> &'static str {
+        "figure4"
+    }
+    fn description(&self) -> &'static str {
+        "MLP across coupled window sizes 16-256 and issue configurations A-E"
+    }
+    fn section(&self) -> &'static str {
+        "§5.2 (Figure 4)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

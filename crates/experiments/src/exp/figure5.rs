@@ -5,6 +5,8 @@
 //! `Mispred br`, `Imiss end`, `Missing load` (config A only), `Dep store`
 //! (configs A/B) and `Serialize`.
 
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
 use crate::runner::{run_mlpsim, sweep};
 use crate::table::{pct, TextTable};
 use crate::RunScale;
@@ -118,6 +120,55 @@ impl Figure5 {
         self.bars
             .iter()
             .find(|b| b.kind == kind && b.size == size && b.issue == issue)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure5",
+            "Figure 5: Factors Inhibiting Further MLP (% of epochs)",
+            "§5.2 (Figure 5)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("size", SIZES.to_vec());
+        rep.axis("config", IssueConfig::ALL.map(|c| c.letter()).to_vec());
+        for b in &self.bars {
+            let mut row = JsonRow::new()
+                .field("benchmark", b.kind.name())
+                .field("size", b.size)
+                .field("config", b.issue.letter());
+            for (name, frac) in b.fractions() {
+                row = row.field(name, frac);
+            }
+            rep.row(row);
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 5.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure5"
+    }
+    fn module(&self) -> &'static str {
+        "figure5"
+    }
+    fn description(&self) -> &'static str {
+        "Window-termination mix: which factor bounds each epoch's MLP"
+    }
+    fn section(&self) -> &'static str {
+        "§5.2 (Figure 5)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

@@ -4,6 +4,8 @@
 //! 2×, 4× and 8× the issue window, plus a fixed 2048-entry ROB, and the
 //! "INF" reference (2048-entry window and ROB under configuration E).
 
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
 use crate::runner::{run_mlpsim, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
@@ -141,6 +143,60 @@ impl Figure6 {
     /// The INF reference MLP for a workload.
     pub fn inf_mlp(&self, kind: WorkloadKind) -> Option<f64> {
         self.inf.iter().find(|(k, _)| *k == kind).map(|&(_, m)| m)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure6",
+            "Figure 6: Decoupling issue window and ROB",
+            "§5.3 (Figure 6)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("issue_window", IW_SIZES.to_vec());
+        rep.axis("rob_multiplier", ROB_MULTS.to_vec());
+        rep.axis("config", IssueConfig::ALL.map(|c| c.letter()).to_vec());
+        for b in &self.bars {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", b.kind.name())
+                    .field("issue_window", b.iw)
+                    .field("config", b.issue.letter())
+                    .field("mlp_rob_1x", b.by_mult[0])
+                    .field("mlp_rob_2x", b.by_mult[1])
+                    .field("mlp_rob_4x", b.by_mult[2])
+                    .field("mlp_rob_8x", b.by_mult[3])
+                    .field("mlp_rob_2048", b.rob_2048)
+                    .field("mlp_inf", self.inf_mlp(b.kind)),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 6.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure6"
+    }
+    fn module(&self) -> &'static str {
+        "figure6"
+    }
+    fn description(&self) -> &'static str {
+        "MLP when the ROB grows past the issue window (1x-8x, 2048, INF)"
+    }
+    fn section(&self) -> &'static str {
+        "§5.3 (Figure 6)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

@@ -4,7 +4,9 @@
 //! apart) — except when the removed misses sat in low-MLP epochs, as the
 //! paper observes for SPECweb99.
 
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f2, f3, TextTable};
 use crate::RunScale;
 use mlp_mem::HierarchyConfig;
@@ -43,7 +45,7 @@ pub fn run(scale: RunScale) -> Figure7 {
     for kind in WorkloadKind::ALL {
         jobs.extend(L2_SIZES.iter().map(|&bytes| (kind, bytes)));
     }
-    let points = sweep(jobs, |&(kind, bytes)| {
+    let points = sweep_grid(jobs, |&(kind, bytes)| {
         let r = run_mlpsim(
             kind,
             MlpsimConfig::builder()
@@ -55,10 +57,9 @@ pub fn run(scale: RunScale) -> Figure7 {
     });
     let series = WorkloadKind::ALL
         .into_iter()
-        .enumerate()
-        .map(|(ki, kind)| Series {
+        .map(|kind| Series {
             kind,
-            points: points[ki * L2_SIZES.len()..(ki + 1) * L2_SIZES.len()].to_vec(),
+            points: L2_SIZES.iter().map(|&b| points[&(kind, b)]).collect(),
         })
         .collect();
     Figure7 { series }
@@ -91,6 +92,55 @@ impl Figure7 {
     /// The series for a workload.
     pub fn series_for(&self, kind: WorkloadKind) -> Option<&Series> {
         self.series.iter().find(|s| s.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure7",
+            "Figure 7: Impact of L2 Cache Size",
+            "§5.4 (Figure 7)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("l2_bytes", L2_SIZES.to_vec());
+        for s in &self.series {
+            for (i, &bytes) in L2_SIZES.iter().enumerate() {
+                rep.row(
+                    JsonRow::new()
+                        .field("benchmark", s.kind.name())
+                        .field("l2_bytes", bytes)
+                        .field("mlp", s.points[i].0)
+                        .field("miss_rate_per_100", s.points[i].1),
+                );
+            }
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 7.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure7"
+    }
+    fn module(&self) -> &'static str {
+        "figure7"
+    }
+    fn description(&self) -> &'static str {
+        "MLP and miss rate as the L2 grows from 512KB to 16MB"
+    }
+    fn section(&self) -> &'static str {
+        "§5.4 (Figure 7)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

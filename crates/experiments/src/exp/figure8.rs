@@ -4,7 +4,9 @@
 //! out-of-order configurations: 64-entry issue window with configuration
 //! D and a 64- or 256-entry ROB.
 
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f3, pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -80,17 +82,16 @@ pub fn run(scale: RunScale) -> Figure8 {
     for kind in WorkloadKind::ALL {
         jobs.extend((0..cfgs.len()).map(|ci| (kind, ci)));
     }
-    let mlps = sweep(jobs, |&(kind, ci)| {
+    let mlps = sweep_grid(jobs, |&(kind, ci)| {
         run_mlpsim(kind, cfgs[ci].clone(), scale).mlp()
     });
     let rows = WorkloadKind::ALL
         .into_iter()
-        .enumerate()
-        .map(|(ki, kind)| Row {
+        .map(|kind| Row {
             kind,
-            conv_64: mlps[3 * ki],
-            conv_256: mlps[3 * ki + 1],
-            rae: mlps[3 * ki + 2],
+            conv_64: mlps[&(kind, 0)],
+            conv_256: mlps[&(kind, 1)],
+            rae: mlps[&(kind, 2)],
         })
         .collect();
     Figure8 { rows }
@@ -124,6 +125,55 @@ impl Figure8 {
     /// The row for a workload.
     pub fn row(&self, kind: WorkloadKind) -> Option<&Row> {
         self.rows.iter().find(|r| r.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure8",
+            "Figure 8: Impact of Runahead Execution (MLP)",
+            "§5.5 (Figure 8)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("machine", vec!["64D/ROB64", "64D/ROB256", "RAE"]);
+        for r in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", r.kind.name())
+                    .field("conv_rob64", r.conv_64)
+                    .field("conv_rob256", r.conv_256)
+                    .field("rae", r.rae)
+                    .field("gain_vs_rob64_pct", r.gain_over_64())
+                    .field("gain_vs_rob256_pct", r.gain_over_256()),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 8.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure8"
+    }
+    fn module(&self) -> &'static str {
+        "figure8"
+    }
+    fn description(&self) -> &'static str {
+        "Runahead execution vs conventional 64-entry-window machines"
+    }
+    fn section(&self) -> &'static str {
+        "§5.5 (Figure 8)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

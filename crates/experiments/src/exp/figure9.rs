@@ -5,7 +5,9 @@
 //! predictor's correct/wrong/no-predict mix.
 
 use super::figure8;
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f3, pct, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -54,7 +56,7 @@ pub fn run(scale: RunScale) -> Figure9 {
     for kind in WorkloadKind::ALL {
         jobs.extend((0..base.len()).map(|k| (kind, k)));
     }
-    let pairs = sweep(jobs, |&(kind, k)| {
+    let pairs = sweep_grid(jobs, |&(kind, k)| {
         let cfg = &base[k];
         let without = run_mlpsim(kind, cfg.clone(), scale).mlp();
         let vp_cfg = MlpsimConfig {
@@ -71,16 +73,12 @@ pub fn run(scale: RunScale) -> Figure9 {
     });
     let rows = WorkloadKind::ALL
         .into_iter()
-        .enumerate()
-        .map(|(ki, kind)| {
-            let chunk = &pairs[3 * ki..3 * ki + 3];
-            Row {
-                kind,
-                without: [chunk[0].0, chunk[1].0, chunk[2].0],
-                with_vp: [chunk[0].1, chunk[1].1, chunk[2].1],
-                // Table 6 reports accuracy on the RAE configuration.
-                accuracy: chunk[2].2,
-            }
+        .map(|kind| Row {
+            kind,
+            without: [0usize, 1, 2].map(|k| pairs[&(kind, k)].0),
+            with_vp: [0usize, 1, 2].map(|k| pairs[&(kind, k)].1),
+            // Table 6 reports accuracy on the RAE configuration.
+            accuracy: pairs[&(kind, 2)].2,
         })
         .collect();
     Figure9 { rows }
@@ -127,6 +125,63 @@ impl Figure9 {
     /// The row for a workload.
     pub fn row(&self, kind: WorkloadKind) -> Option<&Row> {
         self.rows.iter().find(|r| r.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "figure9",
+            "Figure 9 + Table 6: missing-load value prediction",
+            "§5.6 (Figure 9, Table 6)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("machine", vec!["64D/ROB64", "64D/ROB256", "RAE"]);
+        for r in &self.rows {
+            let g = r.gains();
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", r.kind.name())
+                    .field("mlp_rob64", r.without[0])
+                    .field("mlp_rob64_vp", r.with_vp[0])
+                    .field("gain_rob64_pct", g[0])
+                    .field("mlp_rob256", r.without[1])
+                    .field("mlp_rob256_vp", r.with_vp[1])
+                    .field("gain_rob256_pct", g[1])
+                    .field("mlp_rae", r.without[2])
+                    .field("mlp_rae_vp", r.with_vp[2])
+                    .field("gain_rae_pct", g[2])
+                    .field("vp_correct", r.accuracy.0)
+                    .field("vp_wrong", r.accuracy.1)
+                    .field("vp_no_predict", r.accuracy.2),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Figure 9.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "figure9"
+    }
+    fn module(&self) -> &'static str {
+        "figure9"
+    }
+    fn description(&self) -> &'static str {
+        "Missing-load value prediction: MLP gains and predictor accuracy"
+    }
+    fn section(&self) -> &'static str {
+        "§5.6 (Figure 9, Table 6)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let f = run(scale);
+        ExperimentRun {
+            text: f.render(),
+            report: f.report(scale),
+        }
     }
 }
 

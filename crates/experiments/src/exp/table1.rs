@@ -5,7 +5,9 @@
 //! `CPI_perf` (perfect L2); `Overlap_CM` is then derived from the CPI
 //! equation, exactly as in the paper's §2.2.
 
-use crate::runner::{run_cyclesim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_cyclesim, sweep_grid};
 use crate::table::{f2, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -56,7 +58,7 @@ pub fn run_with_latencies(scale: RunScale, latencies: &[u64]) -> Table1 {
         jobs.push((kind, None));
         jobs.extend(latencies.iter().map(|&l| (kind, Some(l))));
     }
-    let reports = sweep(jobs, |&(kind, lat)| match lat {
+    let reports = sweep_grid(jobs, |&(kind, lat)| match lat {
         None => run_cyclesim(kind, CycleSimConfig::default().perfect_l2(), scale),
         Some(latency) => run_cyclesim(
             kind,
@@ -64,12 +66,11 @@ pub fn run_with_latencies(scale: RunScale, latencies: &[u64]) -> Table1 {
             scale,
         ),
     });
-    let chunk = 1 + latencies.len();
     let mut rows = Vec::new();
-    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
-        let perf = &reports[ki * chunk];
-        for (li, &latency) in latencies.iter().enumerate() {
-            let real = &reports[ki * chunk + 1 + li];
+    for kind in WorkloadKind::ALL {
+        let perf = &reports[&(kind, None)];
+        for &latency in latencies {
+            let real = &reports[&(kind, Some(latency))];
             let miss_rate = real.offchip.total() as f64 / real.insts as f64;
             let model = CpiModel::from_measured(
                 real.cpi(),
@@ -128,6 +129,60 @@ impl Table1 {
         self.rows
             .iter()
             .find(|r| r.kind == kind && r.latency == latency)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "table1",
+            "Table 1: On-Chip and Off-Chip Components of CPI",
+            "§2.2",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        let mut latencies: Vec<u64> = self.rows.iter().map(|r| r.latency).collect();
+        latencies.sort_unstable();
+        latencies.dedup();
+        rep.axis("latency", latencies);
+        for r in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", r.kind.name())
+                    .field("latency", r.latency)
+                    .field("cpi", r.cpi)
+                    .field("cpi_on_chip", r.cpi_on_chip)
+                    .field("cpi_off_chip", r.cpi_off_chip)
+                    .field("miss_rate_per_100", r.miss_rate_per_100)
+                    .field("mlp", r.mlp)
+                    .field("overlap_cm", r.overlap_cm),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Table 1.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn module(&self) -> &'static str {
+        "table1"
+    }
+    fn description(&self) -> &'static str {
+        "On-/off-chip CPI components, MLP and Overlap_CM per workload and latency"
+    }
+    fn section(&self) -> &'static str {
+        "§2.2 (Table 1)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let t = run(scale);
+        ExperimentRun {
+            text: t.render(),
+            report: t.report(scale),
+        }
     }
 }
 

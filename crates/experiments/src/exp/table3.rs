@@ -7,6 +7,8 @@
 //! MLP. The paper's claim, reproduced here: the two agree closely, and
 //! nearly exactly at 1000-cycle latency.
 
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
 use crate::runner::{run_cyclesim, run_mlpsim, sweep};
 use crate::table::{f3, TextTable};
 use crate::RunScale;
@@ -136,6 +138,59 @@ impl Table3 {
     /// Worst-case relative error of the epoch model at 1000 cycles.
     pub fn max_error_at_1000(&self) -> f64 {
         self.rows.iter().map(Row::error_at_1000).fold(0.0, f64::max)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "table3",
+            "Table 3: MLPsim vs Cycle-Accurate Simulator",
+            "§4.2 (Table 3)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("size", SIZES.to_vec());
+        rep.axis("config", CONFIGS.map(|c| c.letter()).to_vec());
+        rep.axis("latency", LATENCIES.to_vec());
+        for r in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", r.kind.name())
+                    .field("size", r.size)
+                    .field("config", r.issue.letter())
+                    .field("cyclesim_200", r.cyclesim[0])
+                    .field("cyclesim_500", r.cyclesim[1])
+                    .field("cyclesim_1000", r.cyclesim[2])
+                    .field("mlpsim", r.mlpsim)
+                    .field("error_at_1000", r.error_at_1000()),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Table 3.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+    fn module(&self) -> &'static str {
+        "table3"
+    }
+    fn description(&self) -> &'static str {
+        "MLPsim validation: epoch-model MLP vs the cycle-accurate simulator"
+    }
+    fn section(&self) -> &'static str {
+        "§4.2 (Table 3)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let t = run(scale);
+        ExperimentRun {
+            text: t.render(),
+            report: t.report(scale),
+        }
     }
 }
 

@@ -8,7 +8,9 @@
 //! never run through the cycle simulator. The paper reports agreement
 //! within 2%.
 
-use crate::runner::{run_cyclesim, run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_cyclesim, run_mlpsim, sweep_grid};
 use crate::table::{f2, TextTable};
 use crate::RunScale;
 use mlp_cyclesim::CycleSimConfig;
@@ -72,7 +74,7 @@ pub fn run(scale: RunScale) -> Table4 {
     for kind in WorkloadKind::ALL {
         jobs.extend(CONFIGS.iter().map(|&issue| (kind, issue)));
     }
-    let per_config = sweep(jobs, |&(kind, issue)| {
+    let per_config = sweep_grid(jobs, |&(kind, issue)| {
         let base = CycleSimConfig::default()
             .with_window(SIZE)
             .with_issue(issue)
@@ -102,26 +104,20 @@ pub fn run(scale: RunScale) -> Table4 {
         )
     });
     let mut rows = Vec::new();
-    for (ki, kind) in WorkloadKind::ALL.into_iter().enumerate() {
-        let chunk = &per_config[ki * CONFIGS.len()..(ki + 1) * CONFIGS.len()];
-        let models: Vec<CpiModel> = chunk.iter().map(|&(m, ..)| m).collect();
-        let measured: Vec<f64> = chunk.iter().map(|&(_, c, _)| c).collect();
-        let mlpsim_stats: Vec<(f64, f64)> = chunk.iter().map(|&(.., s)| s).collect();
-        for (ti, &target) in CONFIGS.iter().enumerate() {
-            let (mlp, miss_rate) = mlpsim_stats[ti];
+    for kind in WorkloadKind::ALL {
+        for &target in &CONFIGS {
+            let &(_, measured, (mlp, miss_rate)) = &per_config[&(kind, target)];
             let mut estimated = [0.0; 3];
-            for (si, model) in models.iter().enumerate() {
-                let m = CpiModel {
-                    miss_rate,
-                    ..*model
-                };
+            for (si, &source) in CONFIGS.iter().enumerate() {
+                let (model, ..) = per_config[&(kind, source)];
+                let m = CpiModel { miss_rate, ..model };
                 estimated[si] = m.cpi(mlp);
             }
             rows.push(Row {
                 kind,
                 target,
                 estimated,
-                measured: measured[ti],
+                measured,
             });
         }
     }
@@ -160,6 +156,58 @@ impl Table4 {
     /// Worst-case estimation error over every row and source config.
     pub fn max_error_pct(&self) -> f64 {
         self.rows.iter().map(Row::max_error_pct).fold(0.0, f64::max)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "table4",
+            "Table 4: Estimated vs Measured CPI",
+            "§4.3 (Table 4)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("config", CONFIGS.map(|c| c.letter()).to_vec());
+        rep.axis("latency", vec![LATENCY]);
+        rep.axis("size", vec![SIZE]);
+        for r in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", r.kind.name())
+                    .field("target_config", r.target.letter())
+                    .field("estimated_with_a", r.estimated[0])
+                    .field("estimated_with_b", r.estimated[1])
+                    .field("estimated_with_c", r.estimated[2])
+                    .field("measured", r.measured)
+                    .field("max_error_pct", r.max_error_pct()),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Table 4.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+    fn module(&self) -> &'static str {
+        "table4"
+    }
+    fn description(&self) -> &'static str {
+        "CPI-equation check: estimated vs cycle-measured CPI across configurations"
+    }
+    fn section(&self) -> &'static str {
+        "§4.3 (Table 4)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let t = run(scale);
+        ExperimentRun {
+            text: t.render(),
+            report: t.report(scale),
+        }
     }
 }
 

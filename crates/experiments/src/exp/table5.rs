@@ -1,6 +1,8 @@
 //! Table 5: MLP of in-order issue (stall-on-miss vs stall-on-use).
 
-use crate::runner::{run_mlpsim, sweep};
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
 use crate::table::{f2, TextTable};
 use crate::RunScale;
 use mlp_workloads::WorkloadKind;
@@ -31,7 +33,7 @@ pub fn run(scale: RunScale) -> Table5 {
         jobs.push((kind, InOrderPolicy::StallOnMiss));
         jobs.push((kind, InOrderPolicy::StallOnUse));
     }
-    let mlps = sweep(jobs, |&(kind, policy)| {
+    let mlps = sweep_grid(jobs, |&(kind, policy)| {
         run_mlpsim(
             kind,
             MlpsimConfig::builder()
@@ -43,11 +45,10 @@ pub fn run(scale: RunScale) -> Table5 {
     });
     let rows = WorkloadKind::ALL
         .into_iter()
-        .enumerate()
-        .map(|(ki, kind)| Row {
+        .map(|kind| Row {
             kind,
-            stall_on_miss: mlps[2 * ki],
-            stall_on_use: mlps[2 * ki + 1],
+            stall_on_miss: mlps[&(kind, InOrderPolicy::StallOnMiss)],
+            stall_on_use: mlps[&(kind, InOrderPolicy::StallOnUse)],
         })
         .collect();
     Table5 { rows }
@@ -71,6 +72,52 @@ impl Table5 {
     /// The row for a workload.
     pub fn row(&self, kind: WorkloadKind) -> Option<&Row> {
         self.rows.iter().find(|r| r.kind == kind)
+    }
+
+    /// The structured report.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "table5",
+            "Table 5: MLP of In-Order Issue",
+            "§5.1 (Table 5)",
+            scale,
+        );
+        rep.axis("benchmark", WorkloadKind::ALL.map(|k| k.name()).to_vec());
+        rep.axis("policy", vec!["stall-on-miss", "stall-on-use"]);
+        for r in &self.rows {
+            rep.row(
+                JsonRow::new()
+                    .field("benchmark", r.kind.name())
+                    .field("stall_on_miss", r.stall_on_miss)
+                    .field("stall_on_use", r.stall_on_use),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for Table 5.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "table5"
+    }
+    fn module(&self) -> &'static str {
+        "table5"
+    }
+    fn description(&self) -> &'static str {
+        "In-order MLP under stall-on-miss and stall-on-use policies"
+    }
+    fn section(&self) -> &'static str {
+        "§5.1 (Table 5)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let t = run(scale);
+        ExperimentRun {
+            text: t.render(),
+            report: t.report(scale),
+        }
     }
 }
 

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod registry;
+pub mod report;
 pub mod runner;
 pub mod table;
 
@@ -82,6 +84,20 @@ impl RunScale {
             _ => None,
         }
     }
+
+    /// The canonical name of this scale (`custom` for hand-built ones);
+    /// used in result filenames and report metadata.
+    pub fn label(&self) -> &'static str {
+        if *self == RunScale::quick() {
+            "quick"
+        } else if *self == RunScale::standard() {
+            "standard"
+        } else if *self == RunScale::full() {
+            "full"
+        } else {
+            "custom"
+        }
+    }
 }
 
 impl Default for RunScale {
@@ -110,5 +126,17 @@ mod tests {
         assert_eq!(RunScale::parse("full"), Some(RunScale::full()));
         assert_eq!(RunScale::parse("bogus"), None);
         assert_eq!(RunScale::default(), RunScale::standard());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for name in ["quick", "standard", "full"] {
+            assert_eq!(RunScale::parse(name).unwrap().label(), name);
+        }
+        let custom = RunScale {
+            warmup: 1,
+            ..RunScale::quick()
+        };
+        assert_eq!(custom.label(), "custom");
     }
 }

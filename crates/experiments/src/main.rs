@@ -3,112 +3,178 @@
 //! Usage:
 //!
 //! ```text
-//! mlp-experiments <experiment> [--scale quick|standard|full]
-//! mlp-experiments all [--scale quick|standard|full]
+//! mlp-experiments <experiment|all> [--scale quick|standard|full]
+//!                 [--json [dir]] [--only <substring>] [--list]
 //! ```
 //!
-//! where `<experiment>` is one of the paper's tables/figures (`table1`,
-//! `figure2`, `table3`, `table4`, `table5`, `figure4` … `figure11`) or an
-//! extension study (`store-mlp`, `ablations`, `epochs`, `fm`, `l3`,
-//! `smt`, `rae-timing`).
+//! The experiment set is the static [`mlp_experiments::registry`]: every
+//! table and figure of the paper (`table1`, `figure2`, … `figure11`) plus
+//! the extension studies (`store-mlp`, `ablations`, `epochs`, `fm`, `l3`,
+//! `smt`, `rae-timing`). `--list` prints it. `--only` selects every
+//! experiment whose name contains the given substring. `--json` also
+//! writes each experiment's structured report to `<dir>/<name>.<scale>.json`
+//! (default directory: `results/`).
 
-use mlp_experiments::{exp, RunScale};
+use mlp_experiments::registry::{self, Experiment};
+use mlp_experiments::RunScale;
 use std::time::Instant;
 
-const EXPERIMENTS: [&str; 20] = [
-    "table1",
-    "figure2",
-    "table3",
-    "table4",
-    "table5",
-    "figure4",
-    "figure5",
-    "figure6",
-    "figure7",
-    "figure8",
-    "figure9",
-    "figure10",
-    "figure11",
-    "store-mlp",
-    "ablations",
-    "epochs",
-    "fm",
-    "l3",
-    "smt",
-    "rae-timing",
-];
-
-fn run_one(name: &str, scale: RunScale) -> Option<String> {
-    Some(match name {
-        "table1" => exp::table1::run(scale).render(),
-        "figure2" => exp::figure2::run(scale).render(),
-        "table3" => exp::table3::run(scale).render(),
-        "table4" => exp::table4::run(scale).render(),
-        "table5" => exp::table5::run(scale).render(),
-        "figure4" => exp::figure4::run(scale).render(),
-        "figure5" => exp::figure5::run(scale).render(),
-        "figure6" => exp::figure6::run(scale).render(),
-        "figure7" => exp::figure7::run(scale).render(),
-        "figure8" => exp::figure8::run(scale).render(),
-        "figure9" => exp::figure9::run(scale).render(),
-        "figure10" => exp::figure10::run(scale).render(),
-        "figure11" => exp::figure11::run(scale).render(),
-        "store-mlp" => exp::extensions::run_store_buffer(scale).render(),
-        "ablations" => exp::extensions::run_ablations(scale).render(),
-        "epochs" => exp::epochs::run(scale).render(),
-        "fm" => exp::extensions::run_fm(scale).render(),
-        "l3" => exp::extensions::run_l3(scale).render(),
-        "smt" => exp::extensions::run_smt(scale).render(),
-        "rae-timing" => exp::extensions::run_rae_timing(scale).render(),
-        _ => return None,
-    })
-}
+/// Default directory for `--json` output.
+const DEFAULT_JSON_DIR: &str = "results";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mlp-experiments <experiment|all> [--scale quick|standard|full]\n\
+        "usage: mlp-experiments <experiment|all> [--scale quick|standard|full] \
+         [--json [dir]] [--only <substring>] [--list]\n\
          experiments: {}",
-        EXPERIMENTS.join(", ")
+        registry::names().join(", ")
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = RunScale::standard();
-    let mut target: Option<String> = None;
-    let mut it = args.iter();
+fn print_list() {
+    let width = registry::names().iter().map(|n| n.len()).max().unwrap_or(0);
+    for e in registry::REGISTRY {
+        println!(
+            "{:width$}  {:24}  {}",
+            e.name(),
+            e.section(),
+            e.description()
+        );
+    }
+}
+
+struct Cli {
+    scale: RunScale,
+    scale_name: String,
+    list: bool,
+    only: Option<String>,
+    json_dir: Option<String>,
+    target: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        scale: RunScale::standard(),
+        scale_name: "standard".to_string(),
+        list: false,
+        only: None,
+        json_dir: None,
+        target: None,
+    };
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                let Some(name) = it.next() else { usage() };
+                let Some(name) = it.next() else {
+                    eprintln!("--scale needs a value");
+                    usage()
+                };
                 let Some(s) = RunScale::parse(name) else {
                     eprintln!("unknown scale '{name}'");
                     usage()
                 };
-                scale = s;
+                cli.scale = s;
+                cli.scale_name = name.clone();
             }
-            name if target.is_none() => target = Some(name.to_string()),
-            _ => usage(),
+            "--list" => cli.list = true,
+            "--only" => {
+                let Some(sub) = it.next() else {
+                    eprintln!("--only needs a substring");
+                    usage()
+                };
+                cli.only = Some(sub.clone());
+            }
+            "--json" => {
+                // Optional directory operand: the next token is the
+                // directory unless it looks like a flag or a selector.
+                let dir = match it.peek() {
+                    Some(next)
+                        if !next.starts_with('-')
+                            && next.as_str() != "all"
+                            && registry::find(next).is_none() =>
+                    {
+                        it.next().unwrap().clone()
+                    }
+                    _ => DEFAULT_JSON_DIR.to_string(),
+                };
+                cli.json_dir = Some(dir);
+            }
+            name if cli.target.is_none() && !name.starts_with('-') => {
+                cli.target = Some(name.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage()
+            }
         }
     }
-    let Some(target) = target else { usage() };
-    let names: Vec<&str> = if target == "all" {
-        EXPERIMENTS.to_vec()
-    } else {
-        vec![target.as_str()]
-    };
-    for name in names {
-        let t0 = Instant::now();
-        match run_one(name, scale) {
-            Some(output) => {
-                println!("{output}");
-                eprintln!("[{name} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-            }
+    cli
+}
+
+/// Resolves the CLI selection against the registry, exiting via `usage`
+/// on an unknown name or an `--only` filter that matches nothing.
+fn select(cli: &Cli) -> Vec<&'static dyn Experiment> {
+    if let Some(sub) = &cli.only {
+        let picked = registry::matching(sub);
+        if picked.is_empty() {
+            eprintln!("--only '{sub}' matches no experiment");
+            usage();
+        }
+        return picked;
+    }
+    match cli.target.as_deref() {
+        Some("all") => registry::REGISTRY.to_vec(),
+        Some(name) => match registry::find(name) {
+            Some(e) => vec![e],
             None => {
                 eprintln!("unknown experiment '{name}'");
-                usage();
+                usage()
             }
+        },
+        None => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+    if cli.list {
+        print_list();
+        return;
+    }
+    let selected = select(&cli);
+    if let Some(dir) = &cli.json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create JSON directory '{dir}': {e}");
+            std::process::exit(1);
         }
+    }
+    let t_all = Instant::now();
+    for e in &selected {
+        let t0 = Instant::now();
+        let run = e.run(cli.scale);
+        println!("{}", run.text);
+        if let Some(dir) = &cli.json_dir {
+            let path = std::path::Path::new(dir).join(run.report.filename());
+            if let Err(err) = std::fs::write(&path, run.report.to_json()) {
+                eprintln!("cannot write '{}': {err}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[{} report -> {}]", e.name(), path.display());
+        }
+        eprintln!(
+            "[{} finished in {:.1}s]\n",
+            e.name(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    if selected.len() > 1 {
+        eprintln!(
+            "[{} experiments ({} scale) finished in {:.1}s]",
+            selected.len(),
+            cli.scale_name,
+            t_all.elapsed().as_secs_f64()
+        );
     }
 }

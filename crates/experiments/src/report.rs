@@ -1,0 +1,347 @@
+//! Structured, machine-readable experiment results.
+//!
+//! Every registered experiment emits a [`Report`] alongside its text
+//! rendering: a stable JSON document (`results/<name>.<scale>.json`)
+//! carrying the experiment id, paper section, run scale, seed, swept
+//! axes and one object per result row. The schema is versioned via
+//! [`SCHEMA`], and serialization is fully deterministic — key order is
+//! insertion order and floats use Rust's shortest round-trip formatting
+//! — so a report is byte-identical across hosts and `MLP_THREADS`
+//! settings.
+//!
+//! The writer is first-party (no serde): the workspace builds offline
+//! and the schema is small enough that a ~100-line emitter is cheaper
+//! than a dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlp_experiments::report::{Json, Report, Row};
+//! use mlp_experiments::RunScale;
+//!
+//! let mut r = Report::new("demo", "Demo table", "§0", RunScale::quick());
+//! r.axis("latency", [200u64, 1000]);
+//! r.row(Row::new().field("benchmark", "Database").field("mlp", 1.38));
+//! let json = r.to_json();
+//! assert!(json.contains("\"experiment\": \"demo\""));
+//! assert!(json.contains("\"mlp\": 1.38"));
+//! ```
+
+use crate::runner::SEED;
+use crate::RunScale;
+use std::fmt::Write as _;
+
+/// Version tag stamped into every report, bumped on schema changes.
+pub const SCHEMA: &str = "mlp-experiments.report/v1";
+
+/// A JSON value with deterministic serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float, rendered with shortest round-trip formatting.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl Json {
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) if !x.is_finite() => out.push_str("null"),
+            Json::Num(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_json_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One result row: an ordered list of named fields.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Row {
+    fields: Vec<(&'static str, Json)>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Appends a field (keys keep insertion order in the output).
+    pub fn field(mut self, key: &'static str, value: impl Into<Json>) -> Row {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(&'static str, Json)] {
+        &self.fields
+    }
+
+    /// The value of the named field, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = " ".repeat(indent);
+        out.push_str("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            out.push_str(&pad);
+            out.push_str("  ");
+            write_json_str(out, k);
+            out.push_str(": ");
+            v.write(out);
+            out.push_str(if i + 1 < self.fields.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str(&pad);
+        out.push('}');
+    }
+}
+
+/// A structured experiment report (one JSON document).
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Registry name of the experiment (e.g. `table1`).
+    pub experiment: &'static str,
+    /// Human title, matching the text rendering's title line.
+    pub title: &'static str,
+    /// Paper anchor (e.g. `§5.2`).
+    pub section: &'static str,
+    /// Scale label (`quick` / `standard` / `full` / `custom`).
+    pub scale: &'static str,
+    /// The deterministic seed every run used.
+    pub seed: u64,
+    /// Swept axes: name → array of axis values.
+    pub axes: Vec<(&'static str, Json)>,
+    /// One object per result row.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// A report skeleton for `experiment` at `scale` (seed filled from
+    /// [`SEED`](crate::runner::SEED)).
+    pub fn new(
+        experiment: &'static str,
+        title: &'static str,
+        section: &'static str,
+        scale: RunScale,
+    ) -> Report {
+        Report {
+            experiment,
+            title,
+            section,
+            scale: scale.label(),
+            seed: SEED,
+            axes: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records a swept axis.
+    pub fn axis(&mut self, name: &'static str, values: impl Into<Json>) -> &mut Report {
+        self.axes.push((name, values.into()));
+        self
+    }
+
+    /// Appends a result row.
+    pub fn row(&mut self, row: Row) -> &mut Report {
+        self.rows.push(row);
+        self
+    }
+
+    /// Serializes the report (deterministic, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(out, "  \"schema\": ");
+        write_json_str(&mut out, SCHEMA);
+        let _ = write!(out, ",\n  \"experiment\": ");
+        write_json_str(&mut out, self.experiment);
+        let _ = write!(out, ",\n  \"title\": ");
+        write_json_str(&mut out, self.title);
+        let _ = write!(out, ",\n  \"section\": ");
+        write_json_str(&mut out, self.section);
+        let _ = write!(out, ",\n  \"scale\": ");
+        write_json_str(&mut out, self.scale);
+        let _ = write!(out, ",\n  \"seed\": {},\n  \"axes\": {{", self.seed);
+        for (i, (name, values)) in self.axes.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_str(&mut out, name);
+            out.push_str(": ");
+            values.write(&mut out);
+        }
+        if !self.axes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            row.write(&mut out, 4);
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// The canonical artifact filename, `<name>.<scale>.json`.
+    pub fn filename(&self) -> String {
+        format!("{}.{}.json", self.experiment, self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_values_serialize() {
+        let mut out = String::new();
+        Json::Arr(vec![
+            Json::Null,
+            Json::Bool(true),
+            Json::Int(-3),
+            Json::Num(1.38),
+            Json::Num(f64::INFINITY),
+            Json::Str("a\"b\n".into()),
+        ])
+        .write(&mut out);
+        assert_eq!(out, r#"[null, true, -3, 1.38, null, "a\"b\n"]"#);
+    }
+
+    #[test]
+    fn report_round_trip_shape() {
+        let mut r = Report::new("demo", "Demo", "§1", RunScale::quick());
+        r.axis("size", vec![16u64, 32]);
+        r.row(Row::new().field("benchmark", "Database").field("mlp", 1.5));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"mlp-experiments.report/v1\""));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"size\": [16, 32]"));
+        assert!(json.contains("\"mlp\": 1.5"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(r.filename(), "demo.quick.json");
+    }
+
+    #[test]
+    fn empty_axes_and_rows_stay_valid() {
+        let r = Report::new("demo", "Demo", "§1", RunScale::quick());
+        let json = r.to_json();
+        assert!(json.contains("\"axes\": {},"));
+        assert!(json.contains("\"rows\": []"));
+    }
+
+    #[test]
+    fn row_lookup() {
+        let row = Row::new().field("a", 1u64).field("b", "x");
+        assert_eq!(row.get("a"), Some(&Json::Int(1)));
+        assert_eq!(row.get("c"), None);
+        assert_eq!(row.fields().len(), 2);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let mk = || {
+            let mut r = Report::new("demo", "Demo", "§1", RunScale::quick());
+            r.axis("x", vec![1u64, 2]);
+            r.row(Row::new().field("v", 0.1 + 0.2));
+            r.to_json()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -23,12 +23,41 @@ use mlpsim::{MlpsimConfig, Report, Simulator};
 /// The seed used by every experiment: results are fully deterministic.
 pub const SEED: u64 = 42;
 
+/// The largest engine read-ahead configured anywhere in the experiment
+/// suite, derived from the deepest sweep points rather than hand-tuned:
+/// the runahead-distance ablation (up to 8192 instructions past a miss),
+/// the decoupled-ROB study's 2048-entry ROB/window, and the deepest
+/// fetch buffer. A sweep that grows past this shows up here (and in the
+/// `trace_slack_covers_every_configured_read_ahead` test) instead of
+/// silently draining a cursor mid-run.
+pub const MAX_READ_AHEAD: u64 = {
+    let mut max = crate::exp::figure6::BIG_ROB as u64;
+    let mut i = 0;
+    let dists = crate::exp::extensions::RAE_DISTS;
+    while i < dists.len() {
+        if dists[i] as u64 > max {
+            max = dists[i] as u64;
+        }
+        i += 1;
+    }
+    let fbs = crate::exp::extensions::FETCH_BUFFERS;
+    i = 0;
+    while i < fbs.len() {
+        if fbs[i] as u64 > max {
+            max = fbs[i] as u64;
+        }
+        i += 1;
+    }
+    max
+};
+
 /// Extra instructions materialized beyond `warmup + measure`, covering
 /// engine read-ahead (fetch buffers, lookahead windows, runahead
 /// distance) so a run never drains the cursor before hitting its retire
-/// limit. Generous: the largest read-ahead in the repo is the 8192-entry
-/// runahead distance sweep.
-const TRACE_SLACK: u64 = 32_768;
+/// limit. 4× the deepest configured read-ahead: read-ahead sources can
+/// stack (a runahead burst on top of a full fetch buffer near the retire
+/// limit), so a single [`MAX_READ_AHEAD`] is not enough margin.
+const TRACE_SLACK: u64 = 4 * MAX_READ_AHEAD;
 
 /// Creates the calibrated workload trace for `kind`.
 ///
@@ -77,6 +106,89 @@ where
     mlp_par::par_map(&jobs, f)
 }
 
+/// A sweep result indexed by job key.
+///
+/// Experiments used to rebuild their tables from the *position* of each
+/// result in the sweep output (`it.next().expect(..)`, `ki * chunk + li`
+/// arithmetic), which silently misplaces every cell the moment a loop
+/// nest and its reassembly drift apart. A `SweepGrid` keeps each result
+/// attached to the key that produced it, so placement is by lookup.
+///
+/// # Examples
+///
+/// ```
+/// use mlp_experiments::runner::sweep_grid;
+///
+/// let grid = sweep_grid(vec![(1u64, 2u64), (3, 4)], |&(a, b)| a + b);
+/// assert_eq!(grid[&(3, 4)], 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepGrid<K, R> {
+    entries: Vec<(K, R)>,
+}
+
+/// Maps `f` over `keys` in parallel (like [`sweep`]) and returns the
+/// results indexed by key.
+///
+/// # Panics
+///
+/// Panics (debug builds) if two keys compare equal: every sweep point
+/// must be uniquely addressable.
+pub fn sweep_grid<K, R, F>(keys: Vec<K>, f: F) -> SweepGrid<K, R>
+where
+    K: Sync + PartialEq + std::fmt::Debug,
+    R: Send,
+    F: Fn(&K) -> R + Sync,
+{
+    debug_assert!(
+        keys.iter().enumerate().all(|(i, k)| !keys[..i].contains(k)),
+        "sweep keys must be unique"
+    );
+    let results = mlp_par::par_map(&keys, f);
+    SweepGrid {
+        entries: keys.into_iter().zip(results).collect(),
+    }
+}
+
+impl<K: PartialEq + std::fmt::Debug, R> SweepGrid<K, R> {
+    /// The result for `key`, if that point was swept.
+    pub fn get(&self, key: &K) -> Option<&R> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, r)| r)
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, result)` pairs in sweep (input) order.
+    pub fn iter(&self) -> impl Iterator<Item = &(K, R)> {
+        self.entries.iter()
+    }
+}
+
+impl<K: PartialEq + std::fmt::Debug, R> std::ops::Index<&K> for SweepGrid<K, R> {
+    type Output = R;
+
+    /// The result for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the missing key if that point was never swept — the
+    /// loud version of what positional reassembly got silently wrong.
+    fn index(&self, key: &K) -> &R {
+        match self.get(key) {
+            Some(r) => r,
+            None => panic!("sweep grid has no entry for key {key:?}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +219,41 @@ mod tests {
     fn sweep_preserves_input_order() {
         let out = sweep((0..64u64).collect(), |&x| x * x);
         assert_eq!(out, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_grid_indexes_by_key() {
+        let grid = sweep_grid(vec![(1u64, 'a'), (2, 'b'), (3, 'a')], |&(n, c)| {
+            format!("{c}{n}")
+        });
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_empty());
+        assert_eq!(grid[&(2, 'b')], "b2");
+        assert_eq!(grid.get(&(9, 'z')), None);
+        let keys: Vec<_> = grid.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(1, 'a'), (2, 'b'), (3, 'a')]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry for key")]
+    fn sweep_grid_missing_key_panics() {
+        let grid = sweep_grid(vec![1u64], |&x| x);
+        let _ = grid[&2];
+    }
+
+    #[test]
+    fn trace_slack_covers_every_configured_read_ahead() {
+        use crate::exp::{extensions, figure6, figure8};
+        let deepest = extensions::RAE_DISTS
+            .into_iter()
+            .chain(extensions::FETCH_BUFFERS)
+            .chain([figure6::BIG_ROB, figure8::RAE_MAX_DIST])
+            .max()
+            .unwrap() as u64;
+        assert_eq!(MAX_READ_AHEAD, deepest);
+        assert!(
+            TRACE_SLACK >= 2 * deepest,
+            "trace slack must comfortably cover the deepest read-ahead"
+        );
     }
 }

@@ -16,4 +16,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> golden snapshots (quick scale, release)"
+# The golden suite is compiled out of debug builds (quick-scale runs are
+# far too slow unoptimized), so it needs an explicit release invocation.
+cargo test -q --release -p mlp-experiments --test golden
+
+echo "==> experiment bench (records results/BENCH_experiments.json)"
+cargo bench -q -p mlp-bench --bench experiments >/dev/null
+
 echo "All checks passed."

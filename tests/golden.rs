@@ -1,0 +1,126 @@
+//! Golden-snapshot regression suite: every registered experiment, run at
+//! quick scale, must reproduce its checked-in text rendering and JSON
+//! report byte for byte.
+//!
+//! Quick-scale runs take seconds to minutes apiece in release mode and
+//! far longer unoptimized, so the suite only exists in release builds
+//! (`cargo test --release --test golden`); `scripts/check.sh` runs it.
+//! To regenerate the snapshots after an intentional change:
+//!
+//! ```text
+//! MLP_BLESS=1 cargo test --release -p mlp-experiments --test golden
+//! ```
+#![cfg(not(debug_assertions))]
+
+use mlp_experiments::registry;
+use mlp_experiments::RunScale;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn check(name: &str) {
+    let e = registry::find(name).expect("experiment is registered");
+    let run = e.run(RunScale::quick());
+    assert_eq!(
+        run.report.filename(),
+        format!("{name}.quick.json"),
+        "report filename must follow the <name>.<scale>.json convention"
+    );
+    let dir = golden_dir();
+    let txt_path = dir.join(format!("{name}.quick.txt"));
+    let json_path = dir.join(format!("{name}.quick.json"));
+    let json = run.report.to_json();
+
+    if std::env::var_os("MLP_BLESS").is_some() {
+        fs::create_dir_all(&dir).expect("create golden dir");
+        fs::write(&txt_path, &run.text).expect("write text golden");
+        fs::write(&json_path, &json).expect("write json golden");
+        return;
+    }
+
+    let want_txt = fs::read_to_string(&txt_path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {} — bless with MLP_BLESS=1 cargo test --release --test golden",
+            txt_path.display()
+        )
+    });
+    assert_eq!(
+        run.text, want_txt,
+        "{name}: text output drifted from tests/golden/{name}.quick.txt \
+         (bless with MLP_BLESS=1 if the change is intentional)"
+    );
+    let want_json = fs::read_to_string(&json_path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {} — bless with MLP_BLESS=1 cargo test --release --test golden",
+            json_path.display()
+        )
+    });
+    assert_eq!(
+        json, want_json,
+        "{name}: JSON report drifted from tests/golden/{name}.quick.json \
+         (bless with MLP_BLESS=1 if the change is intentional)"
+    );
+}
+
+macro_rules! golden {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $(#[test] fn $test() { check($name); })*
+
+        /// The macro list above must cover the registry exactly.
+        #[test]
+        fn suite_covers_every_registered_experiment() {
+            let listed: BTreeSet<&str> = [$($name),*].into();
+            let registered: BTreeSet<&str> = registry::names().into_iter().collect();
+            assert_eq!(listed, registered);
+        }
+    };
+}
+
+golden! {
+    golden_table1 => "table1",
+    golden_figure2 => "figure2",
+    golden_table3 => "table3",
+    golden_table4 => "table4",
+    golden_table5 => "table5",
+    golden_figure4 => "figure4",
+    golden_figure5 => "figure5",
+    golden_figure6 => "figure6",
+    golden_figure7 => "figure7",
+    golden_figure8 => "figure8",
+    golden_figure9 => "figure9",
+    golden_figure10 => "figure10",
+    golden_figure11 => "figure11",
+    golden_store_mlp => "store-mlp",
+    golden_ablations => "ablations",
+    golden_epochs => "epochs",
+    golden_fm => "fm",
+    golden_l3 => "l3",
+    golden_smt => "smt",
+    golden_rae_timing => "rae-timing",
+}
+
+/// Every file in the golden directory must belong to a registered
+/// experiment — stale snapshots fail loudly instead of lingering.
+#[test]
+fn golden_dir_has_no_stray_files() {
+    let dir = golden_dir();
+    if !dir.exists() {
+        return; // Nothing blessed yet; the per-experiment tests will say so.
+    }
+    let registered: BTreeSet<String> = registry::names()
+        .into_iter()
+        .flat_map(|n| [format!("{n}.quick.txt"), format!("{n}.quick.json")])
+        .collect();
+    for entry in fs::read_dir(&dir).expect("read golden dir") {
+        let file = entry.expect("dir entry").file_name();
+        let file = file.to_string_lossy().into_owned();
+        assert!(
+            registered.contains(&file),
+            "stray golden file {file}: no registered experiment claims it"
+        );
+    }
+}

@@ -55,6 +55,27 @@ fn parallel_table_sweep_matches_serial() {
 }
 
 #[test]
+fn json_report_is_byte_identical_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+
+    // The structured report must be as thread-invariant as the text
+    // rendering: `--json` output feeds the golden suite and downstream
+    // tooling byte-for-byte.
+    let e = mlp_experiments::registry::find("table5").expect("table5 is registered");
+
+    mlp_par::set_thread_override(Some(1));
+    let serial = e.run(quick());
+
+    mlp_par::set_thread_override(Some(3));
+    let parallel = e.run(quick());
+
+    mlp_par::set_thread_override(None);
+
+    assert_eq!(serial.report.to_json(), parallel.report.to_json());
+    assert_eq!(serial.text, parallel.text);
+}
+
+#[test]
 fn shared_trace_replay_is_deterministic() {
     // The store's cursor must replay exactly the instructions a fresh
     // streaming workload generates, and do so again on a second pass.
