@@ -8,9 +8,15 @@
 //!
 //! Traces use the `mlp_isa::tracefile` format and can be replayed through
 //! either simulator with `mlp_isa::VecTrace`.
+//!
+//! Exit codes are uniform: `0` on success, `1` for I/O failures and
+//! corrupt traces (the underlying [`tracefile::TraceFileError`] —
+//! including the offending record index — goes to stderr), `2` for usage
+//! errors.
 
 use mlp_isa::{tracefile, InstMix, TraceStats};
 use mlp_workloads::{Workload, WorkloadKind};
+use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
@@ -31,11 +37,60 @@ fn parse_kind(name: &str) -> Option<WorkloadKind> {
     }
 }
 
+/// A runtime (non-usage) failure: what we were doing and what went
+/// wrong. Every case exits 1 via `main`.
+struct CliError {
+    context: String,
+    cause: CliCause,
+}
+
+enum CliCause {
+    Io(std::io::Error),
+    Trace(tracefile::TraceFileError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.cause {
+            CliCause::Io(e) => write!(f, "{}: {e}", self.context),
+            CliCause::Trace(e) => write!(f, "{}: {e}", self.context),
+        }
+    }
+}
+
+/// Attaches a "doing what, to which path" context to an error.
+fn ctx<E: Into<CliCause>>(action: &str, path: &str) -> impl FnOnce(E) -> CliError {
+    let context = format!("cannot {action} {path}");
+    move |e| CliError {
+        context,
+        cause: e.into(),
+    }
+}
+
+impl From<std::io::Error> for CliCause {
+    fn from(e: std::io::Error) -> CliCause {
+        CliCause::Io(e)
+    }
+}
+
+impl From<tracefile::TraceFileError> for CliCause {
+    fn from(e: tracefile::TraceFileError) -> CliCause {
+        CliCause::Trace(e)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("mlp-trace: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("gen") => {
-            let [_, kind, count, path, rest @ ..] = args.as_slice() else {
+            let [_, kind, count, path, rest @ ..] = args else {
                 usage()
             };
             let Some(kind) = parse_kind(kind) else {
@@ -49,19 +104,13 @@ fn main() {
                 .map(|s| s.parse::<u64>().unwrap_or_else(|_| usage()))
                 .unwrap_or(42);
             let insts: Vec<_> = Workload::new(kind, seed).take(count).collect();
-            let file = File::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                std::process::exit(1);
-            });
-            tracefile::write(BufWriter::new(file), &insts).unwrap_or_else(|e| {
-                eprintln!("write failed: {e}");
-                std::process::exit(1);
-            });
+            let file = File::create(path).map_err(ctx("create", path))?;
+            tracefile::write(BufWriter::new(file), &insts).map_err(ctx("write", path))?;
             println!("wrote {count} instructions of {kind} (seed {seed}) to {path}");
         }
         Some("stats") => {
-            let [_, path] = args.as_slice() else { usage() };
-            let insts = read_trace(path);
+            let [_, path] = args else { usage() };
+            let insts = read_trace(path)?;
             let mix: InstMix = insts.iter().collect();
             let stats = TraceStats::from_insts(&insts);
             println!("{mix}");
@@ -81,12 +130,12 @@ fn main() {
             );
         }
         Some("dump") => {
-            let (path, count) = match args.as_slice() {
+            let (path, count) = match args {
                 [_, path] => (path, 40usize),
                 [_, path, n] => (path, n.parse().unwrap_or_else(|_| usage())),
                 _ => usage(),
             };
-            let insts = read_trace(path);
+            let insts = read_trace(path)?;
             for inst in insts.iter().take(count) {
                 println!("{inst}");
             }
@@ -96,15 +145,10 @@ fn main() {
         }
         _ => usage(),
     }
+    Ok(())
 }
 
-fn read_trace(path: &str) -> Vec<mlp_isa::Inst> {
-    let file = File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        std::process::exit(1);
-    });
-    tracefile::read(BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot read trace: {e}");
-        std::process::exit(1);
-    })
+fn read_trace(path: &str) -> Result<Vec<mlp_isa::Inst>, CliError> {
+    let file = File::open(path).map_err(ctx("open", path))?;
+    tracefile::read(BufReader::new(file)).map_err(ctx("read trace", path))
 }

@@ -4,19 +4,34 @@
 //!
 //! ```text
 //! mlp-experiments <experiment|all> [--scale quick|standard|full]
-//!                 [--json [dir]] [--only <substring>] [--list]
+//!                 [--json [dir]] [--only <substrings>] [--list]
 //! ```
 //!
 //! The experiment set is the static [`mlp_experiments::registry`]: every
 //! table and figure of the paper (`table1`, `figure2`, … `figure11`) plus
 //! the extension studies (`store-mlp`, `ablations`, `epochs`, `fm`, `l3`,
 //! `smt`, `rae-timing`). `--list` prints it. `--only` selects every
-//! experiment whose name contains the given substring. `--json` also
-//! writes each experiment's structured report to `<dir>/<name>.<scale>.json`
+//! experiment whose name contains one of the given comma-separated
+//! substrings (`--only table5,epochs` picks both). `--json` also writes
+//! each experiment's structured report to `<dir>/<name>.<scale>.json`
 //! (default directory: `results/`).
+//!
+//! **Failure containment:** every experiment runs inside its own
+//! `catch_unwind` boundary. A panic anywhere in one experiment — a bad
+//! sweep arm, a truncated trace, an injected fault — is recorded and the
+//! remaining experiments still run, print, and write their JSON
+//! byte-identically to a fault-free invocation. Failed experiments get a
+//! degraded-mode `status: "failed"` report (panic payload + elapsed
+//! time) and a line in the failure summary table.
+//!
+//! Exit codes: `0` when every selected experiment succeeded, `1` when
+//! any failed (or an artifact could not be written), `2` for usage
+//! errors.
 
 use mlp_experiments::registry::{self, Experiment};
+use mlp_experiments::report::Report;
 use mlp_experiments::RunScale;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Default directory for `--json` output.
@@ -25,7 +40,7 @@ const DEFAULT_JSON_DIR: &str = "results";
 fn usage() -> ! {
     eprintln!(
         "usage: mlp-experiments <experiment|all> [--scale quick|standard|full] \
-         [--json [dir]] [--only <substring>] [--list]\n\
+         [--json [dir]] [--only <substring>[,<substring>...]] [--list]\n\
          experiments: {}",
         registry::names().join(", ")
     );
@@ -115,10 +130,16 @@ fn parse_args(args: &[String]) -> Cli {
 /// Resolves the CLI selection against the registry, exiting via `usage`
 /// on an unknown name or an `--only` filter that matches nothing.
 fn select(cli: &Cli) -> Vec<&'static dyn Experiment> {
-    if let Some(sub) = &cli.only {
-        let picked = registry::matching(sub);
+    if let Some(spec) = &cli.only {
+        // Comma-separated substrings, unioned, in registry order.
+        let subs: Vec<&str> = spec.split(',').map(str::trim).collect();
+        let picked: Vec<_> = registry::REGISTRY
+            .iter()
+            .copied()
+            .filter(|e| subs.iter().any(|s| !s.is_empty() && e.name().contains(s)))
+            .collect();
         if picked.is_empty() {
-            eprintln!("--only '{sub}' matches no experiment");
+            eprintln!("--only '{spec}' matches no experiment");
             usage();
         }
         return picked;
@@ -136,6 +157,51 @@ fn select(cli: &Cli) -> Vec<&'static dyn Experiment> {
     }
 }
 
+/// One failed experiment, for the summary table and the exit code.
+struct Failure {
+    name: &'static str,
+    elapsed_secs: f64,
+    error: String,
+}
+
+/// Replaces the default panic hook (full backtrace per panic, noisy when
+/// a contained sweep job dies) with a one-line stderr note. The payload
+/// still reaches the isolation boundary via `catch_unwind`.
+fn install_compact_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        match info.location() {
+            Some(loc) => eprintln!("[panic at {loc}: {msg}]"),
+            None => eprintln!("[panic: {msg}]"),
+        }
+    }));
+}
+
+fn print_failure_summary(failures: &[Failure], total: usize) {
+    let width = failures
+        .iter()
+        .map(|f| f.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("experiment".len());
+    println!(
+        "== failure summary: {} of {total} experiments failed ==",
+        failures.len()
+    );
+    println!("{:width$}  {:>8}  error", "experiment", "elapsed");
+    for f in failures {
+        // Panic payloads are almost always one line; flatten just in case
+        // so the table stays a table.
+        let error = f.error.replace('\n', "; ");
+        println!("{:width$}  {:>7.1}s  {}", f.name, f.elapsed_secs, error);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_args(&args);
@@ -150,24 +216,65 @@ fn main() {
             std::process::exit(1);
         }
     }
+    install_compact_panic_hook();
+    let mut failures: Vec<Failure> = Vec::new();
     let t_all = Instant::now();
     for e in &selected {
         let t0 = Instant::now();
-        let run = e.run(cli.scale);
-        println!("{}", run.text);
-        if let Some(dir) = &cli.json_dir {
-            let path = std::path::Path::new(dir).join(run.report.filename());
-            if let Err(err) = std::fs::write(&path, run.report.to_json()) {
-                eprintln!("cannot write '{}': {err}", path.display());
-                std::process::exit(1);
+        // The isolation boundary: a panic anywhere inside one experiment
+        // (its sweeps run under mlp_par's per-job containment and re-raise
+        // here) must not abort the batch.
+        let outcome = catch_unwind(AssertUnwindSafe(|| e.run(cli.scale)));
+        let elapsed = t0.elapsed();
+        match outcome {
+            Ok(run) => {
+                println!("{}", run.text);
+                if let Some(dir) = &cli.json_dir {
+                    let path = std::path::Path::new(dir).join(run.report.filename());
+                    if let Err(err) = std::fs::write(&path, run.report.to_json()) {
+                        eprintln!("cannot write '{}': {err}", path.display());
+                        failures.push(Failure {
+                            name: e.name(),
+                            elapsed_secs: elapsed.as_secs_f64(),
+                            error: format!("cannot write '{}': {err}", path.display()),
+                        });
+                    } else {
+                        eprintln!("[{} report -> {}]", e.name(), path.display());
+                    }
+                }
+                eprintln!("[{} finished in {:.1}s]\n", e.name(), elapsed.as_secs_f64());
             }
-            eprintln!("[{} report -> {}]", e.name(), path.display());
+            Err(payload) => {
+                let error = mlp_par::panic_message(payload);
+                eprintln!(
+                    "[{} FAILED after {:.1}s: {error}]\n",
+                    e.name(),
+                    elapsed.as_secs_f64()
+                );
+                if let Some(dir) = &cli.json_dir {
+                    let report = Report::failed(
+                        e.name(),
+                        e.description(),
+                        e.section(),
+                        cli.scale,
+                        error.clone(),
+                        elapsed.as_millis() as u64,
+                    );
+                    let path = std::path::Path::new(dir).join(report.filename());
+                    match std::fs::write(&path, report.to_json()) {
+                        Ok(()) => {
+                            eprintln!("[{} degraded report -> {}]", e.name(), path.display())
+                        }
+                        Err(err) => eprintln!("cannot write '{}': {err}", path.display()),
+                    }
+                }
+                failures.push(Failure {
+                    name: e.name(),
+                    elapsed_secs: elapsed.as_secs_f64(),
+                    error,
+                });
+            }
         }
-        eprintln!(
-            "[{} finished in {:.1}s]\n",
-            e.name(),
-            t0.elapsed().as_secs_f64()
-        );
     }
     if selected.len() > 1 {
         eprintln!(
@@ -176,5 +283,9 @@ fn main() {
             cli.scale_name,
             t_all.elapsed().as_secs_f64()
         );
+    }
+    if !failures.is_empty() {
+        print_failure_summary(&failures, selected.len());
+        std::process::exit(1);
     }
 }

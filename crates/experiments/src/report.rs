@@ -2,12 +2,20 @@
 //!
 //! Every registered experiment emits a [`Report`] alongside its text
 //! rendering: a stable JSON document (`results/<name>.<scale>.json`)
-//! carrying the experiment id, paper section, run scale, seed, swept
-//! axes and one object per result row. The schema is versioned via
-//! [`SCHEMA`], and serialization is fully deterministic — key order is
-//! insertion order and floats use Rust's shortest round-trip formatting
-//! — so a report is byte-identical across hosts and `MLP_THREADS`
-//! settings.
+//! carrying the experiment id, paper section, run scale, completion
+//! [`Status`], seed, swept axes and one object per result row. The
+//! schema is versioned via [`SCHEMA`], and serialization is fully
+//! deterministic — key order is insertion order and floats use Rust's
+//! shortest round-trip formatting — so a report is byte-identical across
+//! hosts and `MLP_THREADS` settings.
+//!
+//! Schema v2 adds degraded-mode reporting: a successful run carries
+//! `"status": "ok"` (and stays byte-identical to a run where a sibling
+//! experiment failed), while an experiment that panicked still writes a
+//! report — `"status": "failed"` plus the panic payload and elapsed wall
+//! time, with empty axes and rows — so a batch that lost one experiment
+//! keeps a machine-readable record of *what* failed and *why* next to
+//! the nineteen results that survived.
 //!
 //! The writer is first-party (no serde): the workspace builds offline
 //! and the schema is small enough that a ~100-line emitter is cheaper
@@ -32,7 +40,22 @@ use crate::RunScale;
 use std::fmt::Write as _;
 
 /// Version tag stamped into every report, bumped on schema changes.
-pub const SCHEMA: &str = "mlp-experiments.report/v1";
+pub const SCHEMA: &str = "mlp-experiments.report/v2";
+
+/// How an experiment run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Status {
+    /// The experiment completed and its rows are trustworthy.
+    Ok,
+    /// The experiment panicked; the report is a degraded-mode record
+    /// with no axes or rows.
+    Failed {
+        /// The panic payload (stringified).
+        error: String,
+        /// Wall time spent before the failure surfaced, in milliseconds.
+        elapsed_ms: u64,
+    },
+}
 
 /// A JSON value with deterministic serialization.
 #[derive(Clone, Debug, PartialEq)]
@@ -88,6 +111,11 @@ impl From<String> for Json {
 }
 impl<T: Into<Json>> From<Vec<T>> for Json {
     fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>, const N: usize> From<[T; N]> for Json {
+    fn from(v: [T; N]) -> Json {
         Json::Arr(v.into_iter().map(Into::into).collect())
     }
 }
@@ -201,6 +229,8 @@ pub struct Report {
     pub section: &'static str,
     /// Scale label (`quick` / `standard` / `full` / `custom`).
     pub scale: &'static str,
+    /// How the run ended (see [`Status`]).
+    pub status: Status,
     /// The deterministic seed every run used.
     pub seed: u64,
     /// Swept axes: name → array of axis values.
@@ -223,10 +253,29 @@ impl Report {
             title,
             section,
             scale: scale.label(),
+            status: Status::Ok,
             seed: SEED,
             axes: Vec::new(),
             rows: Vec::new(),
         }
+    }
+
+    /// A degraded-mode report for an experiment that panicked: same
+    /// identity fields as a successful report, `status: "failed"` with
+    /// the panic payload and elapsed wall time, and no axes or rows.
+    /// Written by the `mlp-experiments` binary so a faulted batch leaves
+    /// a machine-readable record for the failed experiment too.
+    pub fn failed(
+        experiment: &'static str,
+        title: &'static str,
+        section: &'static str,
+        scale: RunScale,
+        error: String,
+        elapsed_ms: u64,
+    ) -> Report {
+        let mut r = Report::new(experiment, title, section, scale);
+        r.status = Status::Failed { error, elapsed_ms };
+        r
     }
 
     /// Records a swept axis.
@@ -255,6 +304,14 @@ impl Report {
         write_json_str(&mut out, self.section);
         let _ = write!(out, ",\n  \"scale\": ");
         write_json_str(&mut out, self.scale);
+        match &self.status {
+            Status::Ok => out.push_str(",\n  \"status\": \"ok\""),
+            Status::Failed { error, elapsed_ms } => {
+                out.push_str(",\n  \"status\": \"failed\",\n  \"error\": ");
+                write_json_str(&mut out, error);
+                let _ = write!(out, ",\n  \"elapsed_ms\": {elapsed_ms}");
+            }
+        }
         let _ = write!(out, ",\n  \"seed\": {},\n  \"axes\": {{", self.seed);
         for (i, (name, values)) in self.axes.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -310,11 +367,32 @@ mod tests {
         r.axis("size", vec![16u64, 32]);
         r.row(Row::new().field("benchmark", "Database").field("mlp", 1.5));
         let json = r.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"mlp-experiments.report/v1\""));
+        assert!(json.starts_with("{\n  \"schema\": \"mlp-experiments.report/v2\""));
         assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(!json.contains("\"error\""));
         assert!(json.contains("\"size\": [16, 32]"));
         assert!(json.contains("\"mlp\": 1.5"));
         assert!(json.ends_with("}\n"));
+        assert_eq!(r.filename(), "demo.quick.json");
+    }
+
+    #[test]
+    fn failed_report_carries_error_and_elapsed() {
+        let r = Report::failed(
+            "demo",
+            "Demo",
+            "§1",
+            RunScale::quick(),
+            "injected fault: sweep-panic:1 (occurrence 1)".to_string(),
+            250,
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("\"error\": \"injected fault: sweep-panic:1 (occurrence 1)\""));
+        assert!(json.contains("\"elapsed_ms\": 250"));
+        assert!(json.contains("\"axes\": {},"));
+        assert!(json.contains("\"rows\": []"));
         assert_eq!(r.filename(), "demo.quick.json");
     }
 

@@ -17,6 +17,7 @@
 
 use crate::RunScale;
 use mlp_cyclesim::{CycleReport, CycleSim, CycleSimConfig};
+use mlp_par::JobPanic;
 use mlp_workloads::{TraceCursor, TraceStore, Workload, WorkloadKind};
 use mlpsim::{MlpsimConfig, Report, Simulator};
 
@@ -76,21 +77,58 @@ pub fn cursor(kind: WorkloadKind, insts: u64) -> TraceCursor {
 
 /// [`cursor`] with an explicit seed (the SMT experiment runs sibling
 /// threads on distinct seeds).
+///
+/// The [`mlp_faults::CURSOR_TRUNCATE`] injection site caps the
+/// materialized length here, so fault tests can hand every run a trace
+/// that drains early.
 pub fn cursor_seeded(kind: WorkloadKind, seed: u64, insts: u64) -> TraceCursor {
-    let len = insts.saturating_add(TRACE_SLACK) as usize;
+    let mut len = insts.saturating_add(TRACE_SLACK) as usize;
+    if let Some(cap) = mlp_faults::param(mlp_faults::CURSOR_TRUNCATE) {
+        len = len.min(cap as usize);
+    }
     TraceStore::global().trace(kind, seed, len).cursor()
 }
 
 /// Runs the epoch model over `kind` at the given scale.
+///
+/// # Panics
+///
+/// Panics if the run drains its trace cursor before measuring
+/// `scale.measure` instructions: both engines treat end-of-trace as a
+/// legitimate stopping point, but in this harness every cursor is
+/// materialized with [`TRACE_SLACK`] headroom, so a drained cursor means
+/// a truncated or corrupt trace and the statistics would be silently
+/// wrong. The panic is caught by the per-experiment isolation boundary
+/// in the `mlp-experiments` binary.
 pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> Report {
     let mut cur = cursor(kind, scale.warmup + scale.measure);
-    Simulator::new(config).run(&mut cur, scale.warmup, scale.measure)
+    let report = Simulator::new(config).run(&mut cur, scale.warmup, scale.measure);
+    if report.insts < scale.measure {
+        panic!(
+            "mlpsim run on {kind:?} drained its trace after {} of {} measured \
+             instructions (truncated or under-slacked trace)",
+            report.insts, scale.measure
+        );
+    }
+    report
 }
 
 /// Runs the cycle-accurate model over `kind` at the given scale.
+///
+/// # Panics
+///
+/// Panics on a prematurely drained trace cursor, like [`run_mlpsim`].
 pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale) -> CycleReport {
     let mut cur = cursor(kind, scale.cycle_warmup + scale.cycle_measure);
-    CycleSim::new(config).run(&mut cur, scale.cycle_warmup, scale.cycle_measure)
+    let report = CycleSim::new(config).run(&mut cur, scale.cycle_warmup, scale.cycle_measure);
+    if report.insts < scale.cycle_measure {
+        panic!(
+            "cyclesim run on {kind:?} drained its trace after {} of {} measured \
+             instructions (truncated or under-slacked trace)",
+            report.insts, scale.cycle_measure
+        );
+    }
+    report
 }
 
 /// Maps `f` over the sweep points of a figure/table in parallel.
@@ -104,6 +142,21 @@ where
     F: Fn(&T) -> R + Sync,
 {
     mlp_par::par_map(&jobs, f)
+}
+
+/// [`sweep`] with per-job panic containment: one slot per job, in job
+/// order, a panicking job yielding `Err(JobPanic)` while its siblings
+/// still complete. Use this when partial sweep results are worth
+/// keeping; [`sweep`] (which re-raises the first failure after the whole
+/// sweep finishes) is right for experiments whose tables need every
+/// point.
+pub fn try_sweep<T, R, F>(jobs: Vec<T>, f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    mlp_par::try_par_map(&jobs, f)
 }
 
 /// A sweep result indexed by job key.
@@ -140,14 +193,50 @@ where
     R: Send,
     F: Fn(&K) -> R + Sync,
 {
+    match try_sweep_grid(keys, f) {
+        Ok(grid) => grid,
+        Err(failures) => panic!(
+            "{} of the sweep's points panicked; first: {}",
+            failures.len(),
+            failures[0]
+        ),
+    }
+}
+
+/// [`sweep_grid`] with panic containment: `Ok(grid)` when every point
+/// completed, otherwise `Err` with every failed job (ordered by job
+/// index, each carrying its panic message). A grid is only useful
+/// complete — experiments index it by key and a missing key panics — so
+/// unlike [`try_sweep`] there is no partial-grid result.
+///
+/// # Panics
+///
+/// Panics (debug builds) if two keys compare equal: every sweep point
+/// must be uniquely addressable.
+pub fn try_sweep_grid<K, R, F>(keys: Vec<K>, f: F) -> Result<SweepGrid<K, R>, Vec<JobPanic>>
+where
+    K: Sync + PartialEq + std::fmt::Debug,
+    R: Send,
+    F: Fn(&K) -> R + Sync,
+{
     debug_assert!(
         keys.iter().enumerate().all(|(i, k)| !keys[..i].contains(k)),
         "sweep keys must be unique"
     );
-    let results = mlp_par::par_map(&keys, f);
-    SweepGrid {
-        entries: keys.into_iter().zip(results).collect(),
+    let mut results = Vec::with_capacity(keys.len());
+    let mut failures = Vec::new();
+    for slot in mlp_par::try_par_map(&keys, f) {
+        match slot {
+            Ok(r) => results.push(r),
+            Err(p) => failures.push(p),
+        }
     }
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    Ok(SweepGrid {
+        entries: keys.into_iter().zip(results).collect(),
+    })
 }
 
 impl<K: PartialEq + std::fmt::Debug, R> SweepGrid<K, R> {
@@ -219,6 +308,43 @@ mod tests {
     fn sweep_preserves_input_order() {
         let out = sweep((0..64u64).collect(), |&x| x * x);
         assert_eq!(out, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_sweep_contains_panics_per_slot() {
+        let out = try_sweep((0..8u64).collect(), |&x| {
+            if x == 5 {
+                panic!("point {x} exploded");
+            }
+            x + 100
+        });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.iter().enumerate() {
+            if i == 5 {
+                let p = slot.as_ref().expect_err("job 5 must fail");
+                assert_eq!(p.index, 5);
+                assert!(p.message.contains("point 5 exploded"));
+            } else {
+                assert_eq!(slot.as_ref().ok().copied(), Some(i as u64 + 100));
+            }
+        }
+    }
+
+    #[test]
+    fn try_sweep_grid_reports_every_failure() {
+        let failures = try_sweep_grid(vec![1u64, 2, 3, 4], |&k| {
+            if k % 2 == 0 {
+                panic!("even key {k}");
+            }
+            k
+        })
+        .expect_err("even keys must fail");
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].index, 1);
+        assert_eq!(failures[1].index, 3);
+
+        let grid = try_sweep_grid(vec![1u64, 3], |&k| k * 2).expect("clean sweep");
+        assert_eq!(grid[&3], 6);
     }
 
     #[test]

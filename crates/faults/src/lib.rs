@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the experiment harness.
+//!
+//! Long sweep campaigns must survive a single bad run, and the only way
+//! to *prove* they do is to make faults happen on demand. This crate is
+//! the single switchboard: production code consults a named **site**, and
+//! the `MLP_FAULT=<site>:<n>` environment variable arms exactly one site
+//! per process. With the variable unset every probe is a no-op, so the
+//! hooks cost one atomic load on the hot path and nothing observable in
+//! behaviour.
+//!
+//! Sites are plain strings; the ones wired into the workspace are:
+//!
+//! | site | armed as | effect |
+//! |------|----------|--------|
+//! | [`SWEEP_PANIC`] | `sweep-panic:<n>` | the *n*-th sweep job started by `mlp_par::try_par_map` (counted process-wide, 1-based) panics |
+//! | [`CURSOR_TRUNCATE`] | `cursor-truncate:<n>` | every materialized trace cursor is capped at `n` instructions, so a run drains its trace early |
+//! | [`TRACE_BITFLIP`] | `trace-bitflip:<bit>` | `mlp_isa::tracefile::read` sees bit `bit` (a process-wide bit offset into the stream) flipped |
+//!
+//! Two probe flavours cover those semantics: [`fire`] counts dynamic
+//! occurrences and panics on the *n*-th one (for sites whose parameter is
+//! an ordinal), while [`param`] just hands the armed parameter back (for
+//! sites whose parameter is a size or offset). Determinism: occurrence
+//! counting uses a single process-wide counter, so which *experiment* a
+//! fault lands in depends only on the cumulative number of probes —
+//! experiments run sequentially — never on thread scheduling.
+//!
+//! A malformed `MLP_FAULT` value is reported once on stderr and ignored:
+//! a typo'd injection must not silently pass a fault test, and the
+//! warning makes the misconfiguration visible.
+//!
+//! # Examples
+//!
+//! ```
+//! mlp_faults::set_for_test(Some(("demo-site", 2)));
+//! assert_eq!(mlp_faults::param("demo-site"), Some(2));
+//! assert_eq!(mlp_faults::param("other-site"), None);
+//! mlp_faults::fire("demo-site"); // occurrence 1 of 2: no panic
+//! let hit = std::panic::catch_unwind(|| mlp_faults::fire("demo-site"));
+//! assert!(hit.is_err()); // occurrence 2 fires
+//! mlp_faults::set_for_test(None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+
+/// Site name: panic inside the n-th parallel sweep job (see `mlp-par`).
+pub const SWEEP_PANIC: &str = "sweep-panic";
+/// Site name: cap materialized trace cursors at the armed length.
+pub const CURSOR_TRUNCATE: &str = "cursor-truncate";
+/// Site name: flip the armed bit offset in a binary trace stream.
+pub const TRACE_BITFLIP: &str = "trace-bitflip";
+
+/// The environment variable that arms a fault site.
+pub const ENV_VAR: &str = "MLP_FAULT";
+
+/// One armed fault: a site name, its parameter, and how many times the
+/// counting probe has been consulted.
+#[derive(Debug)]
+struct Armed {
+    site: String,
+    param: u64,
+    occurrences: u64,
+}
+
+/// Process-global armed fault. `None` inside the option means "nothing
+/// armed"; the outer `Option` distinguishes "not yet initialized from the
+/// environment".
+static ARMED: Mutex<Option<Option<Armed>>> = Mutex::new(None);
+
+/// Parses a `<site>:<n>` spec. Returns `None` (and the reason) when the
+/// spec is malformed.
+fn parse_spec(spec: &str) -> Result<(String, u64), &'static str> {
+    let Some((site, param)) = spec.rsplit_once(':') else {
+        return Err("expected <site>:<n>");
+    };
+    let site = site.trim();
+    if site.is_empty() {
+        return Err("empty site name");
+    }
+    let Ok(param) = param.trim().parse::<u64>() else {
+        return Err("parameter is not a non-negative integer");
+    };
+    Ok((site.to_string(), param))
+}
+
+fn with_armed<R>(f: impl FnOnce(&mut Option<Armed>) -> R) -> R {
+    let mut guard = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    let slot = guard.get_or_insert_with(|| match std::env::var(ENV_VAR) {
+        Ok(spec) => match parse_spec(&spec) {
+            Ok((site, param)) => Some(Armed {
+                site,
+                param,
+                occurrences: 0,
+            }),
+            Err(why) => {
+                eprintln!("[mlp-faults] ignoring malformed {ENV_VAR}={spec:?}: {why}");
+                None
+            }
+        },
+        Err(_) => None,
+    });
+    f(slot)
+}
+
+/// The armed parameter for `site`, or `None` if the site is not armed.
+///
+/// Use this for sites whose parameter is a magnitude (a truncation
+/// length, a bit offset) rather than an occurrence count.
+pub fn param(site: &str) -> Option<u64> {
+    with_armed(|armed| match armed {
+        Some(a) if a.site == site => Some(a.param),
+        _ => None,
+    })
+}
+
+/// Counts one dynamic occurrence of `site` and panics if it is the armed
+/// occurrence (1-based). A no-op unless `site` is armed; an armed
+/// parameter of `0` never fires.
+///
+/// # Panics
+///
+/// Panics with an `injected fault:` message on the n-th occurrence.
+pub fn fire(site: &str) {
+    let hit = with_armed(|armed| match armed {
+        Some(a) if a.site == site => {
+            a.occurrences += 1;
+            a.occurrences == a.param
+        }
+        _ => false,
+    });
+    if hit {
+        let n = param(site).unwrap_or(0);
+        panic!("injected fault: {site}:{n} (occurrence {n})");
+    }
+}
+
+/// Arms `site` with `param` (or disarms everything with `None`),
+/// resetting the occurrence counter. Test hook: the environment variable
+/// is read once per process, so tests arm faults programmatically.
+pub fn set_for_test(spec: Option<(&str, u64)>) {
+    let mut guard = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(spec.map(|(site, param)| Armed {
+        site: site.to_string(),
+        param,
+        occurrences: 0,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    // The armed fault is process-global; serialize tests that touch it.
+    static LOCK: TestMutex<()> = TestMutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_accepts_well_formed_specs() {
+        assert_eq!(
+            parse_spec("sweep-panic:3"),
+            Ok(("sweep-panic".to_string(), 3))
+        );
+        assert_eq!(
+            parse_spec("cursor-truncate:1000"),
+            Ok(("cursor-truncate".to_string(), 1000))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(parse_spec("no-colon").is_err());
+        assert!(parse_spec(":3").is_err());
+        assert!(parse_spec("site:abc").is_err());
+        assert!(parse_spec("site:-1").is_err());
+    }
+
+    #[test]
+    fn unarmed_probes_are_noops() {
+        let _g = lock();
+        set_for_test(None);
+        assert_eq!(param(SWEEP_PANIC), None);
+        fire(SWEEP_PANIC); // must not panic
+    }
+
+    #[test]
+    fn param_matches_only_the_armed_site() {
+        let _g = lock();
+        set_for_test(Some((CURSOR_TRUNCATE, 1000)));
+        assert_eq!(param(CURSOR_TRUNCATE), Some(1000));
+        assert_eq!(param(SWEEP_PANIC), None);
+        set_for_test(None);
+    }
+
+    #[test]
+    fn fire_hits_exactly_the_nth_occurrence() {
+        let _g = lock();
+        set_for_test(Some((SWEEP_PANIC, 3)));
+        fire(SWEEP_PANIC);
+        fire(SWEEP_PANIC);
+        let hit = std::panic::catch_unwind(|| fire(SWEEP_PANIC));
+        assert!(hit.is_err(), "third occurrence must fire");
+        // Later occurrences stay quiet: exactly one injected fault.
+        fire(SWEEP_PANIC);
+        fire(SWEEP_PANIC);
+        set_for_test(None);
+    }
+
+    #[test]
+    fn zero_parameter_never_fires() {
+        let _g = lock();
+        set_for_test(Some((SWEEP_PANIC, 0)));
+        for _ in 0..8 {
+            fire(SWEEP_PANIC);
+        }
+        set_for_test(None);
+    }
+}

@@ -48,8 +48,17 @@ pub enum TraceFileError {
     BadMagic([u8; 4]),
     /// The format version is not supported by this library.
     UnsupportedVersion(u16),
-    /// A record contained an invalid field (bad kind, register, flag).
-    Corrupt(&'static str),
+    /// A record contained an invalid field (bad kind, register, flag) or
+    /// the stream carried bytes beyond the declared record count. The
+    /// index names the offending record (0-based; equal to the declared
+    /// count for trailing garbage), so corruption reports point at the
+    /// exact spot in the file.
+    Corrupt {
+        /// What was wrong with the record.
+        what: &'static str,
+        /// Index of the offending record.
+        record: u64,
+    },
 }
 
 impl fmt::Display for TraceFileError {
@@ -60,7 +69,9 @@ impl fmt::Display for TraceFileError {
             TraceFileError::UnsupportedVersion(v) => {
                 write!(f, "unsupported trace version {v}")
             }
-            TraceFileError::Corrupt(what) => write!(f, "corrupt trace record: {what}"),
+            TraceFileError::Corrupt { what, record } => {
+                write!(f, "corrupt trace record {record}: {what}")
+            }
         }
     }
 }
@@ -96,7 +107,9 @@ fn kind_code(kind: OpKind) -> u8 {
     }
 }
 
-fn code_kind(code: u8) -> Result<OpKind, TraceFileError> {
+/// Decodes a kind byte; the error is the bare description, the caller
+/// attaches the record index.
+fn code_kind(code: u8) -> Result<OpKind, &'static str> {
     Ok(match code {
         0 => OpKind::Alu,
         1 => OpKind::Load,
@@ -109,7 +122,7 @@ fn code_kind(code: u8) -> Result<OpKind, TraceFileError> {
         8 => OpKind::Membar,
         9 => OpKind::Atomic,
         10 => OpKind::Nop,
-        _ => return Err(TraceFileError::Corrupt("unknown instruction kind")),
+        _ => return Err("unknown instruction kind"),
     })
 }
 
@@ -153,26 +166,74 @@ pub fn write<W: Write>(mut w: W, insts: &[Inst]) -> Result<(), TraceFileError> {
     Ok(())
 }
 
-fn decode_reg(b: u8) -> Result<Option<Reg>, TraceFileError> {
+/// Decodes a register slot; the error is the bare description, the
+/// caller attaches the record index.
+fn decode_reg(b: u8) -> Result<Option<Reg>, &'static str> {
     if b == NO_REG {
         Ok(None)
     } else if (b as usize) < Reg::COUNT {
         Ok(Some(Reg::int(b)))
     } else {
-        Err(TraceFileError::Corrupt("register index out of range"))
+        Err("register index out of range")
+    }
+}
+
+/// Largest record count we pre-reserve for. A hostile header can declare
+/// any `count` up to `u64::MAX`; reserving for it up front would let a
+/// 16-byte input allocate gigabytes before the first failing read. Above
+/// this cap the vector grows organically, bounded by the bytes actually
+/// present in the stream.
+const MAX_PREALLOC_RECORDS: u64 = 1 << 16;
+
+/// A `Read` adapter that XORs one bit of the stream at a fixed bit
+/// offset — the `trace-bitflip` fault-injection site. Deterministic: the
+/// flipped bit depends only on the armed offset and the read position.
+struct BitFlip<R> {
+    inner: R,
+    /// Bytes already handed out.
+    pos: u64,
+    /// Armed bit offset into the stream.
+    bit: u64,
+}
+
+impl<R: Read> Read for BitFlip<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        let byte = self.bit / 8;
+        if byte >= self.pos && byte < self.pos + n as u64 {
+            buf[(byte - self.pos) as usize] ^= 1 << (self.bit % 8);
+        }
+        self.pos += n as u64;
+        Ok(n)
     }
 }
 
 /// Reads a complete binary trace from `r`.
 ///
+/// The whole stream must belong to the trace: bytes beyond the declared
+/// record count are rejected as corruption rather than silently ignored,
+/// so a truncated header count (or a file with junk appended) cannot
+/// masquerade as a clean shorter trace.
+///
 /// # Errors
 ///
 /// Returns [`TraceFileError::BadMagic`] /
 /// [`TraceFileError::UnsupportedVersion`] for malformed headers,
-/// [`TraceFileError::Corrupt`] for invalid records, and
-/// [`TraceFileError::Io`] on underlying read failures (including
-/// truncation).
-pub fn read<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
+/// [`TraceFileError::Corrupt`] (carrying the offending record index) for
+/// invalid records or trailing bytes, and [`TraceFileError::Io`] on
+/// underlying read failures (including truncation).
+pub fn read<R: Read>(r: R) -> Result<Vec<Inst>, TraceFileError> {
+    match mlp_faults::param(mlp_faults::TRACE_BITFLIP) {
+        Some(bit) => read_inner(BitFlip {
+            inner: r,
+            pos: 0,
+            bit,
+        }),
+        None => read_inner(r),
+    }
+}
+
+fn read_inner<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
@@ -187,12 +248,13 @@ pub fn read<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
     let mut cnt = [0u8; 8];
     r.read_exact(&mut cnt)?;
     let count = u64::from_le_bytes(cnt);
-    let mut insts = Vec::with_capacity(count.min(1 << 24) as usize);
+    let corrupt = |what, record| TraceFileError::Corrupt { what, record };
+    let mut insts = Vec::with_capacity(count.min(MAX_PREALLOC_RECORDS) as usize);
     let mut rec = [0u8; RECORD_BYTES];
-    for _ in 0..count {
+    for record in 0..count {
         r.read_exact(&mut rec)?;
         let le64 = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().expect("8 bytes"));
-        let kind = code_kind(rec[32])?;
+        let kind = code_kind(rec[32]).map_err(|what| corrupt(what, record))?;
         let flags = rec[38];
         let mem = if flags & 1 != 0 {
             Some(MemAccess {
@@ -205,7 +267,7 @@ pub fn read<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
         let branch = if flags & 2 != 0 {
             let bkind = match kind {
                 OpKind::Branch(k) => k,
-                _ => return Err(TraceFileError::Corrupt("branch info on non-branch")),
+                _ => return Err(corrupt("branch info on non-branch", record)),
             };
             Some(BranchInfo {
                 kind: bkind,
@@ -215,21 +277,32 @@ pub fn read<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
         } else {
             None
         };
+        let reg = |b| decode_reg(b).map_err(|what| corrupt(what, record));
         insts.push(Inst {
             pc: le64(0),
             kind,
-            srcs: [
-                decode_reg(rec[33])?,
-                decode_reg(rec[34])?,
-                decode_reg(rec[35])?,
-            ],
-            dst: decode_reg(rec[36])?,
+            srcs: [reg(rec[33])?, reg(rec[34])?, reg(rec[35])?],
+            dst: reg(rec[36])?,
             mem,
             branch,
             value: le64(8),
         });
     }
-    Ok(insts)
+    // The declared count must account for the whole stream.
+    let mut probe = [0u8; 1];
+    loop {
+        match r.read(&mut probe) {
+            Ok(0) => return Ok(insts),
+            Ok(_) => {
+                return Err(corrupt(
+                    "trailing bytes after the declared record count",
+                    count,
+                ))
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TraceFileError::Io(e)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,32 +376,64 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_kind_rejected() {
+    fn corrupt_kind_rejected_with_record_index() {
         let mut buf = Vec::new();
-        write(&mut buf, &[Inst::nop(0)]).unwrap();
-        buf[16 + 32] = 0xee; // kind byte of first record (header is 16 bytes)
+        write(&mut buf, &[Inst::nop(0), Inst::nop(4)]).unwrap();
+        // Kind byte of the *second* record (header is 16 bytes).
+        buf[16 + RECORD_BYTES + 32] = 0xee;
         assert!(matches!(
             read(buf.as_slice()),
-            Err(TraceFileError::Corrupt(_))
+            Err(TraceFileError::Corrupt { record: 1, .. })
         ));
     }
 
     #[test]
-    fn corrupt_register_rejected() {
+    fn corrupt_register_rejected_with_record_index() {
         let mut buf = Vec::new();
         write(&mut buf, &[Inst::alu(0, &[Reg::int(1)], Reg::int(2))]).unwrap();
         buf[16 + 33] = 200; // first source register
         assert!(matches!(
             read(buf.as_slice()),
-            Err(TraceFileError::Corrupt(_))
+            Err(TraceFileError::Corrupt { record: 0, .. })
         ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &trace).unwrap();
+        buf.push(0x5a);
+        match read(buf.as_slice()) {
+            Err(TraceFileError::Corrupt { what, record }) => {
+                assert!(what.contains("trailing"));
+                assert_eq!(record, trace.len() as u64);
+            }
+            other => panic!("expected trailing-garbage corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_declared_count_fails_without_overallocating() {
+        // Header claiming u64::MAX records over an empty body: must fail
+        // on the first record read, not reserve memory for the claim.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read(buf.as_slice()), Err(TraceFileError::Io(_))));
     }
 
     #[test]
     fn error_display_is_informative() {
         let e = TraceFileError::UnsupportedVersion(9);
         assert!(format!("{e}").contains('9'));
-        let e = TraceFileError::Corrupt("whatever");
-        assert!(format!("{e}").contains("whatever"));
+        let e = TraceFileError::Corrupt {
+            what: "whatever",
+            record: 17,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("whatever") && msg.contains("17"));
     }
 }

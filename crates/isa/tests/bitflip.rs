@@ -1,0 +1,51 @@
+//! The `trace-bitflip` fault-injection site, in its own test binary: the
+//! armed fault is process-global, so these tests must not share a
+//! process with other tests that read traces.
+
+use mlp_isa::{tracefile, tracefile::TraceFileError, Inst};
+use std::sync::Mutex;
+
+/// Header is 16 bytes, each record 40 bytes (see the tracefile layout).
+const HEADER_BYTES: usize = 16;
+const RECORD_BYTES: usize = 40;
+
+/// The armed fault is process-global; serialize the tests here too.
+static LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn injected_bitflip_corrupts_exactly_the_armed_record() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let trace = vec![Inst::nop(0), Inst::nop(4), Inst::nop(8)];
+    let mut buf = Vec::new();
+    tracefile::write(&mut buf, &trace).unwrap();
+
+    // Flip the top bit of the second record's kind byte: a nop (10)
+    // becomes 0x8a, an unknown instruction kind.
+    let bit = ((HEADER_BYTES + RECORD_BYTES + 32) * 8 + 7) as u64;
+    mlp_faults::set_for_test(Some((mlp_faults::TRACE_BITFLIP, bit)));
+    let flipped = tracefile::read(buf.as_slice());
+    mlp_faults::set_for_test(None);
+    match flipped {
+        Err(TraceFileError::Corrupt { record, .. }) => assert_eq!(record, 1),
+        other => panic!("expected record-1 corruption, got {other:?}"),
+    }
+
+    // Disarmed, the same bytes parse cleanly — the fault never touches
+    // the underlying buffer.
+    assert_eq!(tracefile::read(buf.as_slice()).unwrap(), trace);
+}
+
+#[test]
+fn bitflip_in_slack_bits_can_pass_validation() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Flipping a bit of a pc changes payload, not validity: the read
+    // must still succeed (deterministically) rather than panic.
+    let trace = vec![Inst::nop(0x100)];
+    let mut buf = Vec::new();
+    tracefile::write(&mut buf, &trace).unwrap();
+    let bit = (HEADER_BYTES * 8) as u64; // bit 0 of the first record's pc
+    mlp_faults::set_for_test(Some((mlp_faults::TRACE_BITFLIP, bit)));
+    let flipped = tracefile::read(buf.as_slice()).expect("pc flip stays well-formed");
+    mlp_faults::set_for_test(None);
+    assert_eq!(flipped[0].pc, 0x101);
+}

@@ -1,17 +1,31 @@
 //! Ordered parallel map for the experiment sweep engine.
 //!
-//! Every figure/table in the paper is a sweep of independent simulator runs,
-//! so the parallelism we need is exactly "map a pure function over a job
-//! list and keep the order". [`par_map`] does that with `std::thread::scope`:
-//! workers claim job indices from a shared atomic counter (so long jobs do
-//! not convoy short ones) and send `(index, result)` pairs back over a
-//! channel; the caller reassembles them in input order. Output is therefore
-//! byte-identical to a serial map regardless of scheduling.
+//! Every figure/table in the paper is a sweep of independent simulator
+//! runs, so the parallelism we need is exactly "map a pure function over a
+//! job list and keep the order". [`try_par_map`] does that with
+//! `std::thread::scope`: workers claim job indices from a shared atomic
+//! counter (so long jobs do not convoy short ones) and send
+//! `(index, result)` pairs back over a channel; the caller reassembles
+//! them in input order. Output is therefore byte-identical to a serial map
+//! regardless of scheduling.
+//!
+//! **Failure containment:** each job runs under `catch_unwind`, so one
+//! panicking sweep point cannot take down the batch — [`try_par_map`]
+//! returns `Vec<Result<R, JobPanic>>` with every slot present and in
+//! input order, a failed slot carrying the job index and panic message.
+//! [`par_map`] is the thin infallible wrapper: it re-raises the first
+//! failure (after every job has finished) for callers that treat any
+//! panic as fatal. The [`mlp_faults::SWEEP_PANIC`] injection site is
+//! probed at the start of every job, so fault tests can make an arbitrary
+//! sweep job panic deterministically.
 //!
 //! Thread count: [`set_thread_override`] (used by tests) takes precedence,
 //! then the `MLP_THREADS` environment variable, then
-//! `std::thread::available_parallelism()`. With one thread (or one job) the
-//! map runs inline on the caller with no thread or channel overhead.
+//! `std::thread::available_parallelism()`. An invalid `MLP_THREADS` value
+//! (zero, negative, non-numeric) is rejected with a one-time stderr
+//! warning instead of being silently ignored. With one thread (or one
+//! job) the map runs inline on the caller with no thread or channel
+//! overhead.
 //!
 //! Built on the standard library rather than an external pool (e.g. rayon)
 //! because the build environment cannot fetch crates; the sweep layer only
@@ -20,12 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
 /// Programmatic thread-count override; `0` means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the invalid-`MLP_THREADS` warning has already been printed.
+static WARNED_BAD_THREADS: AtomicBool = AtomicBool::new(false);
 
 /// Force the worker count (`Some(n)`) or restore automatic selection
 /// (`None`). Used by the parallel-equals-serial regression tests; normal
@@ -35,15 +53,27 @@ pub fn set_thread_override(n: Option<usize>) {
 }
 
 /// Number of worker threads a sweep will use right now.
+///
+/// Precedence: [`set_thread_override`], then `MLP_THREADS`, then
+/// [`available_threads`]. An `MLP_THREADS` value that is not a positive
+/// integer is rejected with a one-time stderr warning naming the value
+/// and the fallback.
 pub fn thread_count() -> usize {
     let forced = OVERRIDE.load(Ordering::SeqCst);
     if forced > 0 {
         return forced;
     }
     if let Ok(v) = std::env::var("MLP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                if !WARNED_BAD_THREADS.swap(true, Ordering::SeqCst) {
+                    eprintln!(
+                        "[mlp-par] ignoring invalid MLP_THREADS={v:?} (want a positive \
+                         integer); falling back to {} available thread(s)",
+                        available_threads()
+                    );
+                }
             }
         }
     }
@@ -55,11 +85,60 @@ pub fn available_threads() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Map `f` over `items` in parallel, returning results in input order.
+/// A sweep job that panicked instead of returning a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job in the input slice.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Stringifies a `catch_unwind` payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs job `i` under `catch_unwind`, probing the `sweep-panic` fault
+/// injection site first so injected and organic panics take the same
+/// containment path.
+fn run_job<T, R, F>(items: &[T], f: &F, i: usize) -> Result<R, JobPanic>
+where
+    F: Fn(&T) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        mlp_faults::fire(mlp_faults::SWEEP_PANIC);
+        f(&items[i])
+    }))
+    .map_err(|payload| JobPanic {
+        index: i,
+        message: panic_message(payload),
+    })
+}
+
+/// Map `f` over `items` in parallel with per-job panic containment,
+/// returning one slot per input item, in input order.
 ///
-/// Results are identical to `items.iter().map(f).collect()` for any pure
-/// `f`. A panic in any worker propagates to the caller.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// Every slot is always present: a job that panics yields
+/// `Err(JobPanic)` in its slot while every other job still runs to
+/// completion. `Ok` slots are identical to a serial
+/// `items.iter().map(f)` for any pure `f`.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, JobPanic>>
 where
     T: Sync,
     R: Send,
@@ -67,12 +146,12 @@ where
 {
     let threads = thread_count().min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        return (0..items.len()).map(|i| run_job(items, &f, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, JobPanic>)>();
+    let mut slots: Vec<Option<Result<R, JobPanic>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
 
     thread::scope(|s| {
@@ -85,15 +164,16 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = run_job(items, f, i);
                 if tx.send((i, r)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        // Drain while workers run; ends when the last sender drops. If a
-        // worker panics its sender drops early and scope exit re-raises.
+        // Drain while workers run; ends when the last sender drops.
+        // Workers never unwind (jobs are caught), so every claimed index
+        // sends exactly one slot.
         for (i, r) in rx {
             slots[i] = Some(r);
         }
@@ -102,6 +182,32 @@ where
     slots
         .into_iter()
         .map(|r| r.expect("every job index was claimed exactly once"))
+        .collect()
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// Results are identical to `items.iter().map(f).collect()` for any pure
+/// `f`. Thin infallible wrapper over [`try_par_map`]: if any job
+/// panicked, the first failure (by job index) is re-raised *after* every
+/// job has finished, so one bad sweep point no longer cancels its
+/// siblings mid-flight.
+///
+/// # Panics
+///
+/// Panics with the original job's panic message if any job panicked.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map(items, f)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        })
         .collect()
 }
 
@@ -152,6 +258,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_inputs() {
+        // Locked like the rest: even singleton maps probe the global
+        // fault-injection site.
+        let _g = lock();
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
@@ -189,6 +298,61 @@ mod tests {
             })
         });
         set_thread_override(None);
-        assert!(result.is_err());
+        let payload = result.expect_err("panic must propagate through par_map");
+        let msg = panic_message(payload);
+        assert!(
+            msg.contains("boom") && msg.contains("job 2"),
+            "re-raised panic must carry the job index and original message, got {msg:?}"
+        );
+    }
+
+    #[test]
+    fn try_par_map_contains_panics_in_their_slots() {
+        let _g = lock();
+        for threads in [1, 4] {
+            set_thread_override(Some(threads));
+            let out = try_par_map(&[10u32, 11, 12, 13, 14], |&x| {
+                if x % 2 == 1 {
+                    panic!("odd input {x}");
+                }
+                x * 2
+            });
+            set_thread_override(None);
+            assert_eq!(out.len(), 5);
+            assert_eq!(out[0], Ok(20));
+            assert_eq!(out[2], Ok(24));
+            assert_eq!(out[4], Ok(28));
+            for (i, x) in [(1usize, 11u32), (3, 13)] {
+                let err = out[i].as_ref().expect_err("odd job must fail");
+                assert_eq!(err.index, i);
+                assert_eq!(err.message, format!("odd input {x}"));
+            }
+        }
+    }
+
+    #[test]
+    fn injected_sweep_panic_hits_one_job() {
+        let _g = lock();
+        set_thread_override(Some(1));
+        mlp_faults::set_for_test(Some((mlp_faults::SWEEP_PANIC, 2)));
+        let out = try_par_map(&[1u32, 2, 3], |&x| x);
+        mlp_faults::set_for_test(None);
+        set_thread_override(None);
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3));
+        let err = out[1].as_ref().expect_err("second job must be injected");
+        assert!(err.message.contains("injected fault: sweep-panic"));
+    }
+
+    #[test]
+    fn job_panic_display_and_message_extraction() {
+        let p = JobPanic {
+            index: 7,
+            message: "oops".into(),
+        };
+        assert_eq!(p.to_string(), "sweep job 7 panicked: oops");
+        assert_eq!(panic_message(Box::new("static")), "static");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
     }
 }

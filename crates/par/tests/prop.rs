@@ -1,0 +1,86 @@
+//! Property tests of panic containment: `try_par_map` must return
+//! exactly one slot per input item, in input order, no matter which jobs
+//! panic or how many threads run the sweep.
+
+use mlp_par::{set_thread_override, try_par_map};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Thread override and panic hook are process-global; serialize the
+/// tests in this binary.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Silences the default panic hook (which would print a backtrace per
+/// injected panic — hundreds per proptest run) for the duration of a
+/// test, restoring it afterwards.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(saved);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomly panicking jobs never lose or reorder slots: every input
+    /// index gets exactly one slot, `Ok` slots hold the mapped value and
+    /// `Err` slots name their own index and panic message.
+    #[test]
+    fn panicking_jobs_never_lose_or_reorder_slots(
+        panics in proptest::collection::vec(any::<bool>(), 0..48),
+        threads in 1usize..6,
+    ) {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<usize> = (0..panics.len()).collect();
+        let out = with_quiet_panics(|| {
+            set_thread_override(Some(threads));
+            let out = try_par_map(&items, |&i| {
+                if panics[i] {
+                    panic!("job {i} down");
+                }
+                i * 10
+            });
+            set_thread_override(None);
+            out
+        });
+
+        prop_assert_eq!(out.len(), items.len(), "one slot per input item");
+        for (i, slot) in out.iter().enumerate() {
+            if panics[i] {
+                let err = slot.as_ref().expect_err("panicking job must yield Err");
+                prop_assert_eq!(err.index, i);
+                let want = format!("job {i} down");
+                prop_assert_eq!(err.message.as_str(), want.as_str());
+            } else {
+                prop_assert_eq!(slot.as_ref().ok().copied(), Some(i * 10));
+            }
+        }
+    }
+
+    /// The infallible wrapper re-raises the first failure by job index.
+    #[test]
+    fn par_map_reraises_first_failure(fail_at in 0usize..16, len in 16usize..24) {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<usize> = (0..len).collect();
+        let caught = with_quiet_panics(|| {
+            set_thread_override(Some(3));
+            let caught = std::panic::catch_unwind(|| {
+                mlp_par::par_map(&items, |&i| {
+                    if i >= fail_at {
+                        panic!("first failing job is {fail_at}");
+                    }
+                    i
+                })
+            });
+            set_thread_override(None);
+            caught
+        });
+        let msg = mlp_par::panic_message(caught.expect_err("must panic"));
+        prop_assert!(
+            msg.contains(&format!("sweep job {fail_at} panicked")),
+            "expected first failure (job {}) in {:?}", fail_at, msg
+        );
+    }
+}

@@ -21,6 +21,17 @@ echo "==> golden snapshots (quick scale, release)"
 # far too slow unoptimized), so it needs an explicit release invocation.
 cargo test -q --release -p mlp-experiments --test golden
 
+echo "==> fault isolation (end to end, release)"
+# Same deal: spawns real quick-scale CLI runs with MLP_FAULT armed and
+# checks survivors stay byte-identical, so release only.
+cargo test -q --release -p mlp-experiments --test faults
+
+echo "==> no-panic property suites"
+# Hostile-input coverage: arbitrary/mutated trace bytes must never panic
+# the decoder, and randomly panicking sweep jobs must never lose a slot.
+cargo test -q -p mlp-isa --test prop
+cargo test -q -p mlp-par --test prop
+
 echo "==> experiment bench (records results/BENCH_experiments.json)"
 cargo bench -q -p mlp-bench --bench experiments >/dev/null
 
