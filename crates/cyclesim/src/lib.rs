@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod obs;
 mod pipeline;
 mod report;
 pub mod runahead;

@@ -184,6 +184,7 @@ impl<'a, T: TraceSource> Machine<'a, T> {
 
     fn run(mut self) -> CycleReport {
         let mut last_progress = (0u64, 0u64); // (cycle, retired)
+        let mut stall_cycles = 0u64;
         loop {
             let worked = self.step();
             if self.finished() {
@@ -192,8 +193,11 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             if worked {
                 self.advance_to(self.now + 1);
             } else {
-                let next = self.next_event().unwrap_or(self.now + 1);
-                self.advance_to(next.max(self.now + 1));
+                let next = self.next_event().unwrap_or(self.now + 1).max(self.now + 1);
+                if self.measuring {
+                    stall_cycles += next - self.now;
+                }
+                self.advance_to(next);
             }
             // Deadlock detector: modelling bugs must fail loudly.
             if self.retired != last_progress.1 {
@@ -208,7 +212,7 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             }
         }
         let b = self.branches.stats();
-        CycleReport {
+        let report = CycleReport {
             cycles: self.now.saturating_sub(self.measure_start_cycle),
             insts: self.retired.saturating_sub(self.warmup),
             offchip: self.offchip,
@@ -220,7 +224,18 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 branches: b.branches - self.branch_base.branches,
                 mispredicts: b.mispredicts - self.branch_base.mispredicts,
             },
-        }
+        };
+        crate::obs::flush_run(
+            &report,
+            crate::obs::RunObs {
+                stall_cycles,
+                mshr_high_water: self.mshr.high_water() as u64,
+                runahead_entries: 0,
+                runahead_exits: 0,
+            },
+        );
+        self.hierarchy.flush_obs();
+        report
     }
 
     fn finished(&mut self) -> bool {

@@ -185,6 +185,9 @@ impl RunaheadSim {
         let mut active_cycles: u64 = 0;
         let branch_base = BranchStats::default();
         let mut idle: u64 = 0;
+        let mut stall_cycles: u64 = 0;
+        let mut ra_entries: u64 = 0;
+        let mut ra_exits: u64 = 0;
         // Reused across cycles so the issue scan does not allocate.
         let mut decisions: Vec<u64> = Vec::with_capacity(cfg.issue_width);
 
@@ -249,6 +252,7 @@ impl RunaheadSim {
                     last_ifetch_line = u64::MAX;
                     runahead_exit = None;
                     ra_dist = 0;
+                    ra_exits += 1;
                     worked = true;
                 }
             }
@@ -315,6 +319,7 @@ impl RunaheadSim {
                     let trigger = rob.front().expect("head");
                     runahead_exit = Some(trigger.complete_at);
                     ra_dist = 0;
+                    ra_entries += 1;
                     // The post-exit replay starts with the trigger (its
                     // line will be on chip by then).
                     ra_replay.clear();
@@ -721,6 +726,9 @@ impl RunaheadSim {
                     }
                 }
             }
+            if !worked && measuring {
+                stall_cycles += next - now;
+            }
             now = next;
             if worked {
                 idle = 0;
@@ -734,7 +742,7 @@ impl RunaheadSim {
         }
 
         let b = branches.stats();
-        CycleReport {
+        let report = CycleReport {
             cycles: now.saturating_sub(measure_start),
             insts: retired.saturating_sub(warmup),
             offchip,
@@ -746,7 +754,18 @@ impl RunaheadSim {
             },
             fm_weighted_cycles: 0,
             fm_active_cycles: 0,
-        }
+        };
+        crate::obs::flush_run(
+            &report,
+            crate::obs::RunObs {
+                stall_cycles,
+                mshr_high_water: mshr.high_water() as u64,
+                runahead_entries: ra_entries,
+                runahead_exits: ra_exits,
+            },
+        );
+        hierarchy.flush_obs();
+        report
     }
 }
 

@@ -5,6 +5,7 @@
 //! ```text
 //! mlp-experiments <experiment|all> [--scale quick|standard|full]
 //!                 [--json [dir]] [--only <substrings>] [--list]
+//!                 [--events <dir>]
 //! ```
 //!
 //! The experiment set is the static [`mlp_experiments::registry`]: every
@@ -15,6 +16,14 @@
 //! substrings (`--only table5,epochs` picks both). `--json` also writes
 //! each experiment's structured report to `<dir>/<name>.<scale>.json`
 //! (default directory: `results/`).
+//!
+//! **Observability:** with `MLP_OBS=counters` (or `all`) exported, each
+//! report gains a `metrics` block — counters and phase timers drained
+//! from the `mlp-obs` layer after the experiment ran — and the schema
+//! tag becomes `mlp-experiments.report/v3`; without it, output is
+//! byte-identical to an uninstrumented build. `--events <dir>` arms the
+//! event stream and writes one JSONL trace per experiment to
+//! `<dir>/<name>.<scale>.jsonl`.
 //!
 //! **Failure containment:** every experiment runs inside its own
 //! `catch_unwind` boundary. A panic anywhere in one experiment — a bad
@@ -40,7 +49,8 @@ const DEFAULT_JSON_DIR: &str = "results";
 fn usage() -> ! {
     eprintln!(
         "usage: mlp-experiments <experiment|all> [--scale quick|standard|full] \
-         [--json [dir]] [--only <substring>[,<substring>...]] [--list]\n\
+         [--json [dir]] [--only <substring>[,<substring>...]] [--list] \
+         [--events <dir>]\n\
          experiments: {}",
         registry::names().join(", ")
     );
@@ -65,6 +75,7 @@ struct Cli {
     list: bool,
     only: Option<String>,
     json_dir: Option<String>,
+    events_dir: Option<String>,
     target: Option<String>,
 }
 
@@ -75,6 +86,7 @@ fn parse_args(args: &[String]) -> Cli {
         list: false,
         only: None,
         json_dir: None,
+        events_dir: None,
         target: None,
     };
     let mut it = args.iter().peekable();
@@ -114,6 +126,15 @@ fn parse_args(args: &[String]) -> Cli {
                     _ => DEFAULT_JSON_DIR.to_string(),
                 };
                 cli.json_dir = Some(dir);
+            }
+            "--events" => {
+                // Mandatory directory operand (unlike --json, there is
+                // no sensible default for raw event traces).
+                let Some(dir) = it.next() else {
+                    eprintln!("--events needs a directory");
+                    usage()
+                };
+                cli.events_dir = Some(dir.clone());
             }
             name if cli.target.is_none() && !name.starts_with('-') => {
                 cli.target = Some(name.to_string());
@@ -216,18 +237,66 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(dir) = &cli.events_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create events directory '{dir}': {e}");
+            std::process::exit(1);
+        }
+        mlp_obs::enable_events();
+    }
     install_compact_panic_hook();
     let mut failures: Vec<Failure> = Vec::new();
     let t_all = Instant::now();
+    // Wall time of each whole experiment — recorded before the counter
+    // drain below so every metrics block has at least this entry, even
+    // for experiments that run no simulator (e.g. figure2's pure trace
+    // analysis).
+    static EXPERIMENT_TIMER: mlp_obs::PhaseTimer = mlp_obs::PhaseTimer::new("experiment.run");
     for e in &selected {
+        let events_path = cli.events_dir.as_ref().map(|dir| {
+            std::path::Path::new(dir).join(format!("{}.{}.jsonl", e.name(), cli.scale.label()))
+        });
+        if let Some(path) = &events_path {
+            if let Err(err) = mlp_obs::set_event_sink(Some(path)) {
+                eprintln!("cannot create event trace '{}': {err}", path.display());
+            }
+        }
+        let obs_counters = mlp_obs::counters_on();
+        if obs_counters {
+            // Drop anything a previous experiment (or arming-time noise)
+            // left behind so the metrics block is attributable to this
+            // experiment alone. Experiments run sequentially; only their
+            // internal sweeps are parallel.
+            let _ = mlp_obs::snapshot_and_reset();
+        }
+        mlp_obs::emit(
+            "experiment.start",
+            &[
+                ("experiment", e.name().into()),
+                ("scale", cli.scale.label().into()),
+            ],
+        );
         let t0 = Instant::now();
         // The isolation boundary: a panic anywhere inside one experiment
         // (its sweeps run under mlp_par's per-job containment and re-raise
         // here) must not abort the batch.
         let outcome = catch_unwind(AssertUnwindSafe(|| e.run(cli.scale)));
         let elapsed = t0.elapsed();
+        EXPERIMENT_TIMER.record_ns(elapsed.as_nanos() as u64);
+        mlp_obs::emit(
+            "experiment.end",
+            &[
+                ("experiment", e.name().into()),
+                ("ok", outcome.is_ok().into()),
+                ("wall_ms", (elapsed.as_secs_f64() * 1e3).into()),
+            ],
+        );
+        let metrics = obs_counters.then(mlp_obs::snapshot_and_reset);
         match outcome {
-            Ok(run) => {
+            Ok(mut run) => {
+                if let Some(snapshot) = &metrics {
+                    run.report.set_metrics(snapshot);
+                }
                 println!("{}", run.text);
                 if let Some(dir) = &cli.json_dir {
                     let path = std::path::Path::new(dir).join(run.report.filename());
@@ -252,7 +321,7 @@ fn main() {
                     elapsed.as_secs_f64()
                 );
                 if let Some(dir) = &cli.json_dir {
-                    let report = Report::failed(
+                    let mut report = Report::failed(
                         e.name(),
                         e.description(),
                         e.section(),
@@ -260,6 +329,9 @@ fn main() {
                         error.clone(),
                         elapsed.as_millis() as u64,
                     );
+                    if let Some(snapshot) = &metrics {
+                        report.set_metrics(snapshot);
+                    }
                     let path = std::path::Path::new(dir).join(report.filename());
                     match std::fs::write(&path, report.to_json()) {
                         Ok(()) => {
@@ -274,6 +346,9 @@ fn main() {
                     error,
                 });
             }
+        }
+        if events_path.is_some() {
+            let _ = mlp_obs::set_event_sink(None); // flush + close
         }
     }
     if selected.len() > 1 {

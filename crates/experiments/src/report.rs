@@ -9,6 +9,11 @@
 //! shortest round-trip formatting — so a report is byte-identical across
 //! hosts and `MLP_THREADS` settings.
 //!
+//! Schema v3 adds an optional observability `metrics` block after the
+//! rows — counter values and phase-timer totals drained from `mlp-obs`
+//! by the CLI. The block (and the v3 schema tag) appears only when
+//! `MLP_OBS` was armed; otherwise the document is byte-identical to v2.
+//!
 //! Schema v2 adds degraded-mode reporting: a successful run carries
 //! `"status": "ok"` (and stays byte-identical to a run where a sibling
 //! experiment failed), while an experiment that panicked still writes a
@@ -41,6 +46,13 @@ use std::fmt::Write as _;
 
 /// Version tag stamped into every report, bumped on schema changes.
 pub const SCHEMA: &str = "mlp-experiments.report/v2";
+
+/// Schema tag for reports carrying an observability `metrics` block.
+/// Emitted **only** when [`Report::metrics`] is non-empty (i.e. the run
+/// had `MLP_OBS` armed); with observability off the document — schema
+/// string included — stays byte-identical to v2, so goldens recorded
+/// without metrics never re-bless.
+pub const SCHEMA_V3: &str = "mlp-experiments.report/v3";
 
 /// How an experiment run ended.
 #[derive(Clone, Debug, PartialEq)]
@@ -237,6 +249,9 @@ pub struct Report {
     pub axes: Vec<(&'static str, Json)>,
     /// One object per result row.
     pub rows: Vec<Row>,
+    /// Observability metrics drained from `mlp-obs` after the run
+    /// (empty — and omitted from the JSON — unless `MLP_OBS` was armed).
+    pub metrics: Vec<(String, Json)>,
 }
 
 impl Report {
@@ -257,6 +272,7 @@ impl Report {
             seed: SEED,
             axes: Vec::new(),
             rows: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -290,12 +306,46 @@ impl Report {
         self
     }
 
-    /// Serializes the report (deterministic, trailing newline).
+    /// Attaches a drained `mlp-obs` snapshot as the report's metrics
+    /// block: counters keep their names, each timer expands to
+    /// `<name>.count` / `<name>.total_ms` / `<name>.max_ms`. A non-empty
+    /// block switches the emitted schema tag to [`SCHEMA_V3`].
+    pub fn set_metrics(&mut self, snapshot: &mlp_obs::Snapshot) -> &mut Report {
+        self.metrics.clear();
+        for c in &snapshot.counters {
+            self.metrics
+                .push((c.name.to_string(), Json::Int(c.value as i64)));
+        }
+        for t in &snapshot.timers {
+            self.metrics
+                .push((format!("{}.count", t.name), Json::Int(t.count as i64)));
+            self.metrics.push((
+                format!("{}.total_ms", t.name),
+                Json::Num(t.total_ns as f64 / 1e6),
+            ));
+            self.metrics.push((
+                format!("{}.max_ms", t.name),
+                Json::Num(t.max_ns as f64 / 1e6),
+            ));
+        }
+        self
+    }
+
+    /// Serializes the report (deterministic, trailing newline). The
+    /// schema tag is [`SCHEMA_V3`] only when a metrics block is present,
+    /// so observability-off output is byte-identical to v2.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = write!(out, "  \"schema\": ");
-        write_json_str(&mut out, SCHEMA);
+        write_json_str(
+            &mut out,
+            if self.metrics.is_empty() {
+                SCHEMA
+            } else {
+                SCHEMA_V3
+            },
+        );
         let _ = write!(out, ",\n  \"experiment\": ");
         write_json_str(&mut out, self.experiment);
         let _ = write!(out, ",\n  \"title\": ");
@@ -332,7 +382,19 @@ impl Report {
         if !self.rows.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("]\n}\n");
+        out.push(']');
+        if !self.metrics.is_empty() {
+            out.push_str(",\n  \"metrics\": {");
+            for (i, (name, value)) in self.metrics.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("    ");
+                write_json_str(&mut out, name);
+                out.push_str(": ");
+                value.write(&mut out);
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -402,6 +464,41 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"axes\": {},"));
         assert!(json.contains("\"rows\": []"));
+    }
+
+    #[test]
+    fn metrics_block_switches_schema_to_v3() {
+        let mut r = Report::new("demo", "Demo", "§1", RunScale::quick());
+        let without = r.to_json();
+        assert!(without.contains("\"schema\": \"mlp-experiments.report/v2\""));
+        assert!(!without.contains("\"metrics\""));
+
+        let snapshot = mlp_obs::Snapshot {
+            counters: vec![mlp_obs::CounterValue {
+                name: "mlpsim.epochs",
+                kind: mlp_obs::CounterKind::Sum,
+                value: 42,
+            }],
+            timers: vec![mlp_obs::TimerValue {
+                name: "runner.sweep_point",
+                count: 3,
+                total_ns: 1_500_000,
+                max_ns: 1_000_000,
+            }],
+        };
+        r.set_metrics(&snapshot);
+        let with = r.to_json();
+        assert!(with.contains("\"schema\": \"mlp-experiments.report/v3\""));
+        assert!(with.contains("\"metrics\": {\n    \"mlpsim.epochs\": 42,"));
+        assert!(with.contains("\"runner.sweep_point.count\": 3"));
+        assert!(with.contains("\"runner.sweep_point.total_ms\": 1.5"));
+        assert!(with.contains("\"runner.sweep_point.max_ms\": 1"));
+        // Everything before the metrics block is unchanged bytes.
+        let head = with.split("\"metrics\"").next().unwrap();
+        let want_head = without
+            .replace("report/v2", "report/v3")
+            .replace("]\n}\n", "],\n  ");
+        assert_eq!(head, want_head);
     }
 
     #[test]

@@ -24,6 +24,65 @@ use mlpsim::{MlpsimConfig, Report, Simulator};
 /// The seed used by every experiment: results are fully deterministic.
 pub const SEED: u64 = 42;
 
+/// Wall time of each sweep point, recorded when `MLP_OBS` counters are
+/// armed (drained into the report `metrics` block by the CLI).
+static SWEEP_TIMER: mlp_obs::PhaseTimer = mlp_obs::PhaseTimer::new("runner.sweep_point");
+
+thread_local! {
+    /// The sweep point (job key, `Debug`-rendered) this worker thread is
+    /// currently evaluating, if any.
+    static CURRENT_POINT: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The sweep point the current thread is running, if any. Set around
+/// every sweep job so failures deep inside a run — the drained-cursor
+/// guard, an engine assertion — can name the point that died.
+pub fn current_sweep_point() -> Option<String> {
+    CURRENT_POINT.with(|p| p.borrow().clone())
+}
+
+/// ` (sweep point <key>)` when inside a sweep job, empty otherwise.
+fn point_context() -> String {
+    current_sweep_point().map_or_else(String::new, |p| format!(" (sweep point {p})"))
+}
+
+/// Wraps a sweep job with point attribution, the `runner.sweep_point`
+/// phase timer, and (when armed) one event line per point. Attribution
+/// is unconditional — panic messages must name their point even with
+/// `MLP_OBS` off — and costs one small allocation per job, noise next to
+/// the simulator run it labels.
+fn instrumented<T, R, F>(f: F) -> impl Fn(&T) -> R + Sync
+where
+    T: std::fmt::Debug + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    move |job: &T| {
+        CURRENT_POINT.with(|p| *p.borrow_mut() = Some(format!("{job:?}")));
+        let timed = mlp_obs::counters_on() || mlp_obs::events_on();
+        let t0 = timed.then(std::time::Instant::now);
+        let result = f(job);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            SWEEP_TIMER.record_ns(ns);
+            CURRENT_POINT.with(|p| {
+                if let Some(point) = p.borrow().as_deref() {
+                    mlp_obs::emit(
+                        "runner.sweep_point",
+                        &[
+                            ("point", point.into()),
+                            ("wall_ms", (ns as f64 / 1e6).into()),
+                        ],
+                    );
+                }
+            });
+        }
+        CURRENT_POINT.with(|p| *p.borrow_mut() = None);
+        result
+    }
+}
+
 /// The largest engine read-ahead configured anywhere in the experiment
 /// suite, derived from the deepest sweep points rather than hand-tuned:
 /// the runahead-distance ablation (up to 8192 instructions past a miss),
@@ -106,8 +165,10 @@ pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> 
     if report.insts < scale.measure {
         panic!(
             "mlpsim run on {kind:?} drained its trace after {} of {} measured \
-             instructions (truncated or under-slacked trace)",
-            report.insts, scale.measure
+             instructions (truncated or under-slacked trace){}",
+            report.insts,
+            scale.measure,
+            point_context()
         );
     }
     report
@@ -124,8 +185,10 @@ pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale)
     if report.insts < scale.cycle_measure {
         panic!(
             "cyclesim run on {kind:?} drained its trace after {} of {} measured \
-             instructions (truncated or under-slacked trace)",
-            report.insts, scale.cycle_measure
+             instructions (truncated or under-slacked trace){}",
+            report.insts,
+            scale.cycle_measure,
+            point_context()
         );
     }
     report
@@ -137,11 +200,11 @@ pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale)
 /// identically whether the sweep ran on one thread or many.
 pub fn sweep<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
 where
-    T: Sync,
+    T: Sync + std::fmt::Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    mlp_par::par_map(&jobs, f)
+    mlp_par::par_map(&jobs, instrumented(f))
 }
 
 /// [`sweep`] with per-job panic containment: one slot per job, in job
@@ -152,11 +215,11 @@ where
 /// point.
 pub fn try_sweep<T, R, F>(jobs: Vec<T>, f: F) -> Vec<Result<R, JobPanic>>
 where
-    T: Sync,
+    T: Sync + std::fmt::Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    mlp_par::try_par_map(&jobs, f)
+    mlp_par::try_par_map(&jobs, instrumented(f))
 }
 
 /// A sweep result indexed by job key.
@@ -225,7 +288,7 @@ where
     );
     let mut results = Vec::with_capacity(keys.len());
     let mut failures = Vec::new();
-    for slot in mlp_par::try_par_map(&keys, f) {
+    for slot in mlp_par::try_par_map(&keys, instrumented(f)) {
         match slot {
             Ok(r) => results.push(r),
             Err(p) => failures.push(p),
@@ -365,6 +428,31 @@ mod tests {
     fn sweep_grid_missing_key_panics() {
         let grid = sweep_grid(vec![1u64], |&x| x);
         let _ = grid[&2];
+    }
+
+    #[test]
+    fn sweep_panics_name_their_point() {
+        let out = try_sweep(vec![("db", 1u64), ("web", 2)], |&(name, n)| {
+            if n == 2 {
+                panic!("{name} exploded{}", point_context());
+            }
+            n
+        });
+        assert_eq!(out[0].as_ref().ok().copied(), Some(1));
+        let p = out[1].as_ref().expect_err("job 1 must fail");
+        assert!(
+            p.message.contains("sweep point (\"web\", 2)"),
+            "panic must carry the Debug-rendered sweep point, got: {}",
+            p.message
+        );
+    }
+
+    #[test]
+    fn current_sweep_point_is_scoped_to_the_job() {
+        assert_eq!(current_sweep_point(), None);
+        let points = sweep(vec![7u64], |_| current_sweep_point());
+        assert_eq!(points, vec![Some("7".to_string())]);
+        assert_eq!(current_sweep_point(), None);
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Demand accesses that missed (and filled).
     pub misses: u64,
+    /// Valid lines displaced by fills (demand or touch-driven); cold
+    /// fills into never-used ways do not count.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -190,6 +193,9 @@ impl Cache {
             .iter_mut()
             .min_by_key(|w| w.lru)
             .expect("associativity is non-zero");
+        if victim.lru != 0 {
+            self.stats.evictions += 1;
+        }
         victim.tag = tag;
         victim.lru = clock;
         false
@@ -304,6 +310,19 @@ mod tests {
     }
 
     #[test]
+    fn evictions_count_only_displaced_lines() {
+        let cfg = CacheConfig::new(2 * LINE_BYTES, 2); // 1 set, 2 ways
+        let mut c = Cache::new(cfg);
+        c.access(0); // cold fill, no eviction
+        c.access(64); // cold fill, no eviction
+        assert_eq!(c.stats().evictions, 0);
+        c.access(128); // displaces LRU line 0
+        assert_eq!(c.stats().evictions, 1);
+        c.touch(192); // touch-driven fills evict too
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
     fn capacity_is_respected() {
         let cfg = CacheConfig::new(64 * LINE_BYTES, 4);
         let mut c = Cache::new(cfg);
@@ -331,7 +350,11 @@ mod tests {
 
     #[test]
     fn miss_ratio_sane() {
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
     }

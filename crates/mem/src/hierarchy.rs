@@ -275,6 +275,54 @@ impl Hierarchy {
     pub fn probe_l2(&self, addr: u64) -> bool {
         self.l2.probe(addr)
     }
+
+    /// Flushes per-level hit/miss/eviction and TLB statistics into the
+    /// global `mlp-obs` counters (`mem.<level>.*`). A no-op unless
+    /// counters are armed; simulators call this once at end of run so
+    /// the per-access hot paths carry no probes at all.
+    pub fn flush_obs(&self) {
+        if !mlp_obs::counters_on() {
+            return;
+        }
+        static LEVELS: [[mlp_obs::Counter; 3]; 4] = [
+            [
+                mlp_obs::Counter::new("mem.l1i.hits"),
+                mlp_obs::Counter::new("mem.l1i.misses"),
+                mlp_obs::Counter::new("mem.l1i.evictions"),
+            ],
+            [
+                mlp_obs::Counter::new("mem.l1d.hits"),
+                mlp_obs::Counter::new("mem.l1d.misses"),
+                mlp_obs::Counter::new("mem.l1d.evictions"),
+            ],
+            [
+                mlp_obs::Counter::new("mem.l2.hits"),
+                mlp_obs::Counter::new("mem.l2.misses"),
+                mlp_obs::Counter::new("mem.l2.evictions"),
+            ],
+            [
+                mlp_obs::Counter::new("mem.l3.hits"),
+                mlp_obs::Counter::new("mem.l3.misses"),
+                mlp_obs::Counter::new("mem.l3.evictions"),
+            ],
+        ];
+        static TLB_HITS: mlp_obs::Counter = mlp_obs::Counter::new("mem.tlb.hits");
+        static TLB_MISSES: mlp_obs::Counter = mlp_obs::Counter::new("mem.tlb.misses");
+        let levels = [
+            Some(self.l1i.stats()),
+            Some(self.l1d.stats()),
+            Some(self.l2.stats()),
+            self.l3.as_ref().map(Cache::stats),
+        ];
+        for (counters, stats) in LEVELS.iter().zip(levels) {
+            let Some(stats) = stats else { continue };
+            counters[0].add(stats.hits);
+            counters[1].add(stats.misses);
+            counters[2].add(stats.evictions);
+        }
+        TLB_HITS.add(self.tlb.hits());
+        TLB_MISSES.add(self.tlb.misses());
+    }
 }
 
 #[cfg(test)]

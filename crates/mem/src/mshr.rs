@@ -40,6 +40,7 @@ pub struct Mshr {
     capacity: usize,
     latency: u64,
     in_flight: FxHashMap<u64, u64>, // line -> ready cycle
+    high_water: usize,
 }
 
 impl Mshr {
@@ -55,6 +56,7 @@ impl Mshr {
             capacity,
             latency,
             in_flight: mlp_hash::map_with_capacity(capacity),
+            high_water: 0,
         }
     }
 
@@ -73,6 +75,7 @@ impl Mshr {
         }
         let ready = now + self.latency;
         self.in_flight.insert(line, ready);
+        self.high_water = self.high_water.max(self.in_flight.len());
         MshrOutcome::Primary { ready_at: ready }
     }
 
@@ -104,6 +107,12 @@ impl Mshr {
     /// Number of transfers currently outstanding.
     pub fn outstanding(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// The most transfers ever outstanding at once — how much of the MLP
+    /// headroom the run actually used.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -142,5 +151,19 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_rejected() {
         let _ = Mshr::new(0, 10);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut m = Mshr::new(4, 10);
+        assert_eq!(m.high_water(), 0);
+        m.request(0x40, 0);
+        m.request(0x80, 0);
+        assert_eq!(m.high_water(), 2);
+        m.expire(20); // draining does not lower the mark
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.high_water(), 2);
+        m.request(0xc0, 30); // nor does refilling below the peak
+        assert_eq!(m.high_water(), 2);
     }
 }

@@ -229,7 +229,7 @@ pub(crate) fn run<T: TraceSource>(
     tracker.close_all();
     let b = branches.stats();
     let v = values.stats();
-    tracker.into_report(
+    let report = tracker.into_report(
         insts,
         BranchStats {
             branches: b.branches - branch_base.branches,
@@ -240,5 +240,8 @@ pub(crate) fn run<T: TraceSource>(
             wrong: v.wrong - value_base.wrong,
             no_predict: v.no_predict - value_base.no_predict,
         },
-    )
+    );
+    crate::obs::flush_run(&report);
+    hierarchy.flush_obs();
+    report
 }

@@ -152,7 +152,7 @@ impl<T: TraceSource> Engine<'_, T> {
         let tracker = std::mem::take(&mut self.tracker);
         let b = self.branches.stats();
         let v = self.values.stats();
-        tracker.into_report(
+        let report = tracker.into_report(
             self.insts,
             BranchStats {
                 branches: b.branches - self.branch_base.branches,
@@ -163,7 +163,10 @@ impl<T: TraceSource> Engine<'_, T> {
                 wrong: v.wrong - self.value_base.wrong,
                 no_predict: v.no_predict - self.value_base.no_predict,
             },
-        )
+        );
+        crate::obs::flush_run(&report);
+        self.hierarchy.flush_obs();
+        report
     }
 
     fn out_of_input(&mut self) -> bool {

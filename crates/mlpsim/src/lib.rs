@@ -66,6 +66,7 @@
 
 mod config;
 mod engine;
+mod obs;
 mod report;
 
 pub use config::{

@@ -26,11 +26,34 @@ echo "==> fault isolation (end to end, release)"
 # checks survivors stay byte-identical, so release only.
 cargo test -q --release -p mlp-experiments --test faults
 
+echo "==> differential cross-validation (release)"
+# MLPsim vs CycleSim over identical trace windows, compared through the
+# mlp-obs counter layer — the paper's Table 1/3/4 agreement as a gate.
+cargo test -q --release -p mlp-experiments --test differential
+
 echo "==> no-panic property suites"
 # Hostile-input coverage: arbitrary/mutated trace bytes must never panic
 # the decoder, and randomly panicking sweep jobs must never lose a slot.
 cargo test -q -p mlp-isa --test prop
 cargo test -q -p mlp-par --test prop
+
+echo "==> model + observability property suites"
+# Algebraic laws of the §2.2 CPI model and conservation invariants of
+# the mlp-obs counters the engines flush.
+cargo test -q -p mlp-model --test prop
+cargo test -q -p mlpsim --test prop
+
+echo "==> line coverage (fail-soft; see scripts/coverage.sh)"
+if scripts/coverage.sh; then
+    :
+else
+    rc=$?
+    if [ "$rc" -eq 2 ]; then
+        echo "coverage regression — failing the gate"
+        exit 1
+    fi
+    echo "  (skipped: no usable coverage tooling in this environment)"
+fi
 
 echo "==> experiment bench (records results/BENCH_experiments.json)"
 cargo bench -q -p mlp-bench --bench experiments >/dev/null

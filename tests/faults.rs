@@ -179,6 +179,10 @@ fn cursor_truncation_fails_loudly_and_is_contained() {
         json.contains("drained its trace"),
         "the drained-cursor guard must name the failure:\n{json}"
     );
+    assert!(
+        json.contains("sweep point"),
+        "the panic must name the sweep point that hit the fault:\n{json}"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 
