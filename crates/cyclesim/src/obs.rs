@@ -8,7 +8,7 @@
 //! once per simulated run; the per-cycle hot paths carry no probes.
 
 use crate::report::CycleReport;
-use mlp_obs::{Counter, Value};
+use mlp_obs::{Counter, Histogram, LocalHist, Value};
 
 static RUNS: Counter = Counter::new("cyclesim.runs");
 static INSTS: Counter = Counter::new("cyclesim.insts");
@@ -22,8 +22,15 @@ static MSHR_HIGH_WATER: Counter = Counter::new_max("cyclesim.mshr.high_water");
 static RUNAHEAD_ENTRIES: Counter = Counter::new("cyclesim.runahead.entries");
 static RUNAHEAD_EXITS: Counter = Counter::new("cyclesim.runahead.exits");
 
+/// Lengths of uninterrupted no-progress stretches (consecutive dead
+/// cycles the clock skipped), in cycles.
+static STALL_BURST: Histogram = Histogram::new("cyclesim.stall_burst");
+
+/// Durations of completed runahead episodes, in cycles.
+static RUNAHEAD_EPISODE: Histogram = Histogram::new("cyclesim.runahead.episode");
+
 /// Per-run extras the [`CycleReport`] does not carry.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct RunObs {
     /// Cycles (in the measurement window) where no stage made progress.
     pub stall_cycles: u64,
@@ -33,6 +40,10 @@ pub(crate) struct RunObs {
     pub runahead_entries: u64,
     /// Runahead intervals exited.
     pub runahead_exits: u64,
+    /// Distribution of stall-burst lengths in the measurement window.
+    pub stall_burst: LocalHist,
+    /// Distribution of completed runahead episode durations.
+    pub runahead_episode: LocalHist,
 }
 
 /// Flushes one finished run into the global counters and, when events
@@ -50,6 +61,8 @@ pub(crate) fn flush_run(report: &CycleReport, extra: RunObs) {
         MSHR_HIGH_WATER.record_max(extra.mshr_high_water);
         RUNAHEAD_ENTRIES.add(extra.runahead_entries);
         RUNAHEAD_EXITS.add(extra.runahead_exits);
+        extra.stall_burst.flush_to(&STALL_BURST);
+        extra.runahead_episode.flush_to(&RUNAHEAD_EPISODE);
     }
     if mlp_obs::events_on() {
         mlp_obs::emit(

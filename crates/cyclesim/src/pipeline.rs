@@ -11,6 +11,7 @@ use crate::{CycleReport, CycleSimConfig};
 use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
+use mlp_obs::{IntervalSampler, LocalHist, Value};
 use mlp_predict::{BranchObserver, BranchPredictor, BranchStats, PerfectBranchPredictor};
 use mlpsim::{BranchMode, OffchipCounts};
 use std::collections::{BTreeMap, VecDeque};
@@ -185,19 +186,37 @@ impl<'a, T: TraceSource> Machine<'a, T> {
     fn run(mut self) -> CycleReport {
         let mut last_progress = (0u64, 0u64); // (cycle, retired)
         let mut stall_cycles = 0u64;
+        let obs_armed = mlp_obs::counters_on();
+        let mut stall_burst = LocalHist::new();
+        let mut cur_burst = 0u64;
+        let mut sampler = IntervalSampler::armed("cyclesim.sample");
         loop {
             let worked = self.step();
             if self.finished() {
                 break;
             }
             if worked {
+                if cur_burst > 0 {
+                    stall_burst.record(cur_burst);
+                    cur_burst = 0;
+                }
                 self.advance_to(self.now + 1);
             } else {
                 let next = self.next_event().unwrap_or(self.now + 1).max(self.now + 1);
                 if self.measuring {
                     stall_cycles += next - self.now;
+                    if obs_armed {
+                        cur_burst += next - self.now;
+                    }
                 }
                 self.advance_to(next);
+            }
+            let pos = self.retired.saturating_sub(self.warmup);
+            if sampler.as_ref().is_some_and(|s| s.due(pos)) {
+                let fields = self.sample_fields();
+                if let Some(s) = sampler.as_mut() {
+                    s.record(pos, &fields);
+                }
             }
             // Deadlock detector: modelling bugs must fail loudly.
             if self.retired != last_progress.1 {
@@ -209,6 +228,16 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                     self.now,
                     self.rob.front()
                 );
+            }
+        }
+        if cur_burst > 0 {
+            stall_burst.record(cur_burst);
+        }
+        if sampler.is_some() {
+            let pos = self.retired.saturating_sub(self.warmup);
+            let fields = self.sample_fields();
+            if let Some(s) = sampler.as_mut() {
+                s.finish(pos, &fields);
             }
         }
         let b = self.branches.stats();
@@ -232,10 +261,27 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 mshr_high_water: self.mshr.high_water() as u64,
                 runahead_entries: 0,
                 runahead_exits: 0,
+                stall_burst,
+                runahead_episode: LocalHist::new(),
             },
         );
         self.hierarchy.flush_obs();
+        self.mshr.flush_obs();
         report
+    }
+
+    /// Cumulative fields for one interval sample.
+    fn sample_fields(&self) -> [(&'static str, Value<'static>); 5] {
+        [
+            (
+                "cycles",
+                Value::U64(self.now.saturating_sub(self.measure_start_cycle)),
+            ),
+            ("offchip", Value::U64(self.offchip.total())),
+            ("mshr", Value::U64(self.mshr.outstanding() as u64)),
+            ("mlp_weighted", Value::U64(self.mlp_weighted)),
+            ("active_cycles", Value::U64(self.active_cycles)),
+        ]
     }
 
     fn finished(&mut self) -> bool {

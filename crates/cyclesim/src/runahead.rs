@@ -25,6 +25,7 @@ use crate::{CycleReport, CycleSimConfig};
 use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
+use mlp_obs::{IntervalSampler, LocalHist, Value};
 use mlp_predict::{
     BranchObserver, BranchPredictor, BranchStats, LastValuePredictor, PerfectBranchPredictor,
     PerfectValuePredictor, ValueObserver, ValuePrediction,
@@ -188,6 +189,12 @@ impl RunaheadSim {
         let mut stall_cycles: u64 = 0;
         let mut ra_entries: u64 = 0;
         let mut ra_exits: u64 = 0;
+        let obs_armed = mlp_obs::counters_on();
+        let mut stall_burst = LocalHist::new();
+        let mut cur_burst: u64 = 0;
+        let mut episode = LocalHist::new();
+        let mut episode_start: u64 = 0;
+        let mut sampler = IntervalSampler::armed("cyclesim.sample");
         // Reused across cycles so the issue scan does not allocate.
         let mut decisions: Vec<u64> = Vec::with_capacity(cfg.issue_width);
 
@@ -253,6 +260,9 @@ impl RunaheadSim {
                     runahead_exit = None;
                     ra_dist = 0;
                     ra_exits += 1;
+                    if obs_armed {
+                        episode.record(now.saturating_sub(episode_start));
+                    }
                     worked = true;
                 }
             }
@@ -320,6 +330,7 @@ impl RunaheadSim {
                     runahead_exit = Some(trigger.complete_at);
                     ra_dist = 0;
                     ra_entries += 1;
+                    episode_start = now;
                     // The post-exit replay starts with the trigger (its
                     // line will be on chip by then).
                     ra_replay.clear();
@@ -728,8 +739,28 @@ impl RunaheadSim {
             }
             if !worked && measuring {
                 stall_cycles += next - now;
+                if obs_armed {
+                    cur_burst += next - now;
+                }
+            }
+            if worked && cur_burst > 0 {
+                stall_burst.record(cur_burst);
+                cur_burst = 0;
             }
             now = next;
+            let pos = retired.saturating_sub(warmup);
+            if sampler.as_ref().is_some_and(|s| s.due(pos)) {
+                let fields = [
+                    ("cycles", Value::U64(now.saturating_sub(measure_start))),
+                    ("offchip", Value::U64(offchip.total())),
+                    ("mshr", Value::U64(mshr.outstanding() as u64)),
+                    ("mlp_weighted", Value::U64(mlp_weighted)),
+                    ("active_cycles", Value::U64(active_cycles)),
+                ];
+                if let Some(s) = sampler.as_mut() {
+                    s.record(pos, &fields);
+                }
+            }
             if worked {
                 idle = 0;
             } else {
@@ -741,6 +772,22 @@ impl RunaheadSim {
             }
         }
 
+        if cur_burst > 0 {
+            stall_burst.record(cur_burst);
+        }
+        if sampler.is_some() {
+            let pos = retired.saturating_sub(warmup);
+            let fields = [
+                ("cycles", Value::U64(now.saturating_sub(measure_start))),
+                ("offchip", Value::U64(offchip.total())),
+                ("mshr", Value::U64(mshr.outstanding() as u64)),
+                ("mlp_weighted", Value::U64(mlp_weighted)),
+                ("active_cycles", Value::U64(active_cycles)),
+            ];
+            if let Some(s) = sampler.as_mut() {
+                s.finish(pos, &fields);
+            }
+        }
         let b = branches.stats();
         let report = CycleReport {
             cycles: now.saturating_sub(measure_start),
@@ -762,9 +809,12 @@ impl RunaheadSim {
                 mshr_high_water: mshr.high_water() as u64,
                 runahead_entries: ra_entries,
                 runahead_exits: ra_exits,
+                stall_burst,
+                runahead_episode: episode,
             },
         );
         hierarchy.flush_obs();
+        mshr.flush_obs();
         report
     }
 }

@@ -190,6 +190,9 @@ struct Failure {
 /// still reaches the isolation boundary via `catch_unwind`.
 fn install_compact_panic_hook() {
     std::panic::set_hook(Box::new(|info| {
+        // Push any buffered event lines to disk first: a panic must not
+        // leave the `--events` trace with a torn final line.
+        mlp_obs::flush_event_sink();
         let msg = info
             .payload()
             .downcast_ref::<&str>()

@@ -54,6 +54,13 @@ pub const SCHEMA: &str = "mlp-experiments.report/v2";
 /// without metrics never re-bless.
 pub const SCHEMA_V3: &str = "mlp-experiments.report/v3";
 
+/// Schema tag for reports that additionally carry a `histograms` block
+/// (distribution metrics drained from `mlp-obs`). Emitted **only** when
+/// [`Report::histograms`] is non-empty; armed runs that recorded no
+/// distributions still emit v3, and unarmed runs stay byte-identical
+/// to v2.
+pub const SCHEMA_V4: &str = "mlp-experiments.report/v4";
+
 /// How an experiment run ended.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Status {
@@ -252,6 +259,10 @@ pub struct Report {
     /// Observability metrics drained from `mlp-obs` after the run
     /// (empty — and omitted from the JSON — unless `MLP_OBS` was armed).
     pub metrics: Vec<(String, Json)>,
+    /// Distribution metrics (log2-bucketed histograms) drained from
+    /// `mlp-obs` after the run; non-empty only under `MLP_OBS` and only
+    /// when some probe recorded a distribution.
+    pub histograms: Vec<mlp_obs::HistogramValue>,
 }
 
 impl Report {
@@ -273,6 +284,7 @@ impl Report {
             axes: Vec::new(),
             rows: Vec::new(),
             metrics: Vec::new(),
+            histograms: Vec::new(),
         }
     }
 
@@ -308,10 +320,13 @@ impl Report {
 
     /// Attaches a drained `mlp-obs` snapshot as the report's metrics
     /// block: counters keep their names, each timer expands to
-    /// `<name>.count` / `<name>.total_ms` / `<name>.max_ms`. A non-empty
-    /// block switches the emitted schema tag to [`SCHEMA_V3`].
+    /// `<name>.count` / `<name>.total_ms` / `<name>.max_ms`, and any
+    /// drained histograms become the `histograms` block. A non-empty
+    /// metrics block switches the emitted schema tag to [`SCHEMA_V3`];
+    /// a non-empty histograms block switches it to [`SCHEMA_V4`].
     pub fn set_metrics(&mut self, snapshot: &mlp_obs::Snapshot) -> &mut Report {
         self.metrics.clear();
+        self.histograms = snapshot.histograms.clone();
         for c in &snapshot.counters {
             self.metrics
                 .push((c.name.to_string(), Json::Int(c.value as i64)));
@@ -332,18 +347,21 @@ impl Report {
     }
 
     /// Serializes the report (deterministic, trailing newline). The
-    /// schema tag is [`SCHEMA_V3`] only when a metrics block is present,
-    /// so observability-off output is byte-identical to v2.
+    /// schema tag is [`SCHEMA_V4`] when a histograms block is present,
+    /// [`SCHEMA_V3`] when only a metrics block is, and plain v2
+    /// otherwise, so observability-off output is byte-identical to v2.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = write!(out, "  \"schema\": ");
         write_json_str(
             &mut out,
-            if self.metrics.is_empty() {
-                SCHEMA
-            } else {
+            if !self.histograms.is_empty() {
+                SCHEMA_V4
+            } else if !self.metrics.is_empty() {
                 SCHEMA_V3
+            } else {
+                SCHEMA
             },
         );
         let _ = write!(out, ",\n  \"experiment\": ");
@@ -391,6 +409,32 @@ impl Report {
                 write_json_str(&mut out, name);
                 out.push_str(": ");
                 value.write(&mut out);
+            }
+            out.push_str("\n  }");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(",\n  \"histograms\": {");
+            for (i, hist) in self.histograms.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("    ");
+                write_json_str(&mut out, hist.name);
+                let _ = write!(
+                    out,
+                    ": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                    hist.count,
+                    hist.sum,
+                    hist.max,
+                    hist.quantile(0.50),
+                    hist.quantile(0.90),
+                    hist.quantile(0.99),
+                );
+                for (j, &(bucket, n)) in hist.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[{}, {n}]", mlp_obs::bucket_lo(bucket as usize));
+                }
+                out.push_str("]}");
             }
             out.push_str("\n  }");
         }
@@ -485,6 +529,7 @@ mod tests {
                 total_ns: 1_500_000,
                 max_ns: 1_000_000,
             }],
+            histograms: vec![],
         };
         r.set_metrics(&snapshot);
         let with = r.to_json();
@@ -499,6 +544,47 @@ mod tests {
             .replace("report/v2", "report/v3")
             .replace("]\n}\n", "],\n  ");
         assert_eq!(head, want_head);
+    }
+
+    #[test]
+    fn histograms_block_switches_schema_to_v4() {
+        // Observations 1, 2, 3, 100 in log2 buckets: 1→[1], 2..3→[2,3],
+        // 64..127→[100]. Bucket indices are the value bit widths.
+        let value = mlp_obs::HistogramValue {
+            name: "demo.latency",
+            buckets: vec![(1, 1), (2, 2), (7, 1)],
+            count: 4,
+            sum: 106,
+            max: 100,
+        };
+
+        let mut r = Report::new("demo", "Demo", "§1", RunScale::quick());
+        let snapshot = mlp_obs::Snapshot {
+            counters: vec![mlp_obs::CounterValue {
+                name: "mlpsim.epochs",
+                kind: mlp_obs::CounterKind::Sum,
+                value: 42,
+            }],
+            timers: vec![],
+            histograms: vec![value],
+        };
+        r.set_metrics(&snapshot);
+        let with = r.to_json();
+        assert!(with.contains("\"schema\": \"mlp-experiments.report/v4\""));
+        assert!(with.contains("\"metrics\": {\n    \"mlpsim.epochs\": 42"));
+        // count 4, sum 106, max 100; log2 buckets: 1→[1], 2..3→[2,3], 64..127→[100].
+        assert!(with.contains(
+            "\"demo.latency\": {\"count\": 4, \"sum\": 106, \"max\": 100, \
+             \"p50\": 3, \"p90\": 100, \"p99\": 100, \
+             \"buckets\": [[1, 1], [2, 2], [64, 1]]}"
+        ));
+
+        // Dropping the histograms reverts the tag to v3 with no trace of
+        // the block.
+        r.histograms.clear();
+        let v3 = r.to_json();
+        assert!(v3.contains("\"schema\": \"mlp-experiments.report/v3\""));
+        assert!(!v3.contains("\"histograms\""));
     }
 
     #[test]

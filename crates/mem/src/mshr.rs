@@ -41,6 +41,15 @@ pub struct Mshr {
     latency: u64,
     in_flight: FxHashMap<u64, u64>, // line -> ready cycle
     high_water: usize,
+    /// Whether distribution tallies accumulate, latched at construction
+    /// so the per-request path pays nothing when `MLP_OBS` is off.
+    obs: bool,
+    /// Entries in flight after each accepted request — the paper's MSHR
+    /// occupancy distribution.
+    occupancy: mlp_obs::LocalHist,
+    /// Cycles from request to line availability (primaries pay the full
+    /// latency; secondaries only the remainder of the in-flight fetch).
+    miss_latency: mlp_obs::LocalHist,
 }
 
 impl Mshr {
@@ -57,6 +66,9 @@ impl Mshr {
             latency,
             in_flight: mlp_hash::map_with_capacity(capacity),
             high_water: 0,
+            obs: mlp_obs::counters_on(),
+            occupancy: mlp_obs::LocalHist::new(),
+            miss_latency: mlp_obs::LocalHist::new(),
         }
     }
 
@@ -68,6 +80,9 @@ impl Mshr {
     /// Registers a miss on `line` at cycle `now`.
     pub fn request(&mut self, line: u64, now: u64) -> MshrOutcome {
         if let Some(&ready) = self.in_flight.get(&line) {
+            if self.obs {
+                self.miss_latency.record(ready.saturating_sub(now));
+            }
             return MshrOutcome::Merged { ready_at: ready };
         }
         if self.in_flight.len() >= self.capacity {
@@ -76,6 +91,10 @@ impl Mshr {
         let ready = now + self.latency;
         self.in_flight.insert(line, ready);
         self.high_water = self.high_water.max(self.in_flight.len());
+        if self.obs {
+            self.occupancy.record(self.in_flight.len() as u64);
+            self.miss_latency.record(self.latency);
+        }
         MshrOutcome::Primary { ready_at: ready }
     }
 
@@ -114,11 +133,26 @@ impl Mshr {
     pub fn high_water(&self) -> usize {
         self.high_water
     }
+
+    /// Flushes the per-run occupancy and latency distributions into the
+    /// global `mem.mshr.*` histograms. Engines call this once at end of
+    /// run, next to `Hierarchy::flush_obs`; it is a no-op when `MLP_OBS`
+    /// is off or nothing was recorded.
+    pub fn flush_obs(&self) {
+        static OCCUPANCY: mlp_obs::Histogram = mlp_obs::Histogram::new("mem.mshr.occupancy");
+        static MISS_LATENCY: mlp_obs::Histogram = mlp_obs::Histogram::new("mem.mshr.latency");
+        self.occupancy.flush_to(&OCCUPANCY);
+        self.miss_latency.flush_to(&MISS_LATENCY);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `mlp_obs::set_for_test` is process-global; the two tests that
+    /// depend on the mode serialize here.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn full_file_rejects() {
@@ -151,6 +185,39 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_rejected() {
         let _ = Mshr::new(0, 10);
+    }
+
+    #[test]
+    fn armed_requests_tally_occupancy_and_latency() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        mlp_obs::set_for_test(Some(mlp_obs::Mode::Counters));
+        let _ = mlp_obs::snapshot_and_reset();
+        let mut m = Mshr::new(4, 100);
+        m.request(0x40, 0); // primary: occupancy 1, latency 100
+        m.request(0x80, 0); // primary: occupancy 2, latency 100
+        m.request(0x40, 60); // secondary: latency 40 (remainder)
+        m.flush_obs();
+        let snap = mlp_obs::snapshot_and_reset();
+        let occ = snap.histogram("mem.mshr.occupancy").expect("occupancy");
+        assert_eq!(occ.count, 2);
+        assert_eq!(occ.max, 2);
+        let lat = snap.histogram("mem.mshr.latency").expect("latency");
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.sum, 240);
+        assert_eq!(lat.max, 100);
+        mlp_obs::set_for_test(None);
+    }
+
+    #[test]
+    fn disarmed_mshr_records_no_distributions() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        mlp_obs::set_for_test(Some(mlp_obs::Mode::Off));
+        let mut m = Mshr::new(2, 10);
+        m.request(0x40, 0);
+        m.flush_obs(); // must not register or accumulate anything
+        assert_eq!(m.occupancy.count(), 0);
+        assert_eq!(m.miss_latency.count(), 0);
+        mlp_obs::set_for_test(None);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::report::{Inhibitor, Report};
 use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, OpKind, Reg, TraceSource};
 use mlp_mem::Hierarchy;
+use mlp_obs::{IntervalSampler, Value};
 use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
 
 const PRUNE_LIMIT: usize = 8192;
@@ -47,6 +48,7 @@ pub(crate) fn run<T: TraceSource>(
     // while the load stalls, so an instruction-fetch miss (or a just
     // fetched prefetch) can overlap the data miss (paper §3.3).
     let mut pending_stall = false;
+    let mut sampler = IntervalSampler::armed("mlpsim.sample");
 
     // Advance the epoch counter to `to`, closing finished epochs.
     macro_rules! advance_to {
@@ -55,6 +57,18 @@ pub(crate) fn run<T: TraceSource>(
             if to > e {
                 e = to;
                 tracker.close_before(e);
+                if sampler.as_ref().is_some_and(|s| s.due(insts)) {
+                    let (epochs, offchip) = tracker.totals();
+                    if let Some(s) = sampler.as_mut() {
+                        s.record(
+                            insts,
+                            &[
+                                ("epochs", Value::U64(epochs)),
+                                ("offchip", Value::U64(offchip)),
+                            ],
+                        );
+                    }
+                }
             }
         }};
     }
@@ -70,6 +84,7 @@ pub(crate) fn run<T: TraceSource>(
         }
         if tracker.measuring {
             insts += 1;
+            tracker.note_inst();
         }
 
         // Instruction fetch is blocking: a missing fetch overlaps what is
@@ -227,6 +242,18 @@ pub(crate) fn run<T: TraceSource>(
     }
 
     tracker.close_all();
+    if sampler.is_some() {
+        let (epochs, offchip) = tracker.totals();
+        if let Some(s) = sampler.as_mut() {
+            s.finish(
+                insts,
+                &[
+                    ("epochs", Value::U64(epochs)),
+                    ("offchip", Value::U64(offchip)),
+                ],
+            );
+        }
+    }
     let b = branches.stats();
     let v = values.stats();
     let report = tracker.into_report(

@@ -36,12 +36,24 @@ pub(crate) struct EpochTracker {
     histogram: Vec<u64>,
     store_fills: u64,
     store_fill_epochs: u64,
+    /// Whether the epoch-length distribution accumulates, latched at
+    /// construction so `note_inst` costs one branch when `MLP_OBS` is off.
+    obs_armed: bool,
+    /// The epoch instructions currently fetch into, and how many measured
+    /// instructions it has received; rolled into the epoch's accumulator
+    /// when the engine advances past it.
+    cur_epoch: u64,
+    cur_epoch_insts: u64,
+    /// Measured instructions per finalized epoch (epochs with at least
+    /// one useful off-chip access, matching the report's epoch count).
+    epoch_len: mlp_obs::LocalHist,
 }
 
 #[derive(Debug, Default)]
 struct EpochAcc {
     misses: u32,
     store_fills: u32,
+    insts: u64,
     trigger_imiss: bool,
     first_block: Option<Inhibitor>,
     policy: Option<Inhibitor>,
@@ -55,8 +67,40 @@ impl EpochTracker {
         EpochTracker {
             open: mlp_hash::map_with_capacity(64),
             histogram: vec![0; HIST_BUCKETS],
+            obs_armed: mlp_obs::counters_on(),
             ..EpochTracker::default()
         }
+    }
+
+    /// Counts one measured instruction toward the current epoch's length.
+    /// Engines call this from their existing `measuring` branch; one
+    /// branch when `MLP_OBS` is off.
+    #[inline]
+    pub(crate) fn note_inst(&mut self) {
+        if self.obs_armed {
+            self.cur_epoch_insts += 1;
+        }
+    }
+
+    /// Running totals for interval samples: (epochs finalized so far,
+    /// useful off-chip accesses so far).
+    pub(crate) fn totals(&self) -> (u64, u64) {
+        (self.epochs, self.offchip.total())
+    }
+
+    /// Rolls the current epoch's instruction tally into its accumulator
+    /// once the engine has advanced to epoch `e`. Instructions fetched in
+    /// epochs that never see an off-chip access are dropped with them —
+    /// epoch lengths describe the epochs the report counts.
+    fn roll_insts(&mut self, e: u64) {
+        if !self.obs_armed || e <= self.cur_epoch {
+            return;
+        }
+        if self.cur_epoch_insts > 0 {
+            self.open.entry(self.cur_epoch).or_default().insts += self.cur_epoch_insts;
+            self.cur_epoch_insts = 0;
+        }
+        self.cur_epoch = e;
     }
 
     /// Records a useful off-chip access belonging to epoch `t`.
@@ -112,6 +156,7 @@ impl EpochTracker {
 
     /// Finalizes every epoch strictly before `e`.
     pub(crate) fn close_before(&mut self, e: u64) {
+        self.roll_insts(e);
         if self.open.is_empty() {
             return;
         }
@@ -127,6 +172,7 @@ impl EpochTracker {
 
     /// Finalizes everything (end of run).
     pub(crate) fn close_all(&mut self) {
+        self.roll_insts(self.cur_epoch + 1);
         let accs: Vec<EpochAcc> = self.open.drain().map(|(_, a)| a).collect();
         for acc in accs {
             self.finalize(acc);
@@ -143,6 +189,9 @@ impl EpochTracker {
         self.epochs += 1;
         let bucket = (acc.misses as usize).min(HIST_BUCKETS - 1);
         self.histogram[bucket] += 1;
+        if self.obs_armed {
+            self.epoch_len.record(acc.insts);
+        }
         let inh = if acc.trigger_imiss {
             Inhibitor::ImissStart
         } else {
@@ -165,6 +214,7 @@ impl EpochTracker {
         branch_stats: BranchStats,
         value_stats: ValueStats,
     ) -> Report {
+        self.epoch_len.flush_to(&crate::obs::EPOCH_LEN);
         Report {
             insts,
             epochs: self.epochs,
@@ -375,6 +425,47 @@ mod tests {
         let r = t.into_report(0, BranchStats::default(), ValueStats::default());
         assert_eq!(r.offchip.total(), 1);
         assert_eq!(r.epochs, 1);
+    }
+
+    #[test]
+    fn tracker_measures_epoch_lengths_for_counted_epochs_only() {
+        let mut t = EpochTracker::new();
+        t.obs_armed = true; // what new() latches under MLP_OBS=counters
+        t.measuring = true;
+        // Epoch 0: 3 instructions, one miss.
+        for _ in 0..3 {
+            t.note_inst();
+        }
+        t.record_miss(0, MissKind::Dmiss);
+        t.close_before(1);
+        // Epoch 1: 2 instructions, missless — dropped from the histogram.
+        for _ in 0..2 {
+            t.note_inst();
+        }
+        t.close_before(2);
+        // Epoch 2: 5 instructions, two misses.
+        for _ in 0..5 {
+            t.note_inst();
+        }
+        t.record_miss(2, MissKind::Dmiss);
+        t.record_miss(2, MissKind::Dmiss);
+        t.close_all();
+        assert_eq!(t.epochs, 2);
+        assert_eq!(t.epoch_len.count(), 2);
+        assert_eq!(t.epoch_len.sum(), 8);
+        assert_eq!(t.epoch_len.max(), 5);
+    }
+
+    #[test]
+    fn disarmed_tracker_measures_no_epoch_lengths() {
+        let mut t = EpochTracker::new();
+        t.obs_armed = false; // what new() latches with MLP_OBS unset
+        t.measuring = true;
+        t.note_inst();
+        t.record_miss(0, MissKind::Dmiss);
+        t.close_all();
+        assert_eq!(t.epochs, 1);
+        assert_eq!(t.epoch_len.count(), 0);
     }
 
     #[test]

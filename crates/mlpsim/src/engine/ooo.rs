@@ -21,6 +21,7 @@ use crate::report::{Inhibitor, Report};
 use mlp_hash::FxHashMap;
 use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
 use mlp_mem::Hierarchy;
+use mlp_obs::{IntervalSampler, Value};
 use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
 use std::collections::VecDeque;
 
@@ -76,6 +77,7 @@ struct Engine<'a, T> {
     trace_done: bool,
     branch_base: BranchStats,
     value_base: ValueStats,
+    sampler: Option<IntervalSampler>,
 }
 
 pub(crate) fn run<T: TraceSource>(
@@ -132,6 +134,7 @@ pub(crate) fn run<T: TraceSource>(
         trace_done: false,
         branch_base: BranchStats::default(),
         value_base: ValueStats::default(),
+        sampler: IntervalSampler::armed("mlpsim.sample"),
     };
     if warmup == 0 {
         engine.tracker.measuring = true;
@@ -149,6 +152,19 @@ impl<T: TraceSource> Engine<'_, T> {
             self.advance();
         }
         self.tracker.close_all();
+        if self.sampler.is_some() {
+            let (epochs, offchip) = self.tracker.totals();
+            let insts = self.insts;
+            if let Some(s) = self.sampler.as_mut() {
+                s.finish(
+                    insts,
+                    &[
+                        ("epochs", Value::U64(epochs)),
+                        ("offchip", Value::U64(offchip)),
+                    ],
+                );
+            }
+        }
         let tracker = std::mem::take(&mut self.tracker);
         let b = self.branches.stats();
         let v = self.values.stats();
@@ -182,6 +198,19 @@ impl<T: TraceSource> Engine<'_, T> {
             self.sb_occupancy -= n;
         }
         self.tracker.close_before(self.e);
+        if self.sampler.as_ref().is_some_and(|s| s.due(self.insts)) {
+            let (epochs, offchip) = self.tracker.totals();
+            let insts = self.insts;
+            if let Some(s) = self.sampler.as_mut() {
+                s.record(
+                    insts,
+                    &[
+                        ("epochs", Value::U64(epochs)),
+                        ("offchip", Value::U64(offchip)),
+                    ],
+                );
+            }
+        }
         if self.line_avail.len() > PRUNE_LIMIT {
             let e = self.e;
             self.line_avail.retain(|_, &mut av| av > e);
@@ -264,6 +293,7 @@ impl<T: TraceSource> Engine<'_, T> {
             }
             if self.tracker.measuring {
                 self.insts += 1;
+                self.tracker.note_inst();
             }
             self.admit(&inst);
             if self.fetch_block.is_some() {

@@ -8,7 +8,7 @@
 //! load when `MLP_OBS` is off.
 
 use crate::report::Report;
-use mlp_obs::{Counter, Value};
+use mlp_obs::{Counter, Histogram, Value};
 
 static RUNS: Counter = Counter::new("mlpsim.runs");
 static INSTS: Counter = Counter::new("mlpsim.insts");
@@ -17,6 +17,14 @@ static OFFCHIP_DMISS: Counter = Counter::new("mlpsim.offchip.dmiss");
 static OFFCHIP_IMISS: Counter = Counter::new("mlpsim.offchip.imiss");
 static OFFCHIP_PMISS: Counter = Counter::new("mlpsim.offchip.pmiss");
 static OFFCHIP_USEFUL: Counter = Counter::new("mlpsim.offchip.useful");
+
+/// Measured instructions per counted epoch, flushed by
+/// `EpochTracker::into_report` — the paper's epoch-length distribution.
+pub(crate) static EPOCH_LEN: Histogram = Histogram::new("mlpsim.epoch.len_insts");
+
+/// Useful off-chip accesses per counted epoch, refolded from the
+/// report's linear misses-per-epoch histogram (index 64 saturates).
+static EPOCH_USEFUL: Histogram = Histogram::new("mlpsim.epoch.useful_offchip");
 
 /// One counter per epoch termination condition, in
 /// [`crate::report::InhibitorCounts::as_rows`] order.
@@ -45,6 +53,9 @@ pub(crate) fn flush_run(report: &Report) {
         OFFCHIP_USEFUL.add(report.offchip.total());
         for (counter, (_, n)) in TERMINATIONS.iter().zip(report.inhibitors.as_rows()) {
             counter.add(n);
+        }
+        for (misses, &n) in report.epoch_size_histogram.iter().enumerate() {
+            EPOCH_USEFUL.record_n(misses as u64, n);
         }
     }
     if mlp_obs::events_on() {

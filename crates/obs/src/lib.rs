@@ -1,5 +1,7 @@
 //! First-party observability for the MLP simulators: named counters,
-//! phase timers, and an optional structured (JSONL) event stream.
+//! phase timers, log2-bucketed [`Histogram`]s, interval sampling
+//! ([`IntervalSampler`]), and an optional structured (JSONL) event
+//! stream.
 //!
 //! The whole layer is **off by default** and costs one relaxed atomic
 //! load per probe when disarmed — the simulator hot paths from PR 1 stay
@@ -33,6 +35,14 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+mod hist;
+mod sample;
+
+pub use hist::{
+    bucket_hi, bucket_lo, bucket_of, Histogram, HistogramValue, LocalHist, HIST_BUCKETS,
+};
+pub use sample::{IntervalSampler, DEFAULT_INTERVAL, INTERVAL_ENV_VAR};
 
 /// The environment variable holding the observability mode.
 pub const ENV_VAR: &str = "MLP_OBS";
@@ -342,20 +352,31 @@ pub struct Snapshot {
     pub counters: Vec<CounterValue>,
     /// Timers with at least one recorded phase, sorted by name.
     pub timers: Vec<TimerValue>,
+    /// Histograms with at least one observation, sorted by name.
+    pub histograms: Vec<HistogramValue>,
 }
 
 impl Snapshot {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.timers.is_empty()
+        self.counters.is_empty() && self.timers.is_empty() && self.histograms.is_empty()
     }
 
-    /// Looks up a drained counter by name (0 if absent).
+    /// Looks up a drained counter by name (0 if absent). Snapshots are
+    /// name-sorted by construction, so this is a binary search — callers
+    /// like the differential suite probe dozens of names per snapshot.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
-            .iter()
-            .find(|c| c.name == name)
-            .map_or(0, |c| c.value)
+            .binary_search_by(|c| c.name.cmp(name))
+            .map_or(0, |i| self.counters[i].value)
+    }
+
+    /// Looks up a drained histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramValue> {
+        self.histograms
+            .binary_search_by(|h| h.name.cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
     }
 }
 
@@ -394,7 +415,16 @@ pub fn snapshot_and_reset() -> Snapshot {
             .collect()
     };
     timers.sort_by_key(|t| t.name);
-    Snapshot { counters, timers }
+    let mut histograms: Vec<HistogramValue> = {
+        let reg = hist::HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter().filter_map(|h| h.drain()).collect()
+    };
+    histograms.sort_by_key(|h| h.name);
+    Snapshot {
+        counters,
+        timers,
+        histograms,
+    }
 }
 
 /// A field value in an event line.
@@ -459,6 +489,17 @@ pub fn set_event_sink(path: Option<&Path>) -> std::io::Result<()> {
     *sink = next;
     EVENT_SEQ.store(0, Ordering::Relaxed);
     Ok(())
+}
+
+/// Flushes the installed event sink without removing it. Call from panic
+/// hooks: `emit` writes each event as one complete buffered line, so a
+/// flush at panic time leaves the JSONL file parseable line-by-line with
+/// no torn records.
+pub fn flush_event_sink() {
+    let mut sink = EVENT_SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(writer) = sink.as_mut() {
+        let _ = writer.flush();
+    }
 }
 
 fn push_json_str(out: &mut String, s: &str) {
@@ -567,6 +608,92 @@ mod tests {
         assert_eq!(timer.max_ns, 1500);
         // Draining resets: a second snapshot is empty.
         assert!(snapshot_and_reset().is_empty());
+        set_for_test(None);
+    }
+
+    static LOOKUP: [Counter; 5] = [
+        Counter::new("lookup.delta"),
+        Counter::new("lookup.alpha"),
+        Counter::new("lookup.echo"),
+        Counter::new("lookup.charlie"),
+        Counter::new("lookup.bravo"),
+    ];
+
+    #[test]
+    fn counter_lookup_finds_every_name_in_sorted_snapshot() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_for_test(Some(Mode::Counters));
+        let _ = snapshot_and_reset();
+        // Touch in declaration (non-sorted) order with distinct values.
+        for (i, c) in LOOKUP.iter().enumerate() {
+            c.add(i as u64 + 1);
+        }
+        let snap = snapshot_and_reset();
+        // The binary search must agree with a linear scan for every
+        // present name, and report 0 for absent/boundary names.
+        for c in &LOOKUP {
+            let linear = snap
+                .counters
+                .iter()
+                .find(|v| v.name == c.name())
+                .map_or(0, |v| v.value);
+            assert_eq!(snap.counter(c.name()), linear, "{}", c.name());
+            assert_ne!(snap.counter(c.name()), 0);
+        }
+        assert_eq!(snap.counter("lookup.aaaa"), 0); // before every entry
+        assert_eq!(snap.counter("lookup.cb"), 0); // between entries
+        assert_eq!(snap.counter("lookup.zzzz"), 0); // after every entry
+        assert_eq!(snap.counter(""), 0);
+        set_for_test(None);
+    }
+
+    static EPOCH_LEN: Histogram = Histogram::new("test.hist.epoch_len");
+
+    #[test]
+    fn histograms_drain_into_snapshots_and_reset() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_for_test(Some(Mode::Counters));
+        let _ = snapshot_and_reset();
+        for v in [0u64, 1, 5, 5, 200] {
+            EPOCH_LEN.record(v);
+        }
+        let snap = snapshot_and_reset();
+        let h = snap.histogram("test.hist.epoch_len").expect("recorded");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 211);
+        assert_eq!(h.max, 200);
+        assert_eq!(h.quantile(0.5), bucket_hi(bucket_of(5)));
+        assert!(snap.histogram("test.hist.absent").is_none());
+        // Draining resets the buckets, sum and max.
+        assert!(snapshot_and_reset().is_empty());
+        // Disarmed records leave nothing behind.
+        set_for_test(Some(Mode::Off));
+        EPOCH_LEN.record(7);
+        set_for_test(Some(Mode::Counters));
+        assert!(snapshot_and_reset().is_empty());
+        set_for_test(None);
+    }
+
+    #[test]
+    fn local_hist_flush_matches_direct_records() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_for_test(Some(Mode::Counters));
+        let _ = snapshot_and_reset();
+        static DIRECT: Histogram = Histogram::new("test.hist.direct");
+        static FLUSHED: Histogram = Histogram::new("test.hist.flushed");
+        let mut local = LocalHist::new();
+        for v in [3u64, 9, 9, 1024] {
+            DIRECT.record(v);
+            local.record(v);
+        }
+        local.flush_to(&FLUSHED);
+        let snap = snapshot_and_reset();
+        let direct = snap.histogram("test.hist.direct").expect("direct");
+        let flushed = snap.histogram("test.hist.flushed").expect("flushed");
+        assert_eq!(direct.buckets, flushed.buckets);
+        assert_eq!(direct.count, flushed.count);
+        assert_eq!(direct.sum, flushed.sum);
+        assert_eq!(direct.max, flushed.max);
         set_for_test(None);
     }
 

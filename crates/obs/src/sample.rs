@@ -1,0 +1,182 @@
+//! Interval sampling: periodic counter snapshots in the event stream.
+//!
+//! An [`IntervalSampler`] turns the end-of-run scalars from PR 4 into a
+//! time series: every `interval` simulated instructions it emits one
+//! event line carrying whatever cumulative fields the engine hands it
+//! (epochs retired, off-chip accesses, MSHR occupancy, …). `mlp-stats
+//! timeline` later differences consecutive samples into per-window rates
+//! — window MLP, occupancy — which is how the paper's phase-behavior
+//! arguments become observable.
+//!
+//! The sampler follows the crate's pay-nothing-when-off discipline by
+//! construction: [`IntervalSampler::armed`] returns `None` unless events
+//! are armed, so disarmed engines carry an `Option` that is never
+//! `Some` and the hot path costs one `is_some` check. Engines should
+//! gate field computation on [`IntervalSampler::due`] so cumulative
+//! stats are only gathered when a sample is actually emitted.
+//!
+//! Sampling guarantees exactly `ceil(insts / interval)` samples for a
+//! run that retires `insts` instructions: one per crossed interval
+//! boundary (coalesced if the engine's position jumps across several),
+//! plus one trailing partial window flushed by
+//! [`IntervalSampler::finish`].
+
+use crate::{events_on, Value};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the sampling interval (simulated
+/// instructions per sample).
+pub const INTERVAL_ENV_VAR: &str = "MLP_OBS_INTERVAL";
+
+/// Sampling interval when `MLP_OBS_INTERVAL` is unset.
+pub const DEFAULT_INTERVAL: u64 = 100_000;
+
+/// The interval from the environment, parsed once per process.
+fn env_interval() -> u64 {
+    static INTERVAL: OnceLock<u64> = OnceLock::new();
+    *INTERVAL.get_or_init(|| match std::env::var(INTERVAL_ENV_VAR) {
+        Ok(spec) => match spec.trim().parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "[mlp-obs] ignoring invalid {INTERVAL_ENV_VAR}='{spec}' \
+                     (expected a positive integer); using {DEFAULT_INTERVAL}"
+                );
+                DEFAULT_INTERVAL
+            }
+        },
+        Err(_) => DEFAULT_INTERVAL,
+    })
+}
+
+/// Emits one event per `interval` simulated instructions, plus a
+/// trailing partial window at [`finish`](IntervalSampler::finish).
+#[derive(Debug)]
+pub struct IntervalSampler {
+    event: &'static str,
+    interval: u64,
+    /// Full windows covered by emitted samples (`pos / interval` at the
+    /// last boundary sample).
+    windows: u64,
+    samples: u64,
+}
+
+impl IntervalSampler {
+    /// A sampler for `event`, or `None` unless events are armed. The
+    /// interval comes from `MLP_OBS_INTERVAL` (default
+    /// [`DEFAULT_INTERVAL`]).
+    pub fn armed(event: &'static str) -> Option<IntervalSampler> {
+        events_on().then(|| IntervalSampler::with_interval(event, env_interval()))
+    }
+
+    /// A sampler with an explicit interval (tests; `interval > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn with_interval(event: &'static str, interval: u64) -> IntervalSampler {
+        assert!(interval > 0, "sampling interval must be positive");
+        IntervalSampler {
+            event,
+            interval,
+            windows: 0,
+            samples: 0,
+        }
+    }
+
+    /// The sampling interval in simulated instructions.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Samples emitted so far (boundary + trailing).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Whether advancing to position `pos` crosses an unemitted interval
+    /// boundary. Cheap; engines call this before gathering fields.
+    #[inline]
+    pub fn due(&self, pos: u64) -> bool {
+        pos / self.interval > self.windows
+    }
+
+    /// Emits one boundary sample at position `pos` if one is due; a jump
+    /// across several boundaries coalesces into a single sample. The
+    /// sampler prepends `("insts", pos)` to `fields`.
+    pub fn record(&mut self, pos: u64, fields: &[(&str, Value<'_>)]) {
+        if !self.due(pos) {
+            return;
+        }
+        self.windows = pos / self.interval;
+        self.emit_sample(pos, fields);
+    }
+
+    /// Flushes the trailing partial window at final position `pos` (no-op
+    /// when `pos` sits exactly on an already-emitted boundary). After
+    /// `finish`, a run of `pos` instructions fed through `record` has
+    /// produced exactly `ceil(pos / interval)` samples.
+    pub fn finish(&mut self, pos: u64, fields: &[(&str, Value<'_>)]) {
+        if pos > self.windows * self.interval {
+            self.windows = pos.div_ceil(self.interval);
+            self.emit_sample(pos, fields);
+        }
+    }
+
+    fn emit_sample(&mut self, pos: u64, fields: &[(&str, Value<'_>)]) {
+        self.samples += 1;
+        let mut all: Vec<(&str, Value<'_>)> = Vec::with_capacity(fields.len() + 1);
+        all.push(("insts", Value::U64(pos)));
+        all.extend_from_slice(fields);
+        crate::emit(self.event, &all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_and_trailing_samples_make_the_ceiling() {
+        // No sink installed: emit drops the lines but the sampler still
+        // counts, which is all this test needs.
+        let mut s = IntervalSampler::with_interval("t.sample", 10);
+        for pos in 1..=25u64 {
+            if s.due(pos) {
+                s.record(pos, &[]);
+            }
+        }
+        assert_eq!(s.samples(), 2); // boundaries at 10 and 20
+        s.finish(25, &[]);
+        assert_eq!(s.samples(), 3); // trailing partial 21..=25
+                                    // Re-finishing at the same position adds nothing.
+        s.finish(25, &[]);
+        assert_eq!(s.samples(), 3);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_trailing_sample() {
+        let mut s = IntervalSampler::with_interval("t.sample", 10);
+        for pos in 1..=30u64 {
+            s.record(pos, &[]);
+        }
+        s.finish(30, &[]);
+        assert_eq!(s.samples(), 3);
+    }
+
+    #[test]
+    fn position_jumps_coalesce_into_one_sample() {
+        let mut s = IntervalSampler::with_interval("t.sample", 10);
+        s.record(35, &[]); // crosses boundaries 10, 20 and 30 at once
+        assert_eq!(s.samples(), 1);
+        s.finish(35, &[]);
+        assert_eq!(s.samples(), 2);
+    }
+
+    #[test]
+    fn empty_run_emits_nothing() {
+        let mut s = IntervalSampler::with_interval("t.sample", 10);
+        s.finish(0, &[]);
+        assert_eq!(s.samples(), 0);
+    }
+}

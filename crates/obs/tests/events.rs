@@ -1,0 +1,94 @@
+//! Event-sink hardening: a run that panics mid-stream must leave the
+//! JSONL trace parseable line-by-line. `emit` builds each event as one
+//! complete line and hands it to the buffered sink in a single
+//! `write_all`, so the only remaining hazard is buffered-but-unflushed
+//! data — which `flush_event_sink` (called from the CLI's panic hook)
+//! resolves without tearing: every flushed prefix ends on a line
+//! boundary.
+
+use mlp_obs::{emit, flush_event_sink, set_event_sink, set_for_test, Mode, Value};
+use std::sync::Mutex;
+
+/// Mode and sink are process-global; serialize against other tests in
+/// this binary (the unit tests live in a separate binary).
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Crude but sufficient structural check: each line is one complete
+/// JSON object with balanced braces and quotes.
+fn assert_parseable_line(line: &str) {
+    assert!(line.starts_with('{'), "torn line start: {line:?}");
+    assert!(line.ends_with('}'), "torn line end: {line:?}");
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in line.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    assert!(!in_str && depth == 0, "unbalanced line: {line:?}");
+}
+
+#[test]
+fn midrun_panic_leaves_events_file_parseable() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_for_test(Some(Mode::Events));
+    let path = std::env::temp_dir().join(format!("mlp-obs-torn-{}.jsonl", std::process::id()));
+    set_event_sink(Some(&path)).expect("create sink");
+
+    let panicked = std::panic::catch_unwind(|| {
+        for i in 0..200u64 {
+            emit(
+                "torn.test",
+                &[
+                    ("i", Value::U64(i)),
+                    ("payload", Value::Str("a \"quoted\" string\nwith a newline")),
+                    ("frac", Value::F64(i as f64 / 7.0)),
+                ],
+            );
+            if i == 137 {
+                panic!("simulated mid-run failure");
+            }
+        }
+    });
+    assert!(panicked.is_err(), "the probe loop must have panicked");
+
+    // What the CLI's panic hook does: flush, don't tear.
+    flush_event_sink();
+
+    let text = std::fs::read_to_string(&path).expect("read events");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 138, "every emitted event survives, whole");
+    for line in &lines {
+        assert_parseable_line(line);
+    }
+    assert!(
+        text.ends_with('\n'),
+        "flushed stream must end on a line boundary"
+    );
+    // seq numbers are contiguous from 0, proving no line was lost.
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},")),
+            "unexpected seq on line {i}: {line:?}"
+        );
+    }
+
+    set_event_sink(None).expect("drop sink");
+    let _ = std::fs::remove_file(&path);
+    set_for_test(None);
+}
+
+#[test]
+fn flush_without_sink_is_a_no_op() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    flush_event_sink(); // must not panic or install anything
+}

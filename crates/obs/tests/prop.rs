@@ -1,0 +1,138 @@
+//! Property tests of the distribution primitives: log2 bucket edges,
+//! quantile bounds, merge conservation, and the interval sampler's
+//! sample-count guarantee.
+//!
+//! All of these run on plain values ([`LocalHist`], [`HistogramValue`],
+//! [`IntervalSampler`]) rather than the process-global statics, so they
+//! need no mode override and no cross-test lock: bucket arithmetic and
+//! window accounting are pure functions of their inputs.
+
+use mlp_obs::{bucket_hi, bucket_lo, bucket_of, HistogramValue, IntervalSampler, LocalHist};
+use proptest::prelude::*;
+
+/// Builds a drained-value view from raw observations, the same shape
+/// `snapshot_and_reset` would produce for a histogram fed these values.
+fn value_of(name: &'static str, values: &[u64]) -> HistogramValue {
+    let mut local = LocalHist::new();
+    for &v in values {
+        local.record(v);
+    }
+    let mut buckets: Vec<(u32, u64)> = Vec::new();
+    for &v in values {
+        let b = bucket_of(v) as u32;
+        match buckets.binary_search_by_key(&b, |&(bb, _)| bb) {
+            Ok(i) => buckets[i].1 += 1,
+            Err(i) => buckets.insert(i, (b, 1)),
+        }
+    }
+    HistogramValue {
+        name,
+        buckets,
+        count: values.len() as u64,
+        sum: values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        max: values.iter().copied().max().unwrap_or(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Bucketing is monotone: a larger value never lands in a smaller
+    /// bucket (the ISSUE's `bucket(v) <= bucket(v+1)` literally).
+    #[test]
+    fn bucket_index_is_monotone(v in any::<u64>()) {
+        let next = v.saturating_add(1);
+        prop_assert!(bucket_of(v) <= bucket_of(next));
+    }
+
+    /// Every value lies within the edges of its own bucket, and the
+    /// edges tile the u64 line without gaps.
+    #[test]
+    fn value_lies_within_its_bucket_edges(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(bucket_lo(b) <= v && v <= bucket_hi(b));
+        if b > 0 {
+            prop_assert_eq!(bucket_hi(b - 1).wrapping_add(1), bucket_lo(b));
+        }
+    }
+
+    /// Merging two drained histograms conserves total count and sum and
+    /// takes the larger max — merge must be indistinguishable from
+    /// having recorded both runs into one histogram.
+    #[test]
+    fn merge_conserves_count_sum_and_max(
+        a in proptest::collection::vec(0u64..1 << 48, 0..64),
+        b in proptest::collection::vec(0u64..1 << 48, 0..64),
+    ) {
+        let mut merged = value_of("a", &a);
+        let other = value_of("b", &b);
+        merged.merge(&other);
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let want = value_of("a", &both);
+        prop_assert_eq!(merged.count, want.count);
+        prop_assert_eq!(merged.sum, want.sum);
+        prop_assert_eq!(merged.max, want.max);
+        prop_assert_eq!(merged.buckets, want.buckets);
+        let bucket_total: u64 = merged.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, merged.count);
+    }
+
+    /// A quantile estimate is bounded by the edges of the bucket holding
+    /// the observation at that rank, and never exceeds the exact max.
+    #[test]
+    fn quantile_is_bounded_by_its_bucket_edges(
+        values in proptest::collection::vec(0u64..1 << 32, 1..128),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = value_of("q", &values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q);
+        // The estimate sits in the same bucket as the exact order
+        // statistic (upper edge, tightened by the max), so it is bounded
+        // below by the exact value and above by that bucket's edge.
+        prop_assert!(est >= exact);
+        prop_assert!(est <= bucket_hi(bucket_of(exact)));
+        prop_assert!(est <= h.max);
+    }
+
+    /// Feeding a run of `insts` positions one at a time and finishing
+    /// yields exactly `ceil(insts / interval)` samples.
+    #[test]
+    fn sampler_emits_exactly_ceil_insts_over_interval(
+        insts in 0u64..5_000,
+        interval in 1u64..700,
+    ) {
+        let mut s = IntervalSampler::with_interval("prop.sample", interval);
+        for pos in 1..=insts {
+            if s.due(pos) {
+                s.record(pos, &[]);
+            }
+        }
+        s.finish(insts, &[]);
+        prop_assert_eq!(s.samples(), insts.div_ceil(interval));
+    }
+
+    /// The guarantee survives position jumps: advancing in arbitrary
+    /// strides coalesces crossed boundaries but the trailing finish
+    /// still tops the count up to at least one sample per touched
+    /// window, never more than `ceil(final / interval)`.
+    #[test]
+    fn sampler_with_jumps_never_overcounts(
+        strides in proptest::collection::vec(1u64..400, 1..64),
+        interval in 1u64..700,
+    ) {
+        let mut s = IntervalSampler::with_interval("prop.sample", interval);
+        let mut pos = 0u64;
+        for stride in strides {
+            pos += stride;
+            s.record(pos, &[]);
+        }
+        s.finish(pos, &[]);
+        prop_assert!(s.samples() <= pos.div_ceil(interval));
+        prop_assert!(s.samples() >= 1);
+    }
+}

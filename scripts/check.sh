@@ -43,6 +43,20 @@ echo "==> model + observability property suites"
 cargo test -q -p mlp-model --test prop
 cargo test -q -p mlpsim --test prop
 
+echo "==> mlp-stats smoke (armed run -> summary/timeline/self-diff)"
+# One small armed experiment with an event trace, then the analyzer over
+# its own output: the self-diff must report zero deltas and exit 0.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+MLP_OBS=all MLP_THREADS=1 target/release/mlp-experiments \
+    --only epochs --scale quick \
+    --json "$smoke_dir" --events "$smoke_dir" >/dev/null
+grep -q '"schema": "mlp-experiments.report/v4"' "$smoke_dir/epochs.quick.json"
+target/release/mlp-stats summary "$smoke_dir/epochs.quick.json" >/dev/null
+target/release/mlp-stats timeline "$smoke_dir/epochs.quick.jsonl" >/dev/null
+target/release/mlp-stats diff \
+    "$smoke_dir/epochs.quick.json" "$smoke_dir/epochs.quick.json" >/dev/null
+
 echo "==> line coverage (fail-soft; see scripts/coverage.sh)"
 if scripts/coverage.sh; then
     :
