@@ -6,25 +6,45 @@
 //! next event (a completion, an MSHR fill, a fetch redirect), which makes
 //! thousand-cycle off-chip stalls cheap to simulate while preserving
 //! exact cycle accounting.
+//!
+//! The front end walks an [`InstSource`]'s columns by index: fetch and
+//! dispatch read only the narrow fields they need (pc, class code,
+//! dependence registers, effective address), and every per-instruction
+//! class test is a bit-test against [`mlp_isa::CLASS_ATTRS`] instead of a
+//! `match` over the row-level enum. Completion timestamps live in a
+//! min-heap (only the earliest is ever inspected), and the MLP(t)
+//! integrals run off incrementally-maintained outstanding totals.
 
 use crate::{CycleReport, CycleSimConfig};
 use mlp_hash::FxHashMap;
-use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
+use mlp_isa::{
+    line_of, InstSource, SharedSoaSource, StreamingSoaSource, TraceSoA, TraceSource, ATTR_BRANCH,
+    ATTR_READS_MEM, ATTR_SERIALIZING, ATTR_WRITES_MEM, AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC,
+    CLASS_ATTRS, CLASS_LOAD, CLASS_MEMBAR, CLASS_NOP, CLASS_PREFETCH, CLASS_STORE,
+};
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
 use mlp_obs::{IntervalSampler, LocalHist, Value};
 use mlp_predict::{BranchObserver, BranchPredictor, BranchStats, PerfectBranchPredictor};
 use mlpsim::{BranchMode, OffchipCounts};
-use std::collections::{BTreeMap, VecDeque};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// No producer in this operand slot ([`Entry::producers`] sentinel).
+const NO_PRODUCER: u64 = u64::MAX;
 
 #[derive(Clone, Debug)]
 struct Entry {
-    kind: OpKind,
-    producers: [Option<u64>; 3],
-    mem_addr: Option<u64>,
+    class: u8,
     mispredicted: bool,
-    issued: bool,
-    completed: bool,
+    producers: [u64; 3], // sequence numbers; NO_PRODUCER = none
+    mem_addr: Option<u64>,
     complete_at: u64,
+}
+
+#[inline]
+fn attrs(class: u8) -> u8 {
+    CLASS_ATTRS[class as usize]
 }
 
 enum Branches {
@@ -33,10 +53,10 @@ enum Branches {
 }
 
 impl Branches {
-    fn observe(&mut self, inst: &Inst) -> bool {
+    fn observe_branch(&mut self, pc: u64, info: mlp_isa::BranchInfo) -> bool {
         match self {
-            Branches::Real(p) => p.observe(inst),
-            Branches::Perfect(p) => p.observe(inst),
+            Branches::Real(p) => p.observe_branch(pc, info),
+            Branches::Perfect(p) => p.observe_branch(pc, info),
         }
     }
 
@@ -45,6 +65,50 @@ impl Branches {
             Branches::Real(p) => p.stats(),
             Branches::Perfect(p) => p.stats(),
         }
+    }
+}
+
+/// Per-thread pool of the pipeline's per-run containers, handed (cleared,
+/// capacity intact) from one run to the next so sweep points allocate no
+/// steady-state scratch.
+#[derive(Default)]
+struct Scratch {
+    fetch_queue: VecDeque<(u32, bool)>,
+    rob: VecDeque<Entry>,
+    store_fwd: FxHashMap<u64, u64>,
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    decisions: Vec<u64>,
+    planned: Vec<u64>,
+    issued_bits: Vec<u64>,
+    completed_bits: Vec<u64>,
+    short_done: Vec<u64>,
+}
+
+impl Scratch {
+    fn clear(&mut self) {
+        self.fetch_queue.clear();
+        self.rob.clear();
+        self.store_fwd.clear();
+        self.completions.clear();
+        self.decisions.clear();
+        self.planned.clear();
+        self.issued_bits.clear();
+        self.completed_bits.clear();
+        self.short_done.clear();
+    }
+}
+
+thread_local! {
+    static POOL: Cell<Option<Scratch>> = const { Cell::new(None) };
+}
+
+fn take_scratch() -> Scratch {
+    match POOL.take() {
+        Some(mut s) => {
+            s.clear();
+            s
+        }
+        None => Scratch::default(),
     }
 }
 
@@ -87,41 +151,89 @@ impl CycleSim {
     /// train the caches and predictors without counting, then up to
     /// `measure` instructions are measured (the run also ends at
     /// end-of-trace, after draining).
+    ///
+    /// The stream is decoded into a per-run column buffer and then runs
+    /// through exactly the same kernel as [`CycleSim::run_shared`].
     pub fn run<T: TraceSource>(&mut self, trace: &mut T, warmup: u64, measure: u64) -> CycleReport {
-        Machine::new(&self.config, trace, warmup, measure).run()
+        let mut src = StreamingSoaSource::new(trace);
+        Machine::new(&self.config, &mut src, warmup, measure).run()
+    }
+
+    /// Runs the pipeline over a pre-materialized column trace (the first
+    /// `len` instructions of `soa`), without copying or decoding anything
+    /// per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > soa.len()`.
+    pub fn run_shared(
+        &mut self,
+        soa: &TraceSoA,
+        len: usize,
+        warmup: u64,
+        measure: u64,
+    ) -> CycleReport {
+        let mut src = SharedSoaSource::new(soa, len);
+        Machine::new(&self.config, &mut src, warmup, measure).run()
     }
 }
 
-struct Machine<'a, T> {
+struct Machine<'a, S> {
     cfg: &'a CycleSimConfig,
-    trace: &'a mut T,
+    src: &'a mut S,
     hierarchy: Hierarchy,
     mshr: Mshr,
     branches: Branches,
     now: u64,
     // front end
-    fetch_queue: VecDeque<(Inst, bool)>, // decoded, with mispredict flag
-    pending_fetch: Option<Inst>,         // waiting for its I-line to arrive
+    fetch_queue: VecDeque<(u32, bool)>, // trace index, with mispredict flag
+    pending_fetch: Option<u32>,         // waiting for its I-line to arrive
     fetch_stall_until: u64,
     awaiting_redirect: bool,
     last_ifetch_line: u64,
-    trace_done: bool,
+    fetch_pos: usize,
     fetched: u64,
     // back end
     rob: VecDeque<Entry>,
     head_seq: u64,
     next_seq: u64,
     unissued: usize,
-    last_writer: [u64; Reg::COUNT], // seq + 1; 0 = none
-    store_fwd: FxHashMap<u64, u64>, // addr8 -> latest store seq
+    /// Oldest sequence number that may still be unissued. Every entry
+    /// before it is issued (issued entries never revert), so the
+    /// per-cycle issue scan starts here instead of at the ROB head —
+    /// the skipped prefix is exactly the entries the scan would have
+    /// `continue`d past before touching any policy-gate state.
+    first_unissued: u64,
+    last_writer: [u64; AVAIL_SLOTS], // seq + 1; 0 = none; sentinel slots inert
+    store_fwd: FxHashMap<u64, u64>,  // addr8 -> latest store seq
     serialize_block: Option<u64>,
-    completions: BTreeMap<u64, Vec<u64>>,
+    completions: BinaryHeap<Reverse<(u64, u64)>>, // (complete_at, seq)
+    // Single-cycle completions bypass the heap: everything issued during
+    // one cycle with `complete_at == now + 1` lands here and is drained
+    // wholesale at the next step (the clock strictly advances between
+    // steps, so at most one generation is ever in flight).
+    short_done: Vec<u64>,
+    short_at: u64,
+    // Issued/completed flags as ring bitsets indexed by `seq & ring_mask`
+    // (ring capacity >= ROB capacity, so live sequence numbers never
+    // collide). The issue scan and producer-readiness checks hit these
+    // few cache-resident words instead of loading scattered ROB entries.
+    issued_bits: Vec<u64>,
+    completed_bits: Vec<u64>,
+    ring_mask: u64,
     // Reused scratch for issue(), so the per-cycle scan does not allocate.
     decisions_scratch: Vec<u64>,
     planned_scratch: Vec<u64>,
     // MLP(t) integration (useful accesses) and fM (all transfers)
     outstanding: BTreeMap<u64, u32>,
     fm_outstanding: BTreeMap<u64, u32>,
+    // Cached smallest key of each map (`u64::MAX` when empty), so the
+    // per-cycle clock advance compares two integers instead of walking
+    // two tree spines.
+    out_min: u64,
+    fm_min: u64,
+    outstanding_size: u32,
+    fm_size: u32,
     mlp_cursor: u64,
     // accounting
     retired: u64,
@@ -137,11 +249,17 @@ struct Machine<'a, T> {
     branch_base: BranchStats,
 }
 
-impl<'a, T: TraceSource> Machine<'a, T> {
-    fn new(cfg: &'a CycleSimConfig, trace: &'a mut T, warmup: u64, measure: u64) -> Self {
+impl<'a, S: InstSource> Machine<'a, S> {
+    fn new(cfg: &'a CycleSimConfig, src: &'a mut S, warmup: u64, measure: u64) -> Self {
+        let pool = take_scratch();
+        let ring = cfg.rob.next_power_of_two().max(64);
+        let mut issued_bits = pool.issued_bits;
+        let mut completed_bits = pool.completed_bits;
+        issued_bits.resize(ring / 64, 0);
+        completed_bits.resize(ring / 64, 0);
         Machine {
             cfg,
-            trace,
+            src,
             hierarchy: Hierarchy::new(cfg.hierarchy),
             mshr: Mshr::new(cfg.mshrs, cfg.mem_latency),
             branches: match cfg.branch {
@@ -149,25 +267,35 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 BranchMode::Perfect => Branches::Perfect(PerfectBranchPredictor::new()),
             },
             now: 0,
-            fetch_queue: VecDeque::with_capacity(cfg.fetch_buffer + 1),
+            fetch_queue: pool.fetch_queue,
             pending_fetch: None,
             fetch_stall_until: 0,
             awaiting_redirect: false,
             last_ifetch_line: u64::MAX,
-            trace_done: false,
+            fetch_pos: 0,
             fetched: 0,
-            rob: VecDeque::with_capacity(cfg.rob.min(1 << 14)),
+            rob: pool.rob,
             head_seq: 0,
             next_seq: 0,
             unissued: 0,
-            last_writer: [0; Reg::COUNT],
-            store_fwd: mlp_hash::map_with_capacity(1024),
+            first_unissued: 0,
+            last_writer: [0; AVAIL_SLOTS],
+            store_fwd: pool.store_fwd,
             serialize_block: None,
-            completions: BTreeMap::new(),
-            decisions_scratch: Vec::with_capacity(64),
-            planned_scratch: Vec::with_capacity(16),
+            completions: pool.completions,
+            short_done: pool.short_done,
+            short_at: 0,
+            issued_bits,
+            completed_bits,
+            ring_mask: ring as u64 - 1,
+            decisions_scratch: pool.decisions,
+            planned_scratch: pool.planned,
             outstanding: BTreeMap::new(),
             fm_outstanding: BTreeMap::new(),
+            out_min: u64::MAX,
+            fm_min: u64::MAX,
+            outstanding_size: 0,
+            fm_size: 0,
             mlp_cursor: 0,
             retired: 0,
             warmup,
@@ -267,6 +395,17 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         );
         self.hierarchy.flush_obs();
         self.mshr.flush_obs();
+        POOL.set(Some(Scratch {
+            fetch_queue: self.fetch_queue,
+            rob: self.rob,
+            store_fwd: self.store_fwd,
+            completions: self.completions,
+            decisions: self.decisions_scratch,
+            planned: self.planned_scratch,
+            issued_bits: self.issued_bits,
+            completed_bits: self.completed_bits,
+            short_done: self.short_done,
+        }));
         report
     }
 
@@ -288,10 +427,16 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         if self.retired >= self.limit {
             return true;
         }
-        self.trace_done
+        self.trace_done()
             && self.fetch_queue.is_empty()
             && self.pending_fetch.is_none()
             && self.rob.is_empty()
+    }
+
+    #[inline]
+    fn trace_done(&mut self) -> bool {
+        let want = self.fetch_pos + 1;
+        self.src.available() < want && self.src.ensure(want) < want
     }
 
     /// Executes one cycle; returns whether any stage made progress.
@@ -311,18 +456,14 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         debug_assert!(to > self.now);
         let mut t = self.mlp_cursor.max(self.now);
         while t < to {
-            let size: u32 = self.outstanding.values().sum();
-            let fm_size: u32 = self.fm_outstanding.values().sum();
-            let next_boundary = self
-                .outstanding
-                .keys()
-                .next()
-                .copied()
-                .into_iter()
-                .chain(self.fm_outstanding.keys().next().copied())
-                .min()
-                .filter(|&k| k < to)
-                .unwrap_or(to);
+            // Transfers are always enqueued with a future ready time and
+            // popped as the cursor passes them, so every entry still in
+            // the maps is live for this segment and the running totals
+            // are exactly the per-segment sums.
+            let size = self.outstanding_size;
+            let fm_size = self.fm_size;
+            let nb = self.out_min.min(self.fm_min);
+            let next_boundary = if nb < to { nb } else { to };
             let seg_end = next_boundary.max(t + 1);
             let len = seg_end - t;
             if self.measuring {
@@ -337,19 +478,32 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             }
             t = seg_end;
             // Pop transfers completing at the boundary we just reached.
-            while let Some((&k, _)) = self.outstanding.iter().next() {
-                if k <= t {
-                    self.outstanding.remove(&k);
-                } else {
-                    break;
+            if self.out_min <= t {
+                while let Some((&k, &n)) = self.outstanding.iter().next() {
+                    if k <= t {
+                        self.outstanding.remove(&k);
+                        self.outstanding_size -= n;
+                    } else {
+                        break;
+                    }
                 }
+                self.out_min = self.outstanding.keys().next().copied().unwrap_or(u64::MAX);
             }
-            while let Some((&k, _)) = self.fm_outstanding.iter().next() {
-                if k <= t {
-                    self.fm_outstanding.remove(&k);
-                } else {
-                    break;
+            if self.fm_min <= t {
+                while let Some((&k, &n)) = self.fm_outstanding.iter().next() {
+                    if k <= t {
+                        self.fm_outstanding.remove(&k);
+                        self.fm_size -= n;
+                    } else {
+                        break;
+                    }
                 }
+                self.fm_min = self
+                    .fm_outstanding
+                    .keys()
+                    .next()
+                    .copied()
+                    .unwrap_or(u64::MAX);
             }
         }
         self.mlp_cursor = t;
@@ -363,11 +517,14 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 next = Some(next.map_or(t, |n: u64| n.min(t)));
             }
         };
-        if let Some((&t, _)) = self.completions.iter().next() {
+        if !self.short_done.is_empty() {
+            consider(self.short_at);
+        }
+        if let Some(&Reverse((t, _))) = self.completions.peek() {
             consider(t);
         }
-        if let Some((&t, _)) = self.outstanding.iter().next() {
-            consider(t);
+        if self.out_min != u64::MAX {
+            consider(self.out_min);
         }
         if self.fetch_stall_until > self.now && self.fetch_stall_until != u64::MAX {
             consider(self.fetch_stall_until);
@@ -377,26 +534,39 @@ impl<'a, T: TraceSource> Machine<'a, T> {
 
     fn note_outstanding(&mut self, ready_at: u64) {
         *self.outstanding.entry(ready_at).or_insert(0) += 1;
+        self.outstanding_size += 1;
+        self.out_min = self.out_min.min(ready_at);
         self.note_fm(ready_at);
     }
 
     /// Tracks a transfer for the fM (all-outstanding) integral only.
     fn note_fm(&mut self, ready_at: u64) {
         *self.fm_outstanding.entry(ready_at).or_insert(0) += 1;
+        self.fm_size += 1;
+        self.fm_min = self.fm_min.min(ready_at);
     }
 
     // ----- stages ---------------------------------------------------------
 
     fn drain_completions(&mut self) {
-        while let Some((&k, _)) = self.completions.iter().next() {
-            if k > self.now {
+        if !self.short_done.is_empty() && self.now >= self.short_at {
+            let head = self.head_seq;
+            let mut short = std::mem::take(&mut self.short_done);
+            for &seq in &short {
+                if seq >= head {
+                    self.set_completed_bit(seq);
+                }
+            }
+            short.clear();
+            self.short_done = short;
+        }
+        while let Some(&Reverse((t, seq))) = self.completions.peek() {
+            if t > self.now {
                 break;
             }
-            for seq in self.completions.remove(&k).expect("key just read") {
-                if seq >= self.head_seq {
-                    let idx = (seq - self.head_seq) as usize;
-                    self.rob[idx].completed = true;
-                }
+            self.completions.pop();
+            if seq >= self.head_seq {
+                self.set_completed_bit(seq);
             }
         }
     }
@@ -404,13 +574,12 @@ impl<'a, T: TraceSource> Machine<'a, T> {
     fn retire(&mut self) -> usize {
         let mut n = 0;
         while n < self.cfg.retire_width {
-            match self.rob.front() {
-                Some(e) if e.completed => {}
-                _ => break,
+            if self.rob.is_empty() || !self.completed_bit(self.head_seq) {
+                break;
             }
             let e = self.rob.pop_front().expect("front checked");
             self.head_seq += 1;
-            if e.kind.writes_memory() {
+            if attrs(e.class) & ATTR_WRITES_MEM != 0 {
                 if let Some(addr) = e.mem_addr {
                     // Write-allocate. An off-chip fill is hidden by the
                     // store buffer (not a useful access) but still an
@@ -443,18 +612,44 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         self.branch_base = self.branches.stats();
     }
 
-    fn producer_ready(&self, seq: u64) -> bool {
-        if seq < self.head_seq {
-            return true;
-        }
-        self.rob[(seq - self.head_seq) as usize].completed
+    #[inline]
+    fn issued_bit(&self, seq: u64) -> bool {
+        let slot = seq & self.ring_mask;
+        self.issued_bits[(slot >> 6) as usize] & (1 << (slot & 63)) != 0
     }
 
+    #[inline]
+    fn completed_bit(&self, seq: u64) -> bool {
+        let slot = seq & self.ring_mask;
+        self.completed_bits[(slot >> 6) as usize] & (1 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn set_completed_bit(&mut self, seq: u64) {
+        let slot = seq & self.ring_mask;
+        self.completed_bits[(slot >> 6) as usize] |= 1 << (slot & 63);
+    }
+
+    /// Resets both flag bits for a sequence number's ring slot (called
+    /// when dispatch recycles the slot for a new entry).
+    #[inline]
+    fn clear_flag_bits(&mut self, seq: u64) {
+        let slot = seq & self.ring_mask;
+        let (w, b) = ((slot >> 6) as usize, 1u64 << (slot & 63));
+        self.issued_bits[w] &= !b;
+        self.completed_bits[w] &= !b;
+    }
+
+    #[inline]
+    fn producer_ready(&self, seq: u64) -> bool {
+        seq < self.head_seq || self.completed_bit(seq)
+    }
+
+    #[inline]
     fn entry_ready(&self, e: &Entry) -> bool {
         e.producers
             .iter()
-            .flatten()
-            .all(|&p| self.producer_ready(p))
+            .all(|&p| p == NO_PRODUCER || self.producer_ready(p))
     }
 
     fn issue(&mut self) -> usize {
@@ -471,18 +666,24 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         let mut planned_lines = std::mem::take(&mut self.planned_scratch);
         decisions.clear();
         planned_lines.clear();
-        for (i, e) in self.rob.iter().enumerate() {
-            if issued_now + decisions.len() >= self.cfg.issue_width {
+        let mut fu = self.first_unissued.max(head);
+        while fu < self.next_seq && self.issued_bit(fu) {
+            fu += 1;
+        }
+        self.first_unissued = fu;
+        for seq in fu..self.next_seq {
+            if decisions.len() >= self.cfg.issue_width {
                 break;
             }
-            if e.issued {
+            if self.issued_bit(seq) {
                 continue;
             }
-            let seq = head + i as u64;
+            let e = &self.rob[(seq - head) as usize];
+            let a = attrs(e.class);
             // Prefetches are hints and do not participate in config A's
             // in-order memory schedule (matching the epoch model).
-            let is_mem = e.kind.is_memory();
-            let is_branch = e.kind.is_branch();
+            let is_mem = a & (ATTR_READS_MEM | ATTR_WRITES_MEM) != 0;
+            let is_branch = a & ATTR_BRANCH != 0;
             let ready = self.entry_ready(e);
 
             // Policy gates.
@@ -493,19 +694,16 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             if is_branch && !branch_in_order_ok {
                 can = false;
             }
-            if wait_staddr && e.kind.reads_memory() && unissued_store_blocks_loads {
+            if wait_staddr && a & ATTR_READS_MEM != 0 && unissued_store_blocks_loads {
                 can = false;
             }
             // True memory dependence: a load whose address matches an
             // older un-issued store must wait for the store.
-            if can && e.kind.reads_memory() {
+            if can && a & ATTR_READS_MEM != 0 {
                 if let Some(addr) = e.mem_addr {
                     if let Some(&sseq) = self.store_fwd.get(&(addr & !7)) {
-                        if sseq >= head && sseq < seq {
-                            let sidx = (sseq - head) as usize;
-                            if !self.rob[sidx].issued {
-                                can = false;
-                            }
+                        if sseq >= head && sseq < seq && !self.issued_bit(sseq) {
+                            can = false;
                         }
                     }
                 }
@@ -513,7 +711,7 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             // MSHR pressure: a load that needs a new off-chip transfer
             // cannot issue when the MSHR file is full (including transfers
             // other loads in this same cycle are about to start).
-            if can && e.kind.reads_memory() && !self.cfg.perfect_l2 {
+            if can && a & ATTR_READS_MEM != 0 && !self.cfg.perfect_l2 {
                 if let Some(addr) = e.mem_addr {
                     let line = line_of(addr);
                     let needs_new = !self.mshr.is_pending(line)
@@ -539,7 +737,7 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             if is_branch && !can {
                 branch_in_order_ok = false;
             }
-            if e.kind.writes_memory() && !can {
+            if a & ATTR_WRITES_MEM != 0 && !can {
                 unissued_store_blocks_loads = true;
             }
         }
@@ -555,13 +753,18 @@ impl<'a, T: TraceSource> Machine<'a, T> {
     fn do_issue(&mut self, seq: u64) {
         let idx = (seq - self.head_seq) as usize;
         let now = self.now;
-        let (kind, mem_addr, mispredicted) = {
+        let (class, mem_addr, mispredicted) = {
             let e = &self.rob[idx];
-            (e.kind, e.mem_addr, e.mispredicted)
+            (e.class, e.mem_addr, e.mispredicted)
         };
-        let complete_at = match kind {
-            OpKind::Alu | OpKind::Nop | OpKind::Membar => now + 1,
-            OpKind::Branch(_) => {
+        let complete_at = match class {
+            CLASS_ALU | CLASS_NOP | CLASS_MEMBAR | CLASS_STORE => now + 1,
+            CLASS_LOAD | CLASS_ATOMIC | CLASS_PREFETCH => {
+                let addr = mem_addr.expect("memory op carries an address");
+                self.memory_complete_time(class, addr, seq)
+            }
+            _ => {
+                // The four branch classes.
                 let t = now + 1;
                 if mispredicted {
                     // Redirect the stalled front end once resolved.
@@ -570,41 +773,39 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 }
                 t
             }
-            OpKind::Store => now + 1,
-            OpKind::Load | OpKind::Atomic | OpKind::Prefetch => {
-                let addr = mem_addr.expect("memory op carries an address");
-                self.memory_complete_time(kind, addr, seq)
-            }
         };
         let e = &mut self.rob[idx];
-        e.issued = true;
         e.complete_at = complete_at;
+        let slot = seq & self.ring_mask;
+        self.issued_bits[(slot >> 6) as usize] |= 1 << (slot & 63);
         self.unissued -= 1;
-        self.completions.entry(complete_at).or_default().push(seq);
+        if complete_at == now + 1 {
+            // The common case: next-cycle completion skips the heap.
+            self.short_at = complete_at;
+            self.short_done.push(seq);
+        } else {
+            self.completions.push(Reverse((complete_at, seq)));
+        }
     }
 
     /// Timing (and MLP accounting) of a memory read issued at `now`.
-    fn memory_complete_time(&mut self, kind: OpKind, addr: u64, seq: u64) -> u64 {
+    fn memory_complete_time(&mut self, class: u8, addr: u64, seq: u64) -> u64 {
         let now = self.now;
+        let is_prefetch = class == CLASS_PREFETCH;
         // Store-to-load forwarding from an older in-flight store.
-        if kind != OpKind::Prefetch {
+        if !is_prefetch {
             if let Some(&sseq) = self.store_fwd.get(&(addr & !7)) {
                 if sseq >= self.head_seq && sseq < seq {
                     let sidx = (sseq - self.head_seq) as usize;
-                    let s = &self.rob[sidx];
-                    debug_assert!(s.issued, "gated at issue");
-                    return s.complete_at.max(now) + 1;
+                    debug_assert!(self.issued_bit(sseq), "gated at issue");
+                    return self.rob[sidx].complete_at.max(now) + 1;
                 }
             }
         }
         let line = line_of(addr);
         if !self.cfg.perfect_l2 && self.mshr.is_pending(line) {
             let ready = self.mshr.ready_at(line).expect("pending");
-            return if kind == OpKind::Prefetch {
-                now + 1
-            } else {
-                ready
-            };
+            return if is_prefetch { now + 1 } else { ready };
         }
         let access = self.hierarchy.load(addr);
         let data_at = match access {
@@ -615,9 +816,10 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 // counts toward MLP and is outstanding for its latency.
                 let ready = now + self.cfg.l3_latency;
                 if seq >= self.warmup {
-                    match kind {
-                        OpKind::Prefetch => self.offchip.pmiss += 1,
-                        _ => self.offchip.dmiss += 1,
+                    if is_prefetch {
+                        self.offchip.pmiss += 1;
+                    } else {
+                        self.offchip.dmiss += 1;
                     }
                 }
                 self.note_outstanding(ready);
@@ -630,9 +832,10 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                     match self.mshr.request(line, now) {
                         MshrOutcome::Primary { ready_at } | MshrOutcome::Merged { ready_at } => {
                             if seq >= self.warmup {
-                                match kind {
-                                    OpKind::Prefetch => self.offchip.pmiss += 1,
-                                    _ => self.offchip.dmiss += 1,
+                                if is_prefetch {
+                                    self.offchip.pmiss += 1;
+                                } else {
+                                    self.offchip.dmiss += 1;
                                 }
                             }
                             self.note_outstanding(ready_at);
@@ -646,7 +849,7 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                 }
             }
         };
-        if kind == OpKind::Prefetch {
+        if is_prefetch {
             now + 1
         } else {
             data_at
@@ -662,43 +865,50 @@ impl<'a, T: TraceSource> Machine<'a, T> {
             if self.rob.len() >= self.cfg.rob || self.unissued >= self.cfg.iw {
                 break;
             }
-            let Some(&(ref inst, mispredicted)) = self.fetch_queue.front() else {
+            let Some(&(idx, mispredicted)) = self.fetch_queue.front() else {
                 break;
             };
-            let serializing = inst.is_serializing() && self.cfg.issue.serializing();
+            let idx = idx as usize;
+            let class = self.src.soa().class()[idx];
+            let a = attrs(class);
+            let serializing = a & ATTR_SERIALIZING != 0 && self.cfg.issue.serializing();
             if serializing && !self.rob.is_empty() {
                 break; // pipeline drain
             }
-            let inst = *inst;
             self.fetch_queue.pop_front();
             let seq = self.next_seq;
             self.next_seq += 1;
-            let mut producers = [None; 3];
-            for (k, src) in inst.dep_srcs().enumerate() {
-                let w = self.last_writer[src.index()];
+            // Three unconditional reads: sentinel slots never hold a
+            // writer (their `last_writer` entries stay 0 = none).
+            let [d0, d1, d2] = self.src.soa().dep_srcs()[idx];
+            let mut producers = [NO_PRODUCER; 3];
+            for (k, d) in [d0, d1, d2].into_iter().enumerate() {
+                let w = self.last_writer[d as usize];
                 if w > self.head_seq {
-                    producers[k] = Some(w - 1);
+                    producers[k] = w - 1;
                 }
             }
-            if let Some(dst) = inst.dep_dst() {
-                self.last_writer[dst.index()] = seq + 1;
-            }
-            if inst.kind.writes_memory() {
-                if let Some(m) = inst.mem {
-                    self.store_fwd.insert(m.addr & !7, seq);
+            self.last_writer[self.src.soa().dep_dst()[idx] as usize] = seq + 1;
+            let mem_addr = self
+                .src
+                .soa()
+                .has_mem(idx)
+                .then(|| self.src.soa().addr()[idx]);
+            if a & ATTR_WRITES_MEM != 0 {
+                if let Some(addr) = mem_addr {
+                    self.store_fwd.insert(addr & !7, seq);
                     if self.store_fwd.len() > 1 << 16 {
                         let head = self.head_seq;
                         self.store_fwd.retain(|_, &mut s| s >= head);
                     }
                 }
             }
+            self.clear_flag_bits(seq);
             self.rob.push_back(Entry {
-                kind: inst.kind,
-                producers,
-                mem_addr: inst.mem.map(|m| m.addr),
+                class,
                 mispredicted,
-                issued: false,
-                completed: false,
+                producers,
+                mem_addr,
                 complete_at: u64::MAX,
             });
             self.unissued += 1;
@@ -716,22 +926,21 @@ impl<'a, T: TraceSource> Machine<'a, T> {
         }
         let mut n = 0;
         while n < self.cfg.fetch_width && self.fetch_queue.len() < self.cfg.fetch_buffer {
-            let inst = match self.pending_fetch.take() {
+            let idx = match self.pending_fetch.take() {
                 Some(i) => i, // its I-line has arrived
                 None => {
-                    if self.trace_done || self.fetched >= self.limit {
+                    if self.fetched >= self.limit || self.trace_done() {
                         break;
                     }
-                    let Some(inst) = self.trace.next_inst() else {
-                        self.trace_done = true;
-                        break;
-                    };
+                    let idx = self.fetch_pos as u32;
+                    self.fetch_pos += 1;
                     self.fetched += 1;
                     // Instruction-cache access per line.
-                    let line = line_of(inst.pc);
+                    let pc = self.src.soa().pc()[idx as usize];
+                    let line = line_of(pc);
                     if line != self.last_ifetch_line {
                         self.last_ifetch_line = line;
-                        let arrives = match self.hierarchy.ifetch(inst.pc) {
+                        let arrives = match self.hierarchy.ifetch(pc) {
                             Access::L1Hit => None,
                             Access::L2Hit => Some(self.now + self.cfg.l2_latency),
                             Access::L3Hit => {
@@ -763,19 +972,25 @@ impl<'a, T: TraceSource> Machine<'a, T> {
                             // The instruction is not available until its
                             // line arrives; park it and stall fetch.
                             self.fetch_stall_until = t;
-                            self.pending_fetch = Some(inst);
+                            self.pending_fetch = Some(idx);
                             return n;
                         }
                     }
-                    inst
+                    idx
                 }
             };
-            let mispredicted = if inst.is_branch() {
-                self.branches.observe(&inst)
+            let mispredicted = if attrs(self.src.soa().class()[idx as usize]) & ATTR_BRANCH != 0 {
+                let info = self
+                    .src
+                    .soa()
+                    .branch_info(idx as usize)
+                    .expect("branch classes carry branch info");
+                self.branches
+                    .observe_branch(self.src.soa().pc()[idx as usize], info)
             } else {
                 false
             };
-            self.fetch_queue.push_back((inst, mispredicted));
+            self.fetch_queue.push_back((idx, mispredicted));
             n += 1;
             if mispredicted {
                 // The front end runs down the wrong path (absent from the

@@ -6,9 +6,10 @@
 //! 1. **Shared trace materialization** — every run of a given workload
 //!    replays the same `(kind, SEED)` instruction stream, so the stream
 //!    is generated once into the process-wide
-//!    [`mlp_workloads::TraceStore`] and each run gets a cheap
-//!    [`TraceCursor`](mlp_workloads::TraceCursor) over the shared
-//!    `Arc<[Inst]>` instead of re-running the workload generator.
+//!    [`mlp_workloads::TraceStore`] as a structure-of-arrays
+//!    [`TraceSoA`](mlp_isa::TraceSoA) and each run borrows the shared
+//!    columns directly (`run_shared`) instead of re-running the workload
+//!    generator or decoding rows per run.
 //! 2. **Parallel sweeps** — [`sweep`] fans the independent points of a
 //!    figure/table across cores via `mlp_par::par_map`, which returns
 //!    results in input order, so rendered output is byte-identical to a
@@ -18,7 +19,7 @@
 use crate::RunScale;
 use mlp_cyclesim::{CycleReport, CycleSim, CycleSimConfig};
 use mlp_par::JobPanic;
-use mlp_workloads::{TraceCursor, TraceStore, Workload, WorkloadKind};
+use mlp_workloads::{SharedTrace, TraceCursor, TraceStore, Workload, WorkloadKind};
 use mlpsim::{MlpsimConfig, Report, Simulator};
 
 /// The seed used by every experiment: results are fully deterministic.
@@ -141,11 +142,23 @@ pub fn cursor(kind: WorkloadKind, insts: u64) -> TraceCursor {
 /// materialized length here, so fault tests can hand every run a trace
 /// that drains early.
 pub fn cursor_seeded(kind: WorkloadKind, seed: u64, insts: u64) -> TraceCursor {
+    shared_seeded(kind, seed, insts).cursor()
+}
+
+/// The shared column-trace handle for `kind`, covering at least `insts`
+/// instructions plus engine read-ahead slack. The hot `run_*` helpers
+/// hand its columns straight to the simulators' `run_shared` entry
+/// points — no per-run decode, no per-run copy.
+///
+/// The [`mlp_faults::CURSOR_TRUNCATE`] injection site caps the
+/// materialized length here, so fault tests can hand every run a trace
+/// that drains early.
+pub fn shared_seeded(kind: WorkloadKind, seed: u64, insts: u64) -> SharedTrace {
     let mut len = insts.saturating_add(TRACE_SLACK) as usize;
     if let Some(cap) = mlp_faults::param(mlp_faults::CURSOR_TRUNCATE) {
         len = len.min(cap as usize);
     }
-    TraceStore::global().trace(kind, seed, len).cursor()
+    TraceStore::global().trace(kind, seed, len)
 }
 
 /// Runs the epoch model over `kind` at the given scale.
@@ -160,8 +173,9 @@ pub fn cursor_seeded(kind: WorkloadKind, seed: u64, insts: u64) -> TraceCursor {
 /// wrong. The panic is caught by the per-experiment isolation boundary
 /// in the `mlp-experiments` binary.
 pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> Report {
-    let mut cur = cursor(kind, scale.warmup + scale.measure);
-    let report = Simulator::new(config).run(&mut cur, scale.warmup, scale.measure);
+    let shared = shared_seeded(kind, SEED, scale.warmup + scale.measure);
+    let report =
+        Simulator::new(config).run_shared(shared.soa(), shared.len(), scale.warmup, scale.measure);
     if report.insts < scale.measure {
         panic!(
             "mlpsim run on {kind:?} drained its trace after {} of {} measured \
@@ -180,8 +194,13 @@ pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> 
 ///
 /// Panics on a prematurely drained trace cursor, like [`run_mlpsim`].
 pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale) -> CycleReport {
-    let mut cur = cursor(kind, scale.cycle_warmup + scale.cycle_measure);
-    let report = CycleSim::new(config).run(&mut cur, scale.cycle_warmup, scale.cycle_measure);
+    let shared = shared_seeded(kind, SEED, scale.cycle_warmup + scale.cycle_measure);
+    let report = CycleSim::new(config).run_shared(
+        shared.soa(),
+        shared.len(),
+        scale.cycle_warmup,
+        scale.cycle_measure,
+    );
     if report.insts < scale.cycle_measure {
         panic!(
             "cyclesim run on {kind:?} drained its trace after {} of {} measured \

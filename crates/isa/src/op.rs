@@ -76,19 +76,19 @@ impl OpKind {
     /// Whether this instruction reads memory through an effective address
     /// (loads, atomics, and software prefetches).
     #[inline]
-    pub fn reads_memory(self) -> bool {
+    pub const fn reads_memory(self) -> bool {
         matches!(self, OpKind::Load | OpKind::Atomic | OpKind::Prefetch)
     }
 
     /// Whether this instruction writes memory (stores and atomics).
     #[inline]
-    pub fn writes_memory(self) -> bool {
+    pub const fn writes_memory(self) -> bool {
         matches!(self, OpKind::Store | OpKind::Atomic)
     }
 
     /// Whether this instruction is a memory operation of any kind.
     #[inline]
-    pub fn is_memory(self) -> bool {
+    pub const fn is_memory(self) -> bool {
         self.reads_memory() || self.writes_memory()
     }
 
@@ -96,13 +96,13 @@ impl OpKind {
     /// implementation drains the pipeline before it issues, which is a
     /// window-termination condition in issue configurations A–D.
     #[inline]
-    pub fn is_serializing(self) -> bool {
+    pub const fn is_serializing(self) -> bool {
         matches!(self, OpKind::Membar | OpKind::Atomic)
     }
 
     /// Whether this instruction is a control transfer.
     #[inline]
-    pub fn is_branch(self) -> bool {
+    pub const fn is_branch(self) -> bool {
         matches!(self, OpKind::Branch(_))
     }
 

@@ -92,16 +92,16 @@ impl fmt::Display for CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    lru: u64, // last-use stamp; 0 = invalid/never used
-}
-
 /// A set-associative cache with true-LRU replacement over 64-byte lines.
 ///
 /// The cache tracks line residency only (no data), which is all both
 /// simulators need: they ask "would this access leave the chip?".
+///
+/// Tags and last-use stamps live in separate set-major arrays: the hit
+/// path (the overwhelmingly common case) scans only the tag column and
+/// restamps one slot, so it moves half the bytes the old
+/// array-of-`(tag, lru)` layout did; the stamp column is scanned only
+/// when a miss needs a victim.
 ///
 /// # Examples
 ///
@@ -115,7 +115,8 @@ struct Way {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    ways: Vec<Way>, // sets * assoc, set-major
+    tags: Vec<u64>, // sets * assoc, set-major; 0 = invalid
+    lrus: Vec<u64>, // last-use stamps; 0 = invalid/never used
     set_mask: u64,
     clock: u64,
     stats: CacheStats,
@@ -125,9 +126,11 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
         let sets = config.sets();
+        let lines = (sets * config.assoc as u64) as usize;
         Cache {
             config,
-            ways: vec![Way { tag: 0, lru: 0 }; (sets * config.assoc as u64) as usize],
+            tags: vec![0; lines],
+            lrus: vec![0; lines],
             set_mask: sets - 1,
             clock: 0,
             stats: CacheStats::default(),
@@ -167,6 +170,7 @@ impl Cache {
     /// Demand access to the line containing `addr`: returns `true` on hit.
     /// On a miss the line is filled (allocate-on-miss), evicting the LRU
     /// way of its set.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let hit = self.touch(addr);
         if hit {
@@ -177,36 +181,60 @@ impl Cache {
         hit
     }
 
+    /// Counts a demand hit without performing the lookup. For callers
+    /// that have proven residency out-of-band (the hierarchy's
+    /// sequential-ifetch memo): the line is known resident *and*
+    /// most-recently-used, so neither the scan nor the LRU restamp can
+    /// change any future replacement decision — only the hit counter
+    /// needs to move.
+    #[inline]
+    pub fn count_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Like [`Cache::access`] but does not count towards statistics —
     /// used for fills driven by an outer level or by prefetches.
+    ///
+    /// One pass over the set tracks the hit way and the LRU victim
+    /// together (first-minimum ties, matching `min_by_key`), so a miss
+    /// costs no second scan.
+    #[inline]
     pub fn touch(&mut self, addr: u64) -> bool {
         self.clock += 1;
         let clock = self.clock;
         let tag = self.tag_of(addr);
         let (lo, hi) = self.set_range(addr);
-        let set = &mut self.ways[lo..hi];
-        if let Some(w) = set.iter_mut().find(|w| w.tag == tag) {
-            w.lru = clock;
-            return true;
+        for i in lo..hi {
+            if self.tags[i] == tag {
+                self.lrus[i] = clock;
+                return true;
+            }
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("associativity is non-zero");
-        if victim.lru != 0 {
+        // Miss: scan the stamps for the LRU victim (first-minimum ties,
+        // matching the old single-pass `min_by_key` behaviour).
+        let mut victim = lo;
+        let mut min_lru = u64::MAX;
+        for i in lo..hi {
+            if self.lrus[i] < min_lru {
+                min_lru = self.lrus[i];
+                victim = i;
+            }
+        }
+        if min_lru != 0 {
             self.stats.evictions += 1;
         }
-        victim.tag = tag;
-        victim.lru = clock;
+        self.tags[victim] = tag;
+        self.lrus[victim] = clock;
         false
     }
 
     /// Whether the line containing `addr` is resident, without touching
     /// LRU state or statistics.
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
         let tag = self.tag_of(addr);
         let (lo, hi) = self.set_range(addr);
-        self.ways[lo..hi].iter().any(|w| w.tag == tag)
+        self.tags[lo..hi].contains(&tag)
     }
 
     /// Removes the line containing `addr` if resident; returns whether it
@@ -214,10 +242,10 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let tag = self.tag_of(addr);
         let (lo, hi) = self.set_range(addr);
-        for w in &mut self.ways[lo..hi] {
-            if w.tag == tag {
-                w.tag = 0;
-                w.lru = 0;
+        for i in lo..hi {
+            if self.tags[i] == tag {
+                self.tags[i] = 0;
+                self.lrus[i] = 0;
                 return true;
             }
         }
@@ -226,7 +254,7 @@ impl Cache {
 
     /// Number of currently valid lines.
     pub fn resident_lines(&self) -> u64 {
-        self.ways.iter().filter(|w| w.tag != 0).count() as u64
+        self.tags.iter().filter(|&&t| t != 0).count() as u64
     }
 }
 

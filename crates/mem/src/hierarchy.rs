@@ -142,6 +142,19 @@ pub struct Hierarchy {
     tlb: Tlb,
     stats: HierarchyStats,
     count_insts: bool,
+    /// Whether `mlp-obs` counters were armed when this hierarchy was
+    /// built. The TLB influences nothing but the armed-only
+    /// `mem.tlb.*` counters (its outcome is not part of [`Access`]
+    /// classification), so unarmed runs skip it entirely.
+    obs_armed: bool,
+    /// Line of the most recent instruction fetch. L1I contents change
+    /// only through [`Hierarchy::ifetch`], so a repeat fetch of this
+    /// line is guaranteed resident and most-recently-used: it can be
+    /// answered without the set lookup. Skipping the LRU restamp is
+    /// behavior-preserving because the line is already the newest in
+    /// its set — the relative stamp order, and therefore every future
+    /// hit/victim/eviction decision, is unchanged.
+    last_ifetch_line: u64,
 }
 
 impl Hierarchy {
@@ -156,6 +169,8 @@ impl Hierarchy {
             tlb: Tlb::new(config.tlb),
             stats: HierarchyStats::default(),
             count_insts: true,
+            obs_armed: mlp_obs::counters_on(),
+            last_ifetch_line: u64::MAX,
         }
     }
 
@@ -213,8 +228,24 @@ impl Hierarchy {
 
     /// Classifies (and performs) the instruction fetch of the line
     /// containing `pc`.
+    #[inline]
     pub fn ifetch(&mut self, pc: u64) -> Access {
-        self.tlb.access(pc);
+        let line = mlp_isa::line_of(pc);
+        if line == self.last_ifetch_line {
+            // Sequential fetch within the line just fetched: resident and
+            // MRU by construction (see the field invariant), so answer
+            // without the set scan. The hit is still counted; armed runs
+            // still walk the TLB so `mem.tlb.*` counters stay exact.
+            if self.obs_armed {
+                self.tlb.access(pc);
+            }
+            self.l1i.count_hit();
+            return Access::L1Hit;
+        }
+        self.last_ifetch_line = line;
+        if self.obs_armed {
+            self.tlb.access(pc);
+        }
         let a = Self::classify(&mut self.l1i, &mut self.l2, self.l3.as_mut(), pc);
         if a.is_off_chip() {
             self.stats.imisses += 1;
@@ -223,8 +254,11 @@ impl Hierarchy {
     }
 
     /// Classifies (and performs) a demand load of `addr`.
+    #[inline]
     pub fn load(&mut self, addr: u64) -> Access {
-        self.tlb.access(addr);
+        if self.obs_armed {
+            self.tlb.access(addr);
+        }
         let a = Self::classify(&mut self.l1d, &mut self.l2, self.l3.as_mut(), addr);
         if a.is_off_chip() {
             self.stats.dmisses += 1;
@@ -233,8 +267,11 @@ impl Hierarchy {
     }
 
     /// Classifies (and performs) a store to `addr` (write-allocate).
+    #[inline]
     pub fn store(&mut self, addr: u64) -> Access {
-        self.tlb.access(addr);
+        if self.obs_armed {
+            self.tlb.access(addr);
+        }
         let a = Self::classify(&mut self.l1d, &mut self.l2, self.l3.as_mut(), addr);
         if a.is_off_chip() {
             self.stats.smisses += 1;
@@ -245,7 +282,9 @@ impl Hierarchy {
     /// Classifies (and performs) a software or runahead prefetch of
     /// `addr`. The line is installed so that later demand accesses hit.
     pub fn prefetch(&mut self, addr: u64) -> Access {
-        self.tlb.access(addr);
+        if self.obs_armed {
+            self.tlb.access(addr);
+        }
         let a = if self.l1d.touch(addr) {
             Access::L1Hit
         } else if self.l2.touch(addr) {
@@ -272,6 +311,7 @@ impl Hierarchy {
 
     /// Whether the line containing `addr` is resident in the L2 (i.e. a
     /// read of it would stay on chip), without disturbing any state.
+    #[inline]
     pub fn probe_l2(&self, addr: u64) -> bool {
         self.l2.probe(addr)
     }

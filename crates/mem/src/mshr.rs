@@ -40,6 +40,10 @@ pub struct Mshr {
     capacity: usize,
     latency: u64,
     in_flight: FxHashMap<u64, u64>, // line -> ready cycle
+    /// Earliest ready cycle of any in-flight transfer (`u64::MAX` when
+    /// none): lets the per-cycle [`Mshr::expire`] call return without
+    /// walking the map when nothing can have completed yet.
+    min_ready: u64,
     high_water: usize,
     /// Whether distribution tallies accumulate, latched at construction
     /// so the per-request path pays nothing when `MLP_OBS` is off.
@@ -65,6 +69,7 @@ impl Mshr {
             capacity,
             latency,
             in_flight: mlp_hash::map_with_capacity(capacity),
+            min_ready: u64::MAX,
             high_water: 0,
             obs: mlp_obs::counters_on(),
             occupancy: mlp_obs::LocalHist::new(),
@@ -90,6 +95,7 @@ impl Mshr {
         }
         let ready = now + self.latency;
         self.in_flight.insert(line, ready);
+        self.min_ready = self.min_ready.min(ready);
         self.high_water = self.high_water.max(self.in_flight.len());
         if self.obs {
             self.occupancy.record(self.in_flight.len() as u64);
@@ -101,6 +107,9 @@ impl Mshr {
     /// Releases every entry whose transfer has completed by cycle `now`,
     /// returning the completed lines.
     pub fn expire(&mut self, now: u64) -> Vec<u64> {
+        if now < self.min_ready {
+            return Vec::new(); // nothing can have completed; no walk
+        }
         let done: Vec<u64> = self
             .in_flight
             .iter()
@@ -110,6 +119,7 @@ impl Mshr {
         for l in &done {
             self.in_flight.remove(l);
         }
+        self.min_ready = self.in_flight.values().copied().min().unwrap_or(u64::MAX);
         done
     }
 

@@ -2,7 +2,7 @@
 //! cores.
 //!
 //! In-order cores execute strictly in program order, so the epoch engine
-//! is a single forward pass:
+//! is a single forward pass over the trace columns:
 //!
 //! * **stall-on-miss** stalls issue the moment a load misses — the miss
 //!   starts *and* ends its window, so only earlier prefetches and
@@ -11,35 +11,40 @@
 //!   value, so independent later loads (and prefetches) between a miss and
 //!   its use may overlap.
 
-use super::{Branches, EpochTracker, MissKind, Values};
+use super::{scratch, Branches, EpochTracker, MissKind, Values};
 use crate::config::{InOrderPolicy, MlpsimConfig};
 use crate::report::{Inhibitor, Report};
 use mlp_hash::FxHashMap;
-use mlp_isa::{line_of, OpKind, Reg, TraceSource};
+use mlp_isa::{
+    line_of, InstSource, AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC, CLASS_LOAD, CLASS_MEMBAR, CLASS_NOP,
+    CLASS_PREFETCH, CLASS_STORE,
+};
 use mlp_mem::Hierarchy;
 use mlp_obs::{IntervalSampler, Value};
 use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
 
 const PRUNE_LIMIT: usize = 8192;
 
-pub(crate) fn run<T: TraceSource>(
+pub(crate) fn run<S: InstSource>(
     cfg: &MlpsimConfig,
     policy: InOrderPolicy,
-    trace: &mut T,
+    src: &mut S,
     warmup: u64,
     measure: u64,
 ) -> Report {
     let mut hierarchy = Hierarchy::new(cfg.hierarchy);
     let mut branches = Branches::new(cfg.branch);
     let mut values = Values::new(cfg.value);
-    let mut tracker = EpochTracker::new();
+    let pool = scratch::take();
+    let mut tracker = EpochTracker::with_scratch(pool.tracker_ring);
     tracker.measuring = warmup == 0;
 
     let mut e: u64 = 0;
-    let mut avail = [0u64; Reg::COUNT];
-    let mut line_avail: FxHashMap<u64, u64> = mlp_hash::map_with_capacity(1024);
+    let mut avail = [0u64; AVAIL_SLOTS];
+    let mut line_avail: FxHashMap<u64, u64> = pool.line_avail;
     let mut insts: u64 = 0;
     let mut consumed: u64 = 0;
+    let mut next: usize = 0;
     let limit = warmup.saturating_add(measure);
     let mut branch_base = BranchStats::default();
     let mut value_base = ValueStats::default();
@@ -49,6 +54,7 @@ pub(crate) fn run<T: TraceSource>(
     // fetched prefetch) can overlap the data miss (paper §3.3).
     let mut pending_stall = false;
     let mut sampler = IntervalSampler::armed("mlpsim.sample");
+    let serializing_cfg = cfg.issue.serializing();
 
     // Advance the epoch counter to `to`, closing finished epochs.
     macro_rules! advance_to {
@@ -74,7 +80,11 @@ pub(crate) fn run<T: TraceSource>(
     }
 
     while consumed < limit {
-        let Some(inst) = trace.next_inst() else { break };
+        if src.available() <= next && src.ensure(next + 1) <= next {
+            break;
+        }
+        let idx = next;
+        next += 1;
         consumed += 1;
         if consumed == warmup + 1 && !tracker.measuring {
             tracker.measuring = true;
@@ -89,7 +99,7 @@ pub(crate) fn run<T: TraceSource>(
 
         // Instruction fetch is blocking: a missing fetch overlaps what is
         // already outstanding, then ends the window.
-        if !cfg.perfect_ifetch && hierarchy.ifetch(inst.pc).is_off_chip() {
+        if !cfg.perfect_ifetch && hierarchy.ifetch(src.soa().pc()[idx]).is_off_chip() {
             let first = !tracker.has_miss(e);
             tracker.record_miss(e, MissKind::Imiss);
             tracker.note_block(
@@ -108,27 +118,26 @@ pub(crate) fn run<T: TraceSource>(
             advance_to!(e + 1);
         }
 
-        let dep_ready = inst
-            .dep_srcs()
-            .map(|r| avail[r.index()])
-            .max()
-            .unwrap_or(0)
+        let [d0, d1, d2] = src.soa().dep_srcs()[idx];
+        let dep_ready = avail[d0 as usize]
+            .max(avail[d1 as usize])
+            .max(avail[d2 as usize])
             .max(e);
+        let dst = src.soa().dep_dst()[idx] as usize;
+        let class = src.soa().class()[idx];
 
-        match inst.kind {
-            OpKind::Alu | OpKind::Nop => {
+        match class {
+            CLASS_ALU | CLASS_NOP => {
                 // In-order issue: an instruction consuming a pending value
                 // stalls the pipeline (this *is* the stall-on-use event).
                 if dep_ready > e {
                     tracker.note_block(e, Inhibitor::MissingLoad);
                     advance_to!(dep_ready);
                 }
-                if let Some(r) = inst.dep_dst() {
-                    avail[r.index()] = e;
-                }
+                avail[dst] = e;
             }
-            OpKind::Load | OpKind::Atomic => {
-                let serializing = inst.kind == OpKind::Atomic && cfg.issue.serializing();
+            CLASS_LOAD | CLASS_ATOMIC => {
+                let serializing = class == CLASS_ATOMIC && serializing_cfg;
                 if serializing && tracker.has_miss(e) {
                     // Drain: outstanding misses of this epoch complete.
                     tracker.note_block(e, Inhibitor::Serialize);
@@ -138,18 +147,19 @@ pub(crate) fn run<T: TraceSource>(
                     tracker.note_block(e, Inhibitor::MissingLoad);
                     advance_to!(dep_ready);
                 }
-                let m = inst.mem.expect("loads carry a memory access");
-                let line = line_of(m.addr);
+                debug_assert!(src.soa().has_mem(idx), "loads carry a memory access");
+                let addr = src.soa().addr()[idx];
+                let line = line_of(addr);
                 let in_flight = line_avail.get(&line).copied().unwrap_or(0) > e;
-                let missed = !in_flight && hierarchy.load(m.addr).is_off_chip();
+                let missed = !in_flight && hierarchy.load(addr).is_off_chip();
                 if missed {
                     tracker.record_miss(e, MissKind::Dmiss);
                     line_avail.insert(line, e + 1);
                 }
                 let predicted = missed
-                    && inst.kind == OpKind::Load
+                    && class == CLASS_LOAD
                     && matches!(
-                        values.observe(inst.pc, inst.value),
+                        values.observe(src.soa().pc()[idx], src.soa().value()[idx]),
                         Some(ValuePrediction::Correct)
                     );
                 match policy {
@@ -158,9 +168,7 @@ pub(crate) fn run<T: TraceSource>(
                             tracker.note_block(e, Inhibitor::MissingLoad);
                             pending_stall = true;
                         }
-                        if let Some(r) = inst.dep_dst() {
-                            avail[r.index()] = e + (missed || in_flight) as u64;
-                        }
+                        avail[dst] = e + (missed || in_flight) as u64;
                     }
                     InOrderPolicy::StallOnUse => {
                         let ready = if in_flight {
@@ -170,9 +178,7 @@ pub(crate) fn run<T: TraceSource>(
                         } else {
                             e
                         };
-                        if let Some(r) = inst.dep_dst() {
-                            avail[r.index()] = ready;
-                        }
+                        avail[dst] = ready;
                     }
                 }
                 if serializing {
@@ -181,44 +187,48 @@ pub(crate) fn run<T: TraceSource>(
                         tracker.note_block(e, Inhibitor::Serialize);
                         advance_to!(e + 1);
                     }
-                    if let Some(r) = inst.dep_dst() {
-                        avail[r.index()] = e;
-                    }
+                    avail[dst] = e;
                 }
             }
-            OpKind::Store => {
+            CLASS_STORE => {
                 if dep_ready > e {
                     tracker.note_block(e, Inhibitor::MissingLoad);
                     advance_to!(dep_ready);
                 }
-                let m = inst.mem.expect("stores carry a memory access");
+                debug_assert!(src.soa().has_mem(idx), "stores carry a memory access");
                 // Write-allocate; fills tracked for the store-MLP metric.
-                if hierarchy.store(m.addr).is_off_chip() {
+                if hierarchy.store(src.soa().addr()[idx]).is_off_chip() {
                     tracker.record_store_fill(e);
                 }
             }
-            OpKind::Prefetch => {
+            CLASS_PREFETCH => {
                 if dep_ready > e {
                     tracker.note_block(e, Inhibitor::MissingLoad);
                     advance_to!(dep_ready);
                 }
-                if let Some(m) = inst.mem {
-                    let line = line_of(m.addr);
+                if src.soa().has_mem(idx) {
+                    let addr = src.soa().addr()[idx];
+                    let line = line_of(addr);
                     let in_flight = line_avail.get(&line).copied().unwrap_or(0) > e;
-                    if !in_flight && hierarchy.prefetch(m.addr).is_off_chip() {
+                    if !in_flight && hierarchy.prefetch(addr).is_off_chip() {
                         tracker.record_miss(e, MissKind::Pmiss);
                         line_avail.insert(line, e + 1);
                     }
                 }
             }
-            OpKind::Membar => {
-                if cfg.issue.serializing() && tracker.has_miss(e) {
+            CLASS_MEMBAR => {
+                if serializing_cfg && tracker.has_miss(e) {
                     tracker.note_block(e, Inhibitor::Serialize);
                     advance_to!(e + 1);
                 }
             }
-            OpKind::Branch(_) => {
-                let mispredicted = branches.observe(&inst);
+            _ => {
+                // The four branch classes.
+                let info = src
+                    .soa()
+                    .branch_info(idx)
+                    .expect("branch classes carry branch info");
+                let mispredicted = branches.observe_branch(src.soa().pc()[idx], info);
                 if dep_ready > e {
                     // The branch cannot issue until its condition is
                     // ready; a misprediction additionally means the front
@@ -256,6 +266,8 @@ pub(crate) fn run<T: TraceSource>(
     }
     let b = branches.stats();
     let v = values.stats();
+    // Recycle the drained scratch before the tracker is consumed.
+    let tracker_ring = std::mem::take(&mut tracker.ring);
     let report = tracker.into_report(
         insts,
         BranchStats {
@@ -268,6 +280,14 @@ pub(crate) fn run<T: TraceSource>(
             no_predict: v.no_predict - value_base.no_predict,
         },
     );
+    scratch::put(scratch::Scratch {
+        window: pool.window,
+        issue_buckets: pool.issue_buckets,
+        store_fwd: pool.store_fwd,
+        sb_releases: pool.sb_releases,
+        line_avail,
+        tracker_ring,
+    });
     crate::obs::flush_run(&report);
     hierarchy.flush_obs();
     report

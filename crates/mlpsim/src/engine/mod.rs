@@ -1,10 +1,10 @@
 mod inorder;
 mod ooo;
+mod scratch;
 
 use crate::config::{BranchMode, MlpsimConfig, ValueMode, WindowModel};
 use crate::report::{Inhibitor, InhibitorCounts, OffchipCounts, Report};
-use mlp_hash::FxHashMap;
-use mlp_isa::{Inst, TraceSource};
+use mlp_isa::{InstSource, SharedSoaSource, StreamingSoaSource, TraceSoA, TraceSource};
 use mlp_predict::{
     BranchObserver, BranchPredictor, BranchStats, HybridValuePredictor, LastValuePredictor,
     PerfectBranchPredictor, PerfectValuePredictor, StridePredictor, ValueObserver, ValuePrediction,
@@ -25,10 +25,17 @@ pub(crate) enum MissKind {
 /// advanced past them.
 #[derive(Debug, Default)]
 pub(crate) struct EpochTracker {
-    open: FxHashMap<u64, EpochAcc>,
-    /// Reused key scratch for `close_before`, so the per-epoch close does
-    /// not allocate.
-    scratch: Vec<u64>,
+    /// Open-epoch accumulators in a power-of-two ring indexed by
+    /// `epoch & (ring.len() - 1)`. Epochs advance monotonically and
+    /// accumulators are only touched at `t >= closed`, so each live epoch
+    /// owns its slot exclusively; every slot outside `[closed, high)` is
+    /// in the default (drained) state. Closing an epoch is a take-and-
+    /// finalize of one slot — no map iteration on the per-epoch path.
+    ring: Vec<EpochAcc>,
+    /// First epoch not yet finalized (ring base).
+    closed: u64,
+    /// One past the highest epoch ever touched.
+    high: u64,
     pub(crate) measuring: bool,
     epochs: u64,
     offchip: OffchipCounts,
@@ -49,8 +56,8 @@ pub(crate) struct EpochTracker {
     epoch_len: mlp_obs::LocalHist,
 }
 
-#[derive(Debug, Default)]
-struct EpochAcc {
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct EpochAcc {
     misses: u32,
     store_fills: u32,
     insts: u64,
@@ -59,17 +66,69 @@ struct EpochAcc {
     policy: Option<Inhibitor>,
 }
 
+impl EpochAcc {
+    /// Whether the accumulator is in the default (drained) state.
+    fn is_clear(&self) -> bool {
+        self.misses == 0
+            && self.store_fills == 0
+            && self.insts == 0
+            && !self.trigger_imiss
+            && self.first_block.is_none()
+            && self.policy.is_none()
+    }
+}
+
 /// Histogram buckets for misses-per-epoch (last bucket saturates).
 const HIST_BUCKETS: usize = 65;
 
+/// Initial open-epoch ring capacity (slots; grown on demand).
+const RING_MIN: usize = 256;
+
 impl EpochTracker {
+    #[cfg(test)]
     pub(crate) fn new() -> EpochTracker {
+        EpochTracker::with_scratch(Vec::new())
+    }
+
+    /// Like `EpochTracker::default` but reusing a pooled (drained) ring,
+    /// so sweep points don't re-grow the open-epoch buffer.
+    pub(crate) fn with_scratch(mut ring: Vec<EpochAcc>) -> EpochTracker {
+        debug_assert!(ring.iter().all(EpochAcc::is_clear));
+        if ring.len() < RING_MIN {
+            ring.resize(RING_MIN, EpochAcc::default());
+        }
         EpochTracker {
-            open: mlp_hash::map_with_capacity(64),
+            ring,
             histogram: vec![0; HIST_BUCKETS],
             obs_armed: mlp_obs::counters_on(),
             ..EpochTracker::default()
         }
+    }
+
+    /// Mutable accumulator slot for epoch `t` (`t >= closed`), growing the
+    /// ring when `t` lies beyond the current window.
+    #[inline]
+    fn slot(&mut self, t: u64) -> &mut EpochAcc {
+        debug_assert!(t >= self.closed, "epoch {t} already finalized");
+        if t - self.closed >= self.ring.len() as u64 {
+            self.grow(t);
+        }
+        self.high = self.high.max(t + 1);
+        let mask = self.ring.len() as u64 - 1;
+        &mut self.ring[(t & mask) as usize]
+    }
+
+    #[cold]
+    fn grow(&mut self, t: u64) {
+        let span = (t - self.closed + 1) as usize;
+        let new_cap = span.max(self.ring.len() * 2).next_power_of_two();
+        let mut ring = vec![EpochAcc::default(); new_cap];
+        let old_mask = self.ring.len() as u64 - 1;
+        let new_mask = new_cap as u64 - 1;
+        for u in self.closed..self.high {
+            ring[(u & new_mask) as usize] = self.ring[(u & old_mask) as usize];
+        }
+        self.ring = ring;
     }
 
     /// Counts one measured instruction toward the current epoch's length.
@@ -97,7 +156,8 @@ impl EpochTracker {
             return;
         }
         if self.cur_epoch_insts > 0 {
-            self.open.entry(self.cur_epoch).or_default().insts += self.cur_epoch_insts;
+            let insts = self.cur_epoch_insts;
+            self.slot(self.cur_epoch).insts += insts;
             self.cur_epoch_insts = 0;
         }
         self.cur_epoch = e;
@@ -108,7 +168,7 @@ impl EpochTracker {
         if !self.measuring {
             return;
         }
-        let acc = self.open.entry(t).or_default();
+        let acc = self.slot(t);
         if acc.misses == 0 && kind == MissKind::Imiss {
             acc.trigger_imiss = true;
         }
@@ -125,13 +185,16 @@ impl EpochTracker {
         if !self.measuring {
             return;
         }
-        self.open.entry(t).or_default().store_fills += 1;
+        self.slot(t).store_fills += 1;
         self.store_fills += 1;
     }
 
     /// Whether epoch `t` already contains at least one access.
+    #[inline]
     pub(crate) fn has_miss(&self, t: u64) -> bool {
-        self.open.get(&t).map(|a| a.misses > 0).unwrap_or(false)
+        t >= self.closed
+            && t - self.closed < self.ring.len() as u64
+            && self.ring[(t & (self.ring.len() as u64 - 1)) as usize].misses > 0
     }
 
     /// Notes the first fetch-blocking condition of epoch `t`.
@@ -139,8 +202,7 @@ impl EpochTracker {
         if !self.measuring {
             return;
         }
-        let acc = self.open.entry(t).or_default();
-        acc.first_block.get_or_insert(reason);
+        self.slot(t).first_block.get_or_insert(reason);
     }
 
     /// Notes that a would-miss load was deferred in epoch `t` purely by an
@@ -150,33 +212,27 @@ impl EpochTracker {
         if !self.measuring {
             return;
         }
-        let acc = self.open.entry(t).or_default();
-        acc.policy.get_or_insert(reason);
+        self.slot(t).policy.get_or_insert(reason);
     }
 
     /// Finalizes every epoch strictly before `e`.
     pub(crate) fn close_before(&mut self, e: u64) {
         self.roll_insts(e);
-        if self.open.is_empty() {
-            return;
-        }
-        let mut done = std::mem::take(&mut self.scratch);
-        done.clear();
-        done.extend(self.open.keys().copied().filter(|&t| t < e));
-        for &t in &done {
-            let acc = self.open.remove(&t).expect("key just listed");
+        let mask = self.ring.len() as u64 - 1;
+        for t in self.closed..e.min(self.high) {
+            let acc = std::mem::take(&mut self.ring[(t & mask) as usize]);
             self.finalize(acc);
         }
-        self.scratch = done;
+        if e > self.closed {
+            self.closed = e;
+            self.high = self.high.max(e);
+        }
     }
 
     /// Finalizes everything (end of run).
     pub(crate) fn close_all(&mut self) {
         self.roll_insts(self.cur_epoch + 1);
-        let accs: Vec<EpochAcc> = self.open.drain().map(|(_, a)| a).collect();
-        for acc in accs {
-            self.finalize(acc);
-        }
+        self.close_before(self.high);
     }
 
     fn finalize(&mut self, acc: EpochAcc) {
@@ -244,11 +300,12 @@ impl Branches {
         }
     }
 
-    /// Returns whether the front end mispredicts this branch.
-    pub(crate) fn observe(&mut self, inst: &Inst) -> bool {
+    /// Returns whether the front end mispredicts this branch, given its
+    /// already-decoded parts (straight off the trace columns).
+    pub(crate) fn observe_branch(&mut self, pc: u64, info: mlp_isa::BranchInfo) -> bool {
         match self {
-            Branches::Real(p) => p.observe(inst),
-            Branches::Perfect(p) => p.observe(inst),
+            Branches::Real(p) => p.observe_branch(pc, info),
+            Branches::Perfect(p) => p.observe_branch(pc, info),
         }
     }
 
@@ -345,12 +402,35 @@ impl Simulator {
     /// Runs the epoch model over `trace`: `warmup` instructions train the
     /// caches and predictors without counting, then up to `measure`
     /// instructions are measured (the run also ends at end-of-trace).
+    ///
+    /// The stream is decoded into a per-run column buffer and then runs
+    /// through exactly the same kernel as [`Simulator::run_shared`];
+    /// callers that replay one trace many times should materialize it
+    /// once (e.g. through `mlp_workloads::TraceStore`) and use the shared
+    /// entry point instead.
     pub fn run<T: TraceSource>(&mut self, trace: &mut T, warmup: u64, measure: u64) -> Report {
+        let mut src = StreamingSoaSource::new(trace);
+        self.run_source(&mut src, warmup, measure)
+    }
+
+    /// Runs the epoch model over a pre-materialized column trace (the
+    /// first `len` instructions of `soa`), without copying or decoding
+    /// anything per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > soa.len()`.
+    pub fn run_shared(&mut self, soa: &TraceSoA, len: usize, warmup: u64, measure: u64) -> Report {
+        let mut src = SharedSoaSource::new(soa, len);
+        self.run_source(&mut src, warmup, measure)
+    }
+
+    fn run_source<S: InstSource>(&mut self, src: &mut S, warmup: u64, measure: u64) -> Report {
         match self.config.window {
             WindowModel::InOrder(policy) => {
-                inorder::run(&self.config, policy, trace, warmup, measure)
+                inorder::run(&self.config, policy, src, warmup, measure)
             }
-            _ => ooo::run(&self.config, trace, warmup, measure),
+            _ => ooo::run(&self.config, src, warmup, measure),
         }
     }
 }

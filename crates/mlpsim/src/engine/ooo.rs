@@ -14,12 +14,22 @@
 //! unresolvable mispredicted branch. The epoch counter then advances,
 //! head-of-window instructions retire, deferred instructions issue, and
 //! fetch resumes.
+//!
+//! The engine runs over an [`InstSource`]'s columns: per instruction it
+//! reads only the narrow fields it needs (class code, pre-filtered
+//! dependence registers, effective address), dispatches on the dense
+//! class code, and tracks register availability in a flat 66-slot file
+//! indexed directly by the sentinel-encoded dependence columns — no
+//! `Option` unwrapping or zero-register tests in the hot loop.
 
-use super::{Branches, EpochTracker, MissKind, Values};
+use super::{scratch, Branches, EpochTracker, MissKind, Values};
 use crate::config::{MlpsimConfig, WindowModel};
 use crate::report::{Inhibitor, Report};
 use mlp_hash::FxHashMap;
-use mlp_isa::{line_of, Inst, OpKind, Reg, TraceSource};
+use mlp_isa::{
+    line_of, InstSource, AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC, CLASS_LOAD, CLASS_MEMBAR, CLASS_NOP,
+    CLASS_PREFETCH, CLASS_STORE, REG_NONE,
+};
 use mlp_mem::Hierarchy;
 use mlp_obs::{IntervalSampler, Value};
 use mlp_predict::{BranchStats, ValuePrediction, ValueStats};
@@ -28,13 +38,8 @@ use std::collections::VecDeque;
 /// Prune the in-flight line / store-forwarding maps beyond this size.
 const PRUNE_LIMIT: usize = 8192;
 
-/// Cap on speculative pre-sizing of per-run containers, so configurations
-/// with huge (or effectively infinite) windows do not reserve absurd
-/// amounts up front.
-const PRESIZE_LIMIT: usize = 16_384;
-
-struct Engine<'a, T> {
-    trace: &'a mut T,
+struct Engine<'a, S> {
+    src: &'a mut S,
     // effective parameters
     iw: usize,
     rob: usize,
@@ -54,8 +59,11 @@ struct Engine<'a, T> {
     window: VecDeque<u64>, // completion epochs, fetch order
     max_complete: u64,
     deferred: usize,
-    issue_buckets: FxHashMap<u64, usize>,
-    avail: [u64; Reg::COUNT],
+    /// Deferred-issue counts in a power-of-two ring indexed by
+    /// `epoch & (len - 1)`. Non-zero slots live only at epochs in
+    /// `(e, e + len]`, so each slot maps to a unique pending epoch.
+    issue_buckets: Vec<u32>,
+    avail: [u64; AVAIL_SLOTS],
     line_avail: FxHashMap<u64, u64>,
     store_fwd: FxHashMap<u64, u64>,
     last_mem_exec: u64,
@@ -66,23 +74,22 @@ struct Engine<'a, T> {
     sb_occupancy: usize,
     sb_releases: FxHashMap<u64, usize>,
     fetch_block: Option<(u64, Inhibitor)>,
-    // fetch lookahead
-    lookahead: VecDeque<Inst>,
+    // fetch position
+    next: usize,
     iclassified: usize,
     // run control
     consumed: u64,
     limit: u64,
     warmup: u64,
     insts: u64,
-    trace_done: bool,
     branch_base: BranchStats,
     value_base: ValueStats,
     sampler: Option<IntervalSampler>,
 }
 
-pub(crate) fn run<T: TraceSource>(
+pub(crate) fn run<S: InstSource>(
     cfg: &MlpsimConfig,
-    trace: &mut T,
+    src: &mut S,
     warmup: u64,
     measure: u64,
 ) -> Report {
@@ -95,8 +102,9 @@ pub(crate) fn run<T: TraceSource>(
         WindowModel::Runahead { max_dist } => (max_dist, max_dist, 32, false),
         WindowModel::InOrder(_) => unreachable!("in-order runs use the in-order engine"),
     };
+    let pool = scratch::take();
     let mut engine = Engine {
-        trace,
+        src,
         iw,
         rob,
         fetch_buffer,
@@ -108,30 +116,35 @@ pub(crate) fn run<T: TraceSource>(
         hierarchy: Hierarchy::new(cfg.hierarchy),
         branches: Branches::new(cfg.branch),
         values: Values::new(cfg.value),
-        tracker: EpochTracker::new(),
+        tracker: EpochTracker::with_scratch(pool.tracker_ring),
         e: 0,
-        window: VecDeque::with_capacity(rob.min(PRESIZE_LIMIT)),
+        window: pool.window,
         max_complete: 0,
         deferred: 0,
-        issue_buckets: mlp_hash::map_with_capacity(64),
-        avail: [0; Reg::COUNT],
-        line_avail: mlp_hash::map_with_capacity(1024),
-        store_fwd: mlp_hash::map_with_capacity(1024),
+        issue_buckets: {
+            let mut b = pool.issue_buckets;
+            if b.len() < 256 {
+                b.resize(256, 0);
+            }
+            b
+        },
+        avail: [0; AVAIL_SLOTS],
+        line_avail: pool.line_avail,
+        store_fwd: pool.store_fwd,
         last_mem_exec: 0,
         last_mem_cause: Inhibitor::MissingLoad,
         store_addr_frontier: 0,
         last_branch_exec: 0,
         store_buffer: cfg.store_buffer,
         sb_occupancy: 0,
-        sb_releases: mlp_hash::map_with_capacity(64),
+        sb_releases: pool.sb_releases,
         fetch_block: None,
-        lookahead: VecDeque::with_capacity(fetch_buffer.min(PRESIZE_LIMIT) + 1),
+        next: 0,
         iclassified: 0,
         consumed: 0,
         limit: warmup.saturating_add(measure),
         warmup,
         insts: 0,
-        trace_done: false,
         branch_base: BranchStats::default(),
         value_base: ValueStats::default(),
         sampler: IntervalSampler::armed("mlpsim.sample"),
@@ -139,10 +152,27 @@ pub(crate) fn run<T: TraceSource>(
     if warmup == 0 {
         engine.tracker.measuring = true;
     }
-    engine.run_loop()
+    let report = engine.run_loop();
+    scratch::put(scratch::Scratch {
+        window: std::mem::take(&mut engine.window),
+        issue_buckets: std::mem::take(&mut engine.issue_buckets),
+        line_avail: std::mem::take(&mut engine.line_avail),
+        store_fwd: std::mem::take(&mut engine.store_fwd),
+        sb_releases: std::mem::take(&mut engine.sb_releases),
+        tracker_ring: std::mem::take(&mut engine.tracker.ring),
+    });
+    report
 }
 
-impl<T: TraceSource> Engine<'_, T> {
+impl<S: InstSource> Engine<'_, S> {
+    /// Makes the next `k` unfetched instructions available; `false` when
+    /// the trace ends first.
+    #[inline]
+    fn have(&mut self, k: usize) -> bool {
+        let want = self.next + k;
+        self.src.available() >= want || self.src.ensure(want) >= want
+    }
+
     fn run_loop(&mut self) -> Report {
         loop {
             self.fetch_at_epoch();
@@ -165,7 +195,11 @@ impl<T: TraceSource> Engine<'_, T> {
                 );
             }
         }
-        let tracker = std::mem::take(&mut self.tracker);
+        let mut tracker = std::mem::take(&mut self.tracker);
+        // The accumulator ring is drained by `close_all`; park it back on
+        // `self` so `run` can pool it after the tracker is consumed into
+        // the report.
+        self.tracker.ring = std::mem::take(&mut tracker.ring);
         let b = self.branches.stats();
         let v = self.values.stats();
         let report = tracker.into_report(
@@ -186,16 +220,18 @@ impl<T: TraceSource> Engine<'_, T> {
     }
 
     fn out_of_input(&mut self) -> bool {
-        self.consumed >= self.limit || (self.lookahead.is_empty() && !self.fill_lookahead(1))
+        self.consumed >= self.limit || !self.have(1)
     }
 
     fn advance(&mut self) {
         self.e += 1;
-        if let Some(n) = self.issue_buckets.remove(&self.e) {
-            self.deferred -= n;
-        }
-        if let Some(n) = self.sb_releases.remove(&self.e) {
-            self.sb_occupancy -= n;
+        let mask = self.issue_buckets.len() as u64 - 1;
+        let n = std::mem::take(&mut self.issue_buckets[(self.e & mask) as usize]);
+        self.deferred -= n as usize;
+        if !self.sb_releases.is_empty() {
+            if let Some(n) = self.sb_releases.remove(&self.e) {
+                self.sb_occupancy -= n;
+            }
         }
         self.tracker.close_before(self.e);
         if self.sampler.as_ref().is_some_and(|s| s.due(self.insts)) {
@@ -231,19 +267,6 @@ impl<T: TraceSource> Engine<'_, T> {
         }
     }
 
-    fn fill_lookahead(&mut self, upto: usize) -> bool {
-        while self.lookahead.len() < upto {
-            match self.trace.next_inst() {
-                Some(i) => self.lookahead.push_back(i),
-                None => {
-                    self.trace_done = true;
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
     fn fetch_at_epoch(&mut self) {
         loop {
             self.retire();
@@ -256,12 +279,12 @@ impl<T: TraceSource> Engine<'_, T> {
             if self.consumed >= self.limit {
                 return;
             }
-            if self.lookahead.is_empty() && !self.fill_lookahead(1) {
+            if !self.have(1) {
                 return;
             }
             // Instruction-fetch classification of the next instruction.
             if !self.perfect_ifetch && self.iclassified == 0 {
-                let pc = self.lookahead[0].pc;
+                let pc = self.src.soa().pc()[self.next];
                 let acc = self.hierarchy.ifetch(pc);
                 self.iclassified = 1;
                 if acc.is_off_chip() {
@@ -285,7 +308,8 @@ impl<T: TraceSource> Engine<'_, T> {
                 self.probe_ahead();
                 return;
             }
-            let inst = self.lookahead.pop_front().expect("front checked above");
+            let idx = self.next;
+            self.next += 1;
             self.iclassified = self.iclassified.saturating_sub(1);
             self.consumed += 1;
             if self.consumed == self.warmup + 1 && !self.tracker.measuring {
@@ -295,7 +319,7 @@ impl<T: TraceSource> Engine<'_, T> {
                 self.insts += 1;
                 self.tracker.note_inst();
             }
-            self.admit(&inst);
+            self.admit(idx);
             if self.fetch_block.is_some() {
                 return;
             }
@@ -317,10 +341,10 @@ impl<T: TraceSource> Engine<'_, T> {
             return;
         }
         while self.iclassified < self.fetch_buffer {
-            if !self.fill_lookahead(self.iclassified + 1) {
+            if !self.have(self.iclassified + 1) {
                 return;
             }
-            let pc = self.lookahead[self.iclassified].pc;
+            let pc = self.src.soa().pc()[self.next + self.iclassified];
             let acc = self.hierarchy.ifetch(pc);
             self.iclassified += 1;
             if acc.is_off_chip() {
@@ -330,12 +354,24 @@ impl<T: TraceSource> Engine<'_, T> {
         }
     }
 
-    fn data_epoch(&self, inst: &Inst) -> u64 {
-        let mut t = self.e;
-        for r in inst.dep_srcs() {
-            t = t.max(self.avail[r.index()]);
-        }
-        t
+    /// Data-readiness epoch: three unconditional reads of the
+    /// availability file (sentinel slot [`mlp_isa::DEP_READ_NONE`] is
+    /// pinned at 0, so absent dependences never bind).
+    #[inline]
+    fn data_epoch(&self, idx: usize) -> u64 {
+        let [a, b, c] = self.src.soa().dep_srcs()[idx];
+        self.e
+            .max(self.avail[a as usize])
+            .max(self.avail[b as usize])
+            .max(self.avail[c as usize])
+    }
+
+    /// Publishes the result epoch: one unconditional write (instructions
+    /// without a register result target the
+    /// [`mlp_isa::DEP_WRITE_NONE`] trash slot).
+    #[inline]
+    fn set_avail(&mut self, idx: usize, epoch: u64) {
+        self.avail[self.src.soa().dep_dst()[idx] as usize] = epoch;
     }
 
     fn push_entry(&mut self, exec: u64, complete: u64) {
@@ -343,42 +379,54 @@ impl<T: TraceSource> Engine<'_, T> {
         self.max_complete = self.max_complete.max(complete);
         if exec > self.e {
             self.deferred += 1;
-            *self.issue_buckets.entry(exec).or_insert(0) += 1;
-        }
-    }
-
-    fn set_avail(&mut self, dst: Option<Reg>, epoch: u64) {
-        if let Some(r) = dst {
-            if !r.is_zero() {
-                self.avail[r.index()] = epoch;
+            if exec - self.e > self.issue_buckets.len() as u64 {
+                self.grow_buckets(exec);
             }
+            let mask = self.issue_buckets.len() as u64 - 1;
+            self.issue_buckets[(exec & mask) as usize] += 1;
         }
     }
 
-    fn admit(&mut self, inst: &Inst) {
-        let data = self.data_epoch(inst);
-        match inst.kind {
-            OpKind::Alu | OpKind::Nop => {
-                self.set_avail(inst.dst, data);
+    /// Re-homes pending issue buckets into a ring large enough to index
+    /// epoch `exec` (slots cover `(e, e + len]`).
+    #[cold]
+    fn grow_buckets(&mut self, exec: u64) {
+        let old = &self.issue_buckets;
+        let need = (exec - self.e) as usize;
+        let new_cap = need.max(old.len() * 2).next_power_of_two();
+        let mut ring = vec![0u32; new_cap];
+        let old_mask = old.len() as u64 - 1;
+        let new_mask = new_cap as u64 - 1;
+        for t in self.e + 1..=self.e + old.len() as u64 {
+            ring[(t & new_mask) as usize] = old[(t & old_mask) as usize];
+        }
+        self.issue_buckets = ring;
+    }
+
+    fn admit(&mut self, idx: usize) {
+        let data = self.data_epoch(idx);
+        match self.src.soa().class()[idx] {
+            CLASS_ALU | CLASS_NOP => {
+                self.set_avail(idx, data);
                 self.push_entry(data, data);
             }
-            OpKind::Load => self.admit_load(inst, data, false),
-            OpKind::Atomic => {
+            CLASS_LOAD => self.admit_load(idx, data, false),
+            CLASS_ATOMIC => {
                 if self.serializing {
                     // Pipeline drain: every older instruction must commit
                     // before the atomic issues, and nothing younger is
                     // fetched until it does.
                     let exec = data.max(self.max_complete);
-                    self.admit_load_at(inst, exec, true);
+                    self.admit_load_policy(idx, exec, exec, None, true);
                     if exec > self.e {
                         self.tracker.note_block(self.e, Inhibitor::Serialize);
                         self.fetch_block = Some((exec, Inhibitor::Serialize));
                     }
                 } else {
-                    self.admit_load(inst, data, true);
+                    self.admit_load(idx, data, true);
                 }
             }
-            OpKind::Membar => {
+            CLASS_MEMBAR => {
                 if self.serializing {
                     let exec = data.max(self.max_complete);
                     self.push_entry(exec, exec);
@@ -390,24 +438,25 @@ impl<T: TraceSource> Engine<'_, T> {
                     self.push_entry(data, data);
                 }
             }
-            OpKind::Store => self.admit_store(inst, data),
-            OpKind::Prefetch => {
+            CLASS_STORE => self.admit_store(idx, data),
+            CLASS_PREFETCH => {
                 let exec = data;
-                if let Some(m) = inst.mem {
-                    let line = line_of(m.addr);
+                if self.src.soa().has_mem(idx) {
+                    let addr = self.src.soa().addr()[idx];
+                    let line = line_of(addr);
                     let in_flight = self.line_avail.get(&line).copied().unwrap_or(0) > exec;
-                    if !in_flight && self.hierarchy.prefetch(m.addr).is_off_chip() {
+                    if !in_flight && self.hierarchy.prefetch(addr).is_off_chip() {
                         self.tracker.record_miss(exec, MissKind::Pmiss);
                         self.line_avail.insert(line, exec + 1);
                     }
                 }
                 self.push_entry(exec, exec);
             }
-            OpKind::Branch(_) => self.admit_branch(inst, data),
+            _ => self.admit_branch(idx, data), // the four branch classes
         }
     }
 
-    fn admit_load(&mut self, inst: &Inst, data: u64, also_store: bool) {
+    fn admit_load(&mut self, idx: usize, data: u64, also_store: bool) {
         // Issue-policy edges (Table 2).
         let mut exec = data;
         let mut policy_cause = None;
@@ -419,34 +468,31 @@ impl<T: TraceSource> Engine<'_, T> {
             exec = self.store_addr_frontier;
             policy_cause = Some(Inhibitor::DepStore);
         }
-        self.admit_load_policy(inst, exec, data, policy_cause, also_store);
-    }
-
-    fn admit_load_at(&mut self, inst: &Inst, exec: u64, also_store: bool) {
-        self.admit_load_policy(inst, exec, exec, None, also_store);
+        self.admit_load_policy(idx, exec, data, policy_cause, also_store);
     }
 
     fn admit_load_policy(
         &mut self,
-        inst: &Inst,
+        idx: usize,
         exec: u64,
         data: u64,
         policy_cause: Option<Inhibitor>,
         also_store: bool,
     ) {
-        let m = inst.mem.expect("loads carry a memory access");
-        let line = line_of(m.addr);
-        let fwd = self.store_fwd.get(&(m.addr & !7)).copied();
+        debug_assert!(self.src.soa().has_mem(idx), "loads carry a memory access");
+        let addr = self.src.soa().addr()[idx];
+        let line = line_of(addr);
+        let fwd = self.store_fwd.get(&(addr & !7)).copied();
         let (ready, missed) = if let Some(ef) = fwd {
             (exec.max(ef), false)
         } else if let Some(&av) = self.line_avail.get(&line) {
             if av > exec {
                 (av, false) // merge with the in-flight line transfer
             } else {
-                let _ = self.hierarchy.load(m.addr); // resident: on-chip hit
+                let _ = self.hierarchy.load(addr); // resident: on-chip hit
                 (exec, false)
             }
-        } else if self.hierarchy.load(m.addr).is_off_chip() {
+        } else if self.hierarchy.load(addr).is_off_chip() {
             self.tracker.record_miss(exec, MissKind::Dmiss);
             self.line_avail.insert(line, exec + 1);
             // A policy-deferred miss whose data inputs were ready is lost
@@ -457,8 +503,10 @@ impl<T: TraceSource> Engine<'_, T> {
                     self.tracker.note_policy(self.e, cause);
                 }
             }
+            let pc = self.src.soa().pc()[idx];
+            let value = self.src.soa().value()[idx];
             let predicted = matches!(
-                self.values.observe(inst.pc, inst.value),
+                self.values.observe(pc, value),
                 Some(ValuePrediction::Correct)
             );
             (if predicted { exec } else { exec + 1 }, true)
@@ -466,9 +514,9 @@ impl<T: TraceSource> Engine<'_, T> {
             (exec, false)
         };
         let complete = if missed { exec + 1 } else { ready.max(exec) };
-        self.set_avail(inst.dst, ready);
+        self.set_avail(idx, ready);
         if also_store {
-            self.store_fwd.insert(m.addr & !7, complete);
+            self.store_fwd.insert(addr & !7, complete);
         }
         if self.loads_in_order {
             self.last_mem_exec = self.last_mem_exec.max(exec);
@@ -481,17 +529,18 @@ impl<T: TraceSource> Engine<'_, T> {
         self.push_entry(exec, complete);
     }
 
-    fn admit_store(&mut self, inst: &Inst, data: u64) {
+    fn admit_store(&mut self, idx: usize, data: u64) {
         let mut exec = data;
         if self.loads_in_order && self.last_mem_exec > exec {
             exec = self.last_mem_exec;
         }
-        let m = inst.mem.expect("stores carry a memory access");
+        debug_assert!(self.src.soa().has_mem(idx), "stores carry a memory access");
+        let addr = self.src.soa().addr()[idx];
         // Write-allocate install; store misses are absorbed by the store
         // buffer and are not useful off-chip accesses (paper §2.1). With
         // a finite buffer (the paper's future-work store-MLP study) each
         // off-chip fill occupies an entry until it returns.
-        if self.hierarchy.store(m.addr).is_off_chip() {
+        if self.hierarchy.store(addr).is_off_chip() {
             self.tracker.record_store_fill(exec);
             if self.store_buffer.is_some() {
                 self.sb_occupancy += 1;
@@ -511,13 +560,16 @@ impl<T: TraceSource> Engine<'_, T> {
                 self.fetch_block = Some((release, Inhibitor::StoreBuffer));
             }
         }
-        self.store_fwd.insert(m.addr & !7, exec);
+        self.store_fwd.insert(addr & !7, exec);
         if self.wait_store_addr {
-            let addr_ready = inst.srcs[0]
-                .filter(|r| !r.is_zero())
-                .map(|r| self.avail[r.index()])
-                .unwrap_or(self.e)
-                .max(self.e);
+            // The address register is slot 0 of the *raw* source columns
+            // (dependence columns are compacted and lose slot positions).
+            let r = self.src.soa().srcs_raw()[idx][0];
+            let addr_ready = if r == REG_NONE || r == 0 {
+                self.e
+            } else {
+                self.avail[r as usize].max(self.e)
+            };
             self.store_addr_frontier = self.store_addr_frontier.max(addr_ready);
         }
         if self.loads_in_order {
@@ -529,13 +581,18 @@ impl<T: TraceSource> Engine<'_, T> {
         self.push_entry(exec, exec);
     }
 
-    fn admit_branch(&mut self, inst: &Inst, data: u64) {
+    fn admit_branch(&mut self, idx: usize, data: u64) {
         let mut exec = data;
         if self.branches_in_order {
             exec = exec.max(self.last_branch_exec);
         }
         self.last_branch_exec = exec;
-        let mispredicted = self.branches.observe(inst);
+        let info = self
+            .src
+            .soa()
+            .branch_info(idx)
+            .expect("branch classes carry branch info");
+        let mispredicted = self.branches.observe_branch(self.src.soa().pc()[idx], info);
         if mispredicted && exec > self.e {
             // Unresolvable misprediction: the processor runs down the
             // wrong path until the branch resolves.

@@ -1,4 +1,4 @@
-use mlp_isa::{BranchKind, Inst};
+use mlp_isa::{BranchInfo, BranchKind, Inst};
 
 /// Geometry of the branch prediction stack.
 ///
@@ -53,10 +53,21 @@ impl BranchStats {
 /// [`BranchPredictor`] and by [`PerfectBranchPredictor`] for the limit
 /// study.
 pub trait BranchObserver {
+    /// Observes a dynamic branch given its already-decoded parts:
+    /// returns `true` if the front end *mispredicts* it, training
+    /// internal state as a side effect. This is the primary entry point
+    /// — column-oriented engines call it straight off their trace
+    /// columns without reconstructing a row-level [`Inst`].
+    fn observe_branch(&mut self, pc: u64, info: BranchInfo) -> bool;
+
     /// Observes the dynamic branch `inst` (which must carry
-    /// [`Inst::branch`] info): returns `true` if the front end
-    /// *mispredicts* it, training internal state as a side effect.
-    fn observe(&mut self, inst: &Inst) -> bool;
+    /// [`Inst::branch`] info), via [`BranchObserver::observe_branch`].
+    fn observe(&mut self, inst: &Inst) -> bool {
+        let info = inst
+            .branch
+            .expect("observe() requires a branch instruction");
+        self.observe_branch(inst.pc, info)
+    }
 
     /// Accumulated statistics.
     fn stats(&self) -> BranchStats;
@@ -156,28 +167,25 @@ impl BranchPredictor {
 }
 
 impl BranchObserver for BranchPredictor {
-    fn observe(&mut self, inst: &Inst) -> bool {
-        let info = inst
-            .branch
-            .expect("observe() requires a branch instruction");
+    fn observe_branch(&mut self, pc: u64, info: BranchInfo) -> bool {
         self.stats.branches += 1;
         let mispredicted = match info.kind {
             BranchKind::Conditional => {
-                let pred_taken = self.predict_direction(inst.pc);
-                let pred_target = self.btb_lookup(inst.pc);
-                self.train_direction(inst.pc, info.taken);
+                let pred_taken = self.predict_direction(pc);
+                let pred_target = self.btb_lookup(pc);
+                self.train_direction(pc, info.taken);
                 if info.taken {
-                    self.btb_update(inst.pc, info.target);
+                    self.btb_update(pc, info.target);
                 }
                 pred_taken != info.taken || (info.taken && pred_target != Some(info.target))
             }
             BranchKind::Call => {
-                let pred_target = self.btb_lookup(inst.pc);
-                self.btb_update(inst.pc, info.target);
+                let pred_target = self.btb_lookup(pc);
+                self.btb_update(pc, info.target);
                 if self.ras.len() == self.config.ras_entries {
                     self.ras.remove(0);
                 }
-                self.ras.push(inst.pc.wrapping_add(4));
+                self.ras.push(pc.wrapping_add(4));
                 pred_target != Some(info.target)
             }
             BranchKind::Return => {
@@ -185,8 +193,8 @@ impl BranchObserver for BranchPredictor {
                 pred_target != Some(info.target)
             }
             BranchKind::Indirect => {
-                let pred_target = self.btb_lookup(inst.pc);
-                self.btb_update(inst.pc, info.target);
+                let pred_target = self.btb_lookup(pc);
+                self.btb_update(pc, info.target);
                 pred_target != Some(info.target)
             }
         };
@@ -216,8 +224,7 @@ impl PerfectBranchPredictor {
 }
 
 impl BranchObserver for PerfectBranchPredictor {
-    fn observe(&mut self, inst: &Inst) -> bool {
-        debug_assert!(inst.branch.is_some(), "observe() requires a branch");
+    fn observe_branch(&mut self, _pc: u64, _info: BranchInfo) -> bool {
         self.stats.branches += 1;
         false
     }

@@ -3,36 +3,59 @@
 //! Every sweep point of a figure/table simulates the same `(kind, seed)`
 //! workload, but streaming generation pays the full walker cost per run. A
 //! [`TraceStore`] materializes each requested `(kind, seed)` stream once
-//! into an immutable `Arc<[Inst]>` and hands out cheap replay
-//! [`TraceCursor`]s, so N sweep points share one generation pass. The store
-//! is sharded per trace: concurrent sweep workers materializing *different*
-//! traces never serialize on each other, and workers asking for the same
-//! trace block only while the first one generates it.
+//! into an immutable, column-oriented [`mlp_isa::TraceSoA`] snapshot and
+//! hands out cheap [`SharedTrace`] handles, so N sweep points share one
+//! generation pass *and* one decode into the structure-of-arrays layout the
+//! simulator kernels run over (including the pre-classified
+//! off-chip-candidate index — see [`mlp_isa::TraceSoA::candidates`]). The
+//! store is sharded per trace: concurrent sweep workers materializing
+//! *different* traces never serialize on each other, and workers asking for
+//! the same trace block only while the first one generates it.
 //!
-//! Prefixes are stable: the cached buffer is extended by continuing the same
-//! generator instance, so the first `n` cached instructions are always
-//! exactly the first `n` instructions of `Workload::with_config(cfg, seed)`
-//! no matter how the cache grew. A cursor for a request of length `n`
-//! replays exactly those `n` instructions, which keeps every simulator run a
-//! pure function of `(config, kind, seed, n)` — independent of cache state,
-//! thread count or request interleaving.
+//! Prefixes are stable: the cached columns are extended by continuing the
+//! same generator instance, and `TraceSoA` is push-only, so the first `n`
+//! cached instructions are always exactly the first `n` instructions of
+//! `Workload::with_config(cfg, seed)` no matter how the cache grew. A
+//! handle for a request of length `n` exposes exactly those `n`
+//! instructions, which keeps every simulator run a pure function of
+//! `(config, kind, seed, n)` — independent of cache state, thread count or
+//! request interleaving.
 
 use crate::{Workload, WorkloadKind};
-use mlp_isa::Inst;
+use mlp_isa::{Inst, TraceSoA};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// An immutable, shareable prefix of a workload's instruction stream.
+/// An immutable, shareable prefix of a workload's instruction stream,
+/// stored column-oriented.
 #[derive(Clone)]
 pub struct SharedTrace {
-    insts: Arc<[Inst]>,
+    soa: Arc<TraceSoA>,
     len: usize,
 }
 
 impl SharedTrace {
-    /// The materialized instructions.
-    pub fn as_slice(&self) -> &[Inst] {
-        &self.insts[..self.len]
+    /// The materialized columns. May hold more than [`SharedTrace::len`]
+    /// instructions if the cache has grown; only indices below `len()`
+    /// belong to this handle's window.
+    pub fn soa(&self) -> &TraceSoA {
+        &self.soa
+    }
+
+    /// Reconstructs instruction `i` of this window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Inst {
+        assert!(i < self.len, "index beyond trace window");
+        self.soa.get(i)
+    }
+
+    /// Reconstructs the whole window as a row-oriented vector (tests and
+    /// trace-file export; the simulators read the columns directly).
+    pub fn to_vec(&self) -> Vec<Inst> {
+        (0..self.len).map(|i| self.soa.get(i)).collect()
     }
 
     /// Number of instructions in this trace.
@@ -48,7 +71,7 @@ impl SharedTrace {
     /// A replay cursor positioned at the first instruction.
     pub fn cursor(&self) -> TraceCursor {
         TraceCursor {
-            insts: Arc::clone(&self.insts),
+            soa: Arc::clone(&self.soa),
             len: self.len,
             pos: 0,
         }
@@ -59,10 +82,13 @@ impl SharedTrace {
 ///
 /// Implements `Iterator<Item = Inst>` and therefore
 /// [`mlp_isa::TraceSource`]; cloning or re-creating cursors is O(1) and
-/// never re-generates the trace.
+/// never re-generates the trace. Each `next()` reconstructs one [`Inst`]
+/// from the columns — row-oriented consumers (trace analyzers, the
+/// runahead/SMT engines) pay the reconstruction, while the epoch and
+/// cycle kernels bypass cursors entirely and read the columns in place.
 #[derive(Clone)]
 pub struct TraceCursor {
-    insts: Arc<[Inst]>,
+    soa: Arc<TraceSoA>,
     len: usize,
     pos: usize,
 }
@@ -84,7 +110,7 @@ impl Iterator for TraceCursor {
 
     fn next(&mut self) -> Option<Inst> {
         if self.pos < self.len {
-            let i = self.insts[self.pos];
+            let i = self.soa.get(self.pos);
             self.pos += 1;
             Some(i)
         } else {
@@ -101,16 +127,16 @@ impl Iterator for TraceCursor {
 /// One cached trace: the paused generator plus everything it has emitted.
 struct Entry {
     generator: Workload,
-    buf: Vec<Inst>,
+    buf: TraceSoA,
     /// Immutable snapshot of `buf`, rebuilt lazily after growth.
-    shared: Option<Arc<[Inst]>>,
+    shared: Option<Arc<TraceSoA>>,
 }
 
 impl Entry {
     fn new(kind: WorkloadKind, seed: u64) -> Entry {
         Entry {
             generator: Workload::new(kind, seed),
-            buf: Vec::new(),
+            buf: TraceSoA::new(),
             shared: None,
         }
     }
@@ -118,15 +144,16 @@ impl Entry {
     fn trace_of_len(&mut self, len: usize) -> SharedTrace {
         if self.buf.len() < len {
             let need = len - self.buf.len();
-            self.buf.reserve(need);
-            self.buf.extend(self.generator.by_ref().take(need));
+            for inst in self.generator.by_ref().take(need) {
+                self.buf.push(&inst);
+            }
             self.shared = None;
         }
-        let insts = self
+        let soa = self
             .shared
-            .get_or_insert_with(|| Arc::from(self.buf.as_slice()));
+            .get_or_insert_with(|| Arc::new(self.buf.clone()));
         SharedTrace {
-            insts: Arc::clone(insts),
+            soa: Arc::clone(soa),
             len,
         }
     }
@@ -210,7 +237,7 @@ mod tests {
         let fresh: Vec<Inst> = Workload::new(WorkloadKind::Database, 42)
             .take(5_000)
             .collect();
-        assert_eq!(t.as_slice(), fresh.as_slice());
+        assert_eq!(t.to_vec(), fresh);
     }
 
     #[test]
@@ -218,11 +245,11 @@ mod tests {
         let store = TraceStore::new();
         let short = store.trace(WorkloadKind::SpecJbb2000, 7, 1_000);
         let long = store.trace(WorkloadKind::SpecJbb2000, 7, 4_000);
-        assert_eq!(&long.as_slice()[..1_000], short.as_slice());
+        assert_eq!(&long.to_vec()[..1_000], short.to_vec().as_slice());
         let fresh: Vec<Inst> = Workload::new(WorkloadKind::SpecJbb2000, 7)
             .take(4_000)
             .collect();
-        assert_eq!(long.as_slice(), fresh.as_slice());
+        assert_eq!(long.to_vec(), fresh);
         // The short handle still replays its original window.
         assert_eq!(short.cursor().count(), 1_000);
     }
@@ -249,8 +276,8 @@ mod tests {
         let a = store.trace(WorkloadKind::Database, 1, 500);
         let b = store.trace(WorkloadKind::Database, 2, 500);
         let c = store.trace(WorkloadKind::SpecWeb99, 1, 500);
-        assert_ne!(a.as_slice(), b.as_slice());
-        assert_ne!(a.as_slice(), c.as_slice());
+        assert_ne!(a.to_vec(), b.to_vec());
+        assert_ne!(a.to_vec(), c.to_vec());
         assert_eq!(store.cached_traces(), 3);
         assert_eq!(store.cached_insts(), 1_500);
     }
@@ -259,13 +286,35 @@ mod tests {
     fn clear_then_regenerate_is_identical() {
         let store = TraceStore::new();
         let a = store.trace(WorkloadKind::Database, 9, 1_000);
-        let before: Vec<Inst> = a.as_slice().to_vec();
+        let before: Vec<Inst> = a.to_vec();
         store.clear();
         assert_eq!(store.cached_traces(), 0);
         let b = store.trace(WorkloadKind::Database, 9, 1_000);
-        assert_eq!(b.as_slice(), before.as_slice());
+        assert_eq!(b.to_vec(), before);
         // The pre-clear handle remains readable.
-        assert_eq!(a.as_slice(), before.as_slice());
+        assert_eq!(a.to_vec(), before);
+    }
+
+    #[test]
+    fn candidate_index_matches_naive_scan() {
+        let store = TraceStore::new();
+        let t = store.trace(WorkloadKind::Database, 42, 3_000);
+        let naive: Vec<u32> = t
+            .to_vec()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.kind.reads_memory())
+            .map(|(i, _)| i as u32)
+            .collect();
+        // The shared SoA may extend past this window; compare the prefix.
+        let within: Vec<u32> = t
+            .soa()
+            .candidates()
+            .iter()
+            .copied()
+            .take_while(|&i| (i as usize) < t.len())
+            .collect();
+        assert_eq!(within, naive);
     }
 
     #[test]
@@ -277,7 +326,7 @@ mod tests {
             .take(10_000)
             .collect();
         for t in outputs {
-            assert_eq!(t.as_slice(), fresh.as_slice());
+            assert_eq!(t.to_vec(), fresh);
         }
     }
 

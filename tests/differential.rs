@@ -28,12 +28,12 @@
 //! Quick-scale simulator runs: release-only, like the golden suite.
 #![cfg(not(debug_assertions))]
 
-use mlp_cyclesim::CycleSimConfig;
-use mlp_experiments::runner::{run_cyclesim, run_mlpsim};
+use mlp_cyclesim::{CycleSim, CycleSimConfig};
+use mlp_experiments::runner::{run_cyclesim, run_mlpsim, shared_seeded, SEED};
 use mlp_experiments::RunScale;
 use mlp_obs::Mode;
 use mlp_workloads::WorkloadKind;
-use mlpsim::MlpsimConfig;
+use mlpsim::{MlpsimConfig, Simulator};
 use std::sync::Mutex;
 
 /// Maximum relative disagreement between the engines' useful off-chip
@@ -126,6 +126,48 @@ fn specjbb2000_engines_count_the_same_offchip_accesses() {
 #[test]
 fn specweb99_engines_count_the_same_offchip_accesses() {
     check_preset(WorkloadKind::SpecWeb99);
+}
+
+/// The same cross-validation driven over the structure-of-arrays path
+/// directly: both engines consume the *same* `TraceSoA` columns through
+/// their `run_shared` entry points (no per-run decode, no cursor copy),
+/// over identical warmup/measure windows. After the SoA rewrite the
+/// engines must still land at most **one** useful off-chip access apart
+/// per preset — the absolute bound measured before the rewrite (one in
+/// 1068 on SPECjbb2000, exact agreement elsewhere), pinned here so any
+/// column-classification or reconstruction bug shows up as a count
+/// divergence rather than a silent drift.
+#[test]
+fn soa_path_engines_land_within_one_offchip_access() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = shared_window();
+    for kind in WorkloadKind::ALL {
+        let shared = shared_seeded(kind, SEED, scale.warmup + scale.measure);
+        let m = Simulator::new(MlpsimConfig::default()).run_shared(
+            shared.soa(),
+            shared.len(),
+            scale.warmup,
+            scale.measure,
+        );
+        let c = CycleSim::new(CycleSimConfig::default().with_mem_latency(1000)).run_shared(
+            shared.soa(),
+            shared.len(),
+            scale.cycle_warmup,
+            scale.cycle_measure,
+        );
+        assert_eq!(
+            m.insts, c.insts,
+            "{kind:?}: both engines must retire the same shared window"
+        );
+        let (m_total, c_total) = (m.offchip.total(), c.offchip.total());
+        assert!(
+            m_total.abs_diff(c_total) <= 1,
+            "{kind:?}: SoA-path engines diverged beyond one useful off-chip \
+             access over the same {}-instruction window: mlpsim {m_total} vs \
+             cyclesim {c_total}",
+            m.insts,
+        );
+    }
 }
 
 /// With observability off, the same runs record nothing at all — the
