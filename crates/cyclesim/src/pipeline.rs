@@ -18,9 +18,10 @@
 use crate::{CycleReport, CycleSimConfig};
 use mlp_hash::FxHashMap;
 use mlp_isa::{
-    line_of, InstSource, SharedSoaSource, StreamingSoaSource, TraceSoA, TraceSource, ATTR_BRANCH,
-    ATTR_READS_MEM, ATTR_SERIALIZING, ATTR_WRITES_MEM, AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC,
-    CLASS_ATTRS, CLASS_LOAD, CLASS_MEMBAR, CLASS_NOP, CLASS_PREFETCH, CLASS_STORE,
+    line_of, ChunkedSoaSource, InstSource, SharedSoaSource, SoAChunks, StreamingSoaSource,
+    TraceSoA, TraceSource, ATTR_BRANCH, ATTR_READS_MEM, ATTR_SERIALIZING, ATTR_WRITES_MEM,
+    AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC, CLASS_ATTRS, CLASS_LOAD, CLASS_MEMBAR, CLASS_NOP,
+    CLASS_PREFETCH, CLASS_STORE,
 };
 use mlp_mem::{Access, Hierarchy, Mshr, MshrOutcome};
 use mlp_obs::{IntervalSampler, LocalHist, Value};
@@ -174,6 +175,20 @@ impl CycleSim {
         measure: u64,
     ) -> CycleReport {
         let mut src = SharedSoaSource::new(soa, len);
+        Machine::new(&self.config, &mut src, warmup, measure).run()
+    }
+
+    /// Runs the pipeline over a stream of column chunks, keeping only a
+    /// bounded window of the trace resident: each cycle the machine
+    /// releases everything older than the oldest instruction the front
+    /// end still needs (the ROB caches its fields at dispatch).
+    pub fn run_chunks<C: SoAChunks>(
+        &mut self,
+        chunks: C,
+        warmup: u64,
+        measure: u64,
+    ) -> CycleReport {
+        let mut src = ChunkedSoaSource::new(chunks);
         Machine::new(&self.config, &mut src, warmup, measure).run()
     }
 }
@@ -439,8 +454,25 @@ impl<'a, S: InstSource> Machine<'a, S> {
         self.src.available() < want && self.src.ensure(want) < want
     }
 
+    /// Column slot of absolute trace index `idx` (streaming sources
+    /// offset their columns by `base()`).
+    #[inline]
+    fn rel(&self, idx: usize) -> usize {
+        idx - self.src.base()
+    }
+
     /// Executes one cycle; returns whether any stage made progress.
     fn step(&mut self) -> bool {
+        // Everything older than the oldest instruction still awaiting
+        // dispatch is never re-read (the ROB caches its fields), so a
+        // streaming source may evict it.
+        let low_water = self
+            .fetch_queue
+            .front()
+            .map(|&(i, _)| i as usize)
+            .or_else(|| self.pending_fetch.map(|i| i as usize))
+            .unwrap_or(self.fetch_pos);
+        self.src.release(low_water);
         self.mshr.expire(self.now);
         self.drain_completions();
         let retired = self.retire();
@@ -868,8 +900,8 @@ impl<'a, S: InstSource> Machine<'a, S> {
             let Some(&(idx, mispredicted)) = self.fetch_queue.front() else {
                 break;
             };
-            let idx = idx as usize;
-            let class = self.src.soa().class()[idx];
+            let slot = self.rel(idx as usize);
+            let class = self.src.soa().class()[slot];
             let a = attrs(class);
             let serializing = a & ATTR_SERIALIZING != 0 && self.cfg.issue.serializing();
             if serializing && !self.rob.is_empty() {
@@ -880,7 +912,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.next_seq += 1;
             // Three unconditional reads: sentinel slots never hold a
             // writer (their `last_writer` entries stay 0 = none).
-            let [d0, d1, d2] = self.src.soa().dep_srcs()[idx];
+            let [d0, d1, d2] = self.src.soa().dep_srcs()[slot];
             let mut producers = [NO_PRODUCER; 3];
             for (k, d) in [d0, d1, d2].into_iter().enumerate() {
                 let w = self.last_writer[d as usize];
@@ -888,12 +920,12 @@ impl<'a, S: InstSource> Machine<'a, S> {
                     producers[k] = w - 1;
                 }
             }
-            self.last_writer[self.src.soa().dep_dst()[idx] as usize] = seq + 1;
+            self.last_writer[self.src.soa().dep_dst()[slot] as usize] = seq + 1;
             let mem_addr = self
                 .src
                 .soa()
-                .has_mem(idx)
-                .then(|| self.src.soa().addr()[idx]);
+                .has_mem(slot)
+                .then(|| self.src.soa().addr()[slot]);
             if a & ATTR_WRITES_MEM != 0 {
                 if let Some(addr) = mem_addr {
                     self.store_fwd.insert(addr & !7, seq);
@@ -936,7 +968,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                     self.fetch_pos += 1;
                     self.fetched += 1;
                     // Instruction-cache access per line.
-                    let pc = self.src.soa().pc()[idx as usize];
+                    let pc = self.src.soa().pc()[self.rel(idx as usize)];
                     let line = line_of(pc);
                     if line != self.last_ifetch_line {
                         self.last_ifetch_line = line;
@@ -979,14 +1011,15 @@ impl<'a, S: InstSource> Machine<'a, S> {
                     idx
                 }
             };
-            let mispredicted = if attrs(self.src.soa().class()[idx as usize]) & ATTR_BRANCH != 0 {
+            let slot = self.rel(idx as usize);
+            let mispredicted = if attrs(self.src.soa().class()[slot]) & ATTR_BRANCH != 0 {
                 let info = self
                     .src
                     .soa()
-                    .branch_info(idx as usize)
+                    .branch_info(slot)
                     .expect("branch classes carry branch info");
                 self.branches
-                    .observe_branch(self.src.soa().pc()[idx as usize], info)
+                    .observe_branch(self.src.soa().pc()[slot], info)
             } else {
                 false
             };

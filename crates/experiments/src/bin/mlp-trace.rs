@@ -1,29 +1,63 @@
-//! `mlp-trace` — generate, inspect and dump binary instruction traces.
+//! `mlp-trace` — generate, inspect, convert and import binary traces.
 //!
 //! ```text
-//! mlp-trace gen   <database|specjbb2000|specweb99> <count> <file> [seed]
-//! mlp-trace stats <file>
-//! mlp-trace dump  <file> [count]
+//! mlp-trace gen     <database|specjbb2000|specweb99> <count> <file> [seed]
+//! mlp-trace stats   <file>
+//! mlp-trace dump    <file> [count]
+//! mlp-trace info    <file>
+//! mlp-trace convert <in> <out>
+//! mlp-trace import  <in.txt> <out>
 //! ```
 //!
-//! Traces use the `mlp_isa::tracefile` format and can be replayed through
-//! either simulator with `mlp_isa::VecTrace`.
+//! Two binary formats are supported everywhere a trace is read: the
+//! fixed-record v1 format (`mlp_isa::tracefile`) and the chunked,
+//! delta-compressed v2 format (`mlp_isa::chunked`); the reader sniffs the
+//! magic. `gen`, `convert` and `import` choose the *output* format by
+//! extension — `.mlp2` writes v2, anything else v1 — so `convert` both
+//! upgrades v1 traces to v2 and flattens v2 back to v1.
 //!
-//! Exit codes are uniform: `0` on success, `1` for I/O failures and
-//! corrupt traces (the underlying [`tracefile::TraceFileError`] —
-//! including the offending record index — goes to stderr), `2` for usage
-//! errors.
+//! `info` prints the container details without decoding instruction
+//! payloads into memory: format version, instruction count, and for v2
+//! the chunk geometry and compression ratio versus the 40-byte v1 record.
+//!
+//! `import` reads a gem5-ish text listing, one instruction per line
+//! (`#` comments and blank lines ignored), fields whitespace-separated:
+//!
+//! ```text
+//! <pc-hex> <op> [key=value ...]
+//! 0x4000 load addr=0x80040 base=r4 dst=r5 val=0x1234
+//! 0x4004 alu srcs=r5,r2 dst=r6
+//! 0x4008 store addr=0x80048 base=r4 src=r6
+//! 0x400c branch cond=r6 taken=1 target=0x4000
+//! ```
+//!
+//! Ops: `alu` (`srcs=`, `dst=`), `load` (`addr=`, `base=`, `dst=`,
+//! optional `val=`), `store` (`addr=`, `base=`, `src=`), `prefetch`
+//! (`addr=`, `base=`), `branch` (`cond=`, `taken=`, `target=`), `call` /
+//! `ret` (`target=`), `indirect` (`base=`, `target=`), `casa` (`addr=`,
+//! `base=`, `cmp=`, `swap=`, `dst=`, optional `val=`), `membar`, `nop`.
+//! Registers are `rN` (0-63); numbers accept `0x` hex or decimal.
+//!
+//! Exit codes are uniform: `0` on success, `1` for I/O failures, corrupt
+//! traces and malformed import lines (details — including the offending
+//! record/chunk or line number — go to stderr), `2` for usage errors.
 
-use mlp_isa::{tracefile, InstMix, TraceStats};
+use mlp_isa::{chunked, tracefile, Inst, InstMix, Reg, TraceStats};
 use mlp_workloads::{Workload, WorkloadKind};
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom};
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mlp-trace gen   <database|specjbb2000|specweb99> <count> <file> [seed]\n  \
-         mlp-trace stats <file>\n  mlp-trace dump  <file> [count]"
+        "usage:\n  mlp-trace gen     <database|specjbb2000|specweb99> <count> <file> [seed]\n  \
+         mlp-trace stats   <file>\n  \
+         mlp-trace dump    <file> [count]\n  \
+         mlp-trace info    <file>\n  \
+         mlp-trace convert <in> <out>\n  \
+         mlp-trace import  <in.txt> <out>\n\
+         output format by extension: .mlp2 = chunked v2, otherwise v1"
     );
     std::process::exit(2);
 }
@@ -47,6 +81,7 @@ struct CliError {
 enum CliCause {
     Io(std::io::Error),
     Trace(tracefile::TraceFileError),
+    Parse(String),
 }
 
 impl fmt::Display for CliError {
@@ -54,6 +89,7 @@ impl fmt::Display for CliError {
         match &self.cause {
             CliCause::Io(e) => write!(f, "{}: {e}", self.context),
             CliCause::Trace(e) => write!(f, "{}: {e}", self.context),
+            CliCause::Parse(e) => write!(f, "{}: {e}", self.context),
         }
     }
 }
@@ -87,6 +123,29 @@ fn main() {
     }
 }
 
+/// Whether an output path selects the chunked v2 format.
+fn wants_v2(path: &str) -> bool {
+    Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("mlp2"))
+}
+
+/// Writes `insts` to `path` in the format its extension selects.
+fn write_trace(path: &str, insts: &[Inst]) -> Result<(), CliError> {
+    let file = File::create(path).map_err(ctx("create", path))?;
+    if wants_v2(path) {
+        let mut w = chunked::ChunkedWriter::new(BufWriter::new(file), chunked::DEFAULT_CHUNK_INSTS)
+            .map_err(ctx("write", path))?;
+        for inst in insts {
+            w.push(inst).map_err(ctx("write", path))?;
+        }
+        w.finish().map_err(ctx("write", path))?;
+    } else {
+        tracefile::write(BufWriter::new(file), insts).map_err(ctx("write", path))?;
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("gen") => {
@@ -104,9 +163,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 .map(|s| s.parse::<u64>().unwrap_or_else(|_| usage()))
                 .unwrap_or(42);
             let insts: Vec<_> = Workload::new(kind, seed).take(count).collect();
-            let file = File::create(path).map_err(ctx("create", path))?;
-            tracefile::write(BufWriter::new(file), &insts).map_err(ctx("write", path))?;
-            println!("wrote {count} instructions of {kind} (seed {seed}) to {path}");
+            write_trace(path, &insts)?;
+            let v = if wants_v2(path) { "v2" } else { "v1" };
+            println!("wrote {count} instructions of {kind} (seed {seed}) to {path} ({v})");
         }
         Some("stats") => {
             let [_, path] = args else { usage() };
@@ -143,12 +202,220 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 println!("... ({} more)", insts.len() - count);
             }
         }
+        Some("info") => {
+            let [_, path] = args else { usage() };
+            info(path)?;
+        }
+        Some("convert") => {
+            let [_, input, output] = args else { usage() };
+            let insts = read_trace(input)?;
+            write_trace(output, &insts)?;
+            let v = if wants_v2(output) { "v2" } else { "v1" };
+            println!(
+                "converted {} instructions: {input} -> {output} ({v})",
+                insts.len()
+            );
+        }
+        Some("import") => {
+            let [_, input, output] = args else { usage() };
+            let text = std::fs::read_to_string(input).map_err(ctx("open", input))?;
+            let insts = parse_listing(&text).map_err(|e| CliError {
+                context: format!("cannot import {input}"),
+                cause: CliCause::Parse(e),
+            })?;
+            write_trace(output, &insts)?;
+            let v = if wants_v2(output) { "v2" } else { "v1" };
+            println!(
+                "imported {} instructions: {input} -> {output} ({v})",
+                insts.len()
+            );
+        }
         _ => usage(),
     }
     Ok(())
 }
 
+/// Reads a trace in either binary format, sniffing the magic.
 fn read_trace(path: &str) -> Result<Vec<mlp_isa::Inst>, CliError> {
     let file = File::open(path).map_err(ctx("open", path))?;
-    tracefile::read(BufReader::new(file)).map_err(ctx("read trace", path))
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(ctx("read trace", path))?;
+    r.seek(SeekFrom::Start(0))
+        .map_err(ctx("read trace", path))?;
+    if &magic == b"MLP2" {
+        let soa = chunked::read_all(r).map_err(ctx("read trace", path))?;
+        Ok((0..soa.len()).map(|i| soa.get(i)).collect())
+    } else {
+        tracefile::read(r).map_err(ctx("read trace", path))
+    }
+}
+
+/// Prints container-level details without decoding payloads into memory.
+fn info(path: &str) -> Result<(), CliError> {
+    let file_bytes = std::fs::metadata(path).map_err(ctx("stat", path))?.len();
+    let file = File::open(path).map_err(ctx("open", path))?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(ctx("read", path))?;
+    r.seek(SeekFrom::Start(0)).map_err(ctx("read", path))?;
+    if &magic == b"MLP2" {
+        let index = chunked::read_index(&mut r).map_err(ctx("read index of", path))?;
+        println!("format:       v2 chunked (delta+varint columns)");
+        println!("instructions: {}", index.total_insts);
+        println!(
+            "chunks:       {} (cap {} insts)",
+            index.chunks.len(),
+            index.chunk_cap
+        );
+        println!("file bytes:   {file_bytes}");
+        if index.total_insts > 0 {
+            let b_per = file_bytes as f64 / index.total_insts as f64;
+            let v1_bytes = 16 + index.total_insts * tracefile::RECORD_BYTES as u64;
+            println!("bytes/inst:   {b_per:.2}");
+            println!(
+                "compression:  {:.2}x vs v1 ({v1_bytes} bytes)",
+                v1_bytes as f64 / file_bytes as f64,
+            );
+        }
+    } else {
+        // v1 validates the whole stream on read; decode for the count.
+        let insts = tracefile::read(r).map_err(ctx("read trace", path))?;
+        println!(
+            "format:       v1 fixed records ({} bytes)",
+            tracefile::RECORD_BYTES
+        );
+        println!("instructions: {}", insts.len());
+        println!("file bytes:   {file_bytes}");
+    }
+    Ok(())
+}
+
+// ----- text-listing import ----------------------------------------------
+
+/// Parses the whole listing; errors carry the 1-based line number.
+fn parse_listing(text: &str) -> Result<Vec<Inst>, String> {
+    let mut insts = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        insts.push(parse_line(line).map_err(|e| format!("line {}: {e}", n + 1))?);
+    }
+    Ok(insts)
+}
+
+/// Parses one `<pc> <op> [key=value ...]` line.
+fn parse_line(line: &str) -> Result<Inst, String> {
+    let mut fields = line.split_whitespace();
+    let pc = parse_num(fields.next().ok_or("missing pc")?)?;
+    let op = fields.next().ok_or("missing op")?;
+    let mut kv = Fields::default();
+    for f in fields {
+        let (k, v) = f
+            .split_once('=')
+            .ok_or_else(|| format!("bad field '{f}'"))?;
+        kv.set(k, v)?;
+    }
+    let inst = match op {
+        "alu" => Inst::alu(pc, &kv.srcs, kv.reg("dst")?),
+        "load" => Inst::load(pc, kv.reg("base")?, 0, kv.reg("dst")?, kv.num("addr")?)
+            .with_value(kv.val.unwrap_or(0)),
+        "store" => Inst::store(pc, kv.reg("base")?, 0, kv.reg("src")?, kv.num("addr")?),
+        "prefetch" => Inst::prefetch(pc, kv.reg("base")?, kv.num("addr")?),
+        "branch" => Inst::cond_branch(
+            pc,
+            kv.reg("cond")?,
+            kv.num("taken")? != 0,
+            kv.num("target")?,
+        ),
+        "call" => Inst::call(pc, kv.num("target")?),
+        "ret" => Inst::ret(pc, kv.num("target")?),
+        "indirect" => Inst::indirect(pc, kv.reg("base")?, kv.num("target")?),
+        "casa" => Inst::casa(
+            pc,
+            kv.reg("base")?,
+            kv.reg("cmp")?,
+            kv.reg("swap")?,
+            kv.reg("dst")?,
+            kv.num("addr")?,
+        )
+        .with_value(kv.val.unwrap_or(0)),
+        "membar" => Inst::membar(pc),
+        "nop" => Inst::nop(pc),
+        other => return Err(format!("unknown op '{other}'")),
+    };
+    Ok(inst)
+}
+
+/// Key=value fields of one listing line, each key at most once.
+#[derive(Default)]
+struct Fields {
+    srcs: Vec<Reg>,
+    regs: Vec<(&'static str, Reg)>,
+    nums: Vec<(&'static str, u64)>,
+    val: Option<u64>,
+}
+
+const REG_KEYS: [&str; 6] = ["dst", "base", "src", "cond", "cmp", "swap"];
+const NUM_KEYS: [&str; 3] = ["addr", "target", "taken"];
+
+impl Fields {
+    fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        if key == "srcs" {
+            for r in value.split(',') {
+                self.srcs.push(parse_reg(r)?);
+            }
+            return Ok(());
+        }
+        if key == "val" {
+            self.val = Some(parse_num(value)?);
+            return Ok(());
+        }
+        if let Some(k) = REG_KEYS.iter().find(|k| **k == key) {
+            self.regs.push((k, parse_reg(value)?));
+            return Ok(());
+        }
+        if let Some(k) = NUM_KEYS.iter().find(|k| **k == key) {
+            self.nums.push((k, parse_num(value)?));
+            return Ok(());
+        }
+        Err(format!("unknown field '{key}'"))
+    }
+
+    fn reg(&self, key: &str) -> Result<Reg, String> {
+        self.regs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, r)| r)
+            .ok_or_else(|| format!("missing field '{key}='"))
+    }
+
+    fn num(&self, key: &str) -> Result<u64, String> {
+        self.nums
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}='"))
+    }
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let idx: u8 = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad register '{s}'"))?;
+    if idx as usize >= Reg::COUNT {
+        return Err(format!("register '{s}' out of range (r0-r63)"));
+    }
+    Ok(Reg::int(idx))
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("bad number '{s}'"))
 }

@@ -85,6 +85,20 @@ impl RunScale {
         }
     }
 
+    /// A scale driving `total` instructions through the epoch model,
+    /// split 1:2 warmup:measure like the paper's 50M-warmup/100M-measure
+    /// windows. Cycle-accurate runs get half the budget (they are ~50x
+    /// slower per instruction).
+    pub fn window(total: u64) -> RunScale {
+        let warmup = total / 3;
+        RunScale {
+            warmup,
+            measure: total - warmup,
+            cycle_warmup: warmup / 2,
+            cycle_measure: (total - warmup) / 2,
+        }
+    }
+
     /// The canonical name of this scale (`custom` for hand-built ones);
     /// used in result filenames and report metadata.
     pub fn label(&self) -> &'static str {
@@ -104,6 +118,21 @@ impl Default for RunScale {
     fn default() -> RunScale {
         RunScale::standard()
     }
+}
+
+/// Parses an instruction count with an optional `k` / `M` / `G` suffix
+/// (case-insensitive, decimal multipliers): `50M` is 50 million, `100m`
+/// likewise, `1500k` is 1.5 million. Returns `None` for zero, overflow
+/// or malformed input.
+pub fn parse_insts(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1_000u64),
+        b'm' | b'M' => (&s[..s.len() - 1], 1_000_000),
+        b'g' | b'G' => (&s[..s.len() - 1], 1_000_000_000),
+        _ => (s, 1),
+    };
+    let n = digits.parse::<u64>().ok()?.checked_mul(mult)?;
+    (n > 0).then_some(n)
 }
 
 #[cfg(test)]

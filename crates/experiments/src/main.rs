@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! mlp-experiments <experiment|all> [--scale quick|standard|full]
+//!                 [--inst-window N] [--trace-cache <dir>]
 //!                 [--json [dir]] [--only <substrings>] [--list]
 //!                 [--events <dir>]
 //! ```
@@ -16,6 +17,16 @@
 //! substrings (`--only table5,epochs` picks both). `--json` also writes
 //! each experiment's structured report to `<dir>/<name>.<scale>.json`
 //! (default directory: `results/`).
+//!
+//! **Long windows:** `--inst-window N` replaces the named scale with a
+//! window of `N` total instructions per epoch-model run (1:2
+//! warmup:measure split, cycle-accurate runs at half budget). `N` takes
+//! `k`/`M`/`G` suffixes, so the paper's windows are `--inst-window 50M`
+//! or `100M`. Long windows exceed the in-memory trace budget and stream
+//! from spilled v2 files; `--trace-cache <dir>` pins the spill directory
+//! (otherwise `MLP_TRACE_CACHE_DIR` or the system temp dir is used), and
+//! `MLP_TRACE_CACHE_BYTES` sets the in-memory budget above which traces
+//! spill.
 //!
 //! **Observability:** with `MLP_OBS=counters` (or `all`) exported, each
 //! report gains a `metrics` block — counters and phase timers drained
@@ -49,6 +60,7 @@ const DEFAULT_JSON_DIR: &str = "results";
 fn usage() -> ! {
     eprintln!(
         "usage: mlp-experiments <experiment|all> [--scale quick|standard|full] \
+         [--inst-window N[k|M|G]] [--trace-cache <dir>] \
          [--json [dir]] [--only <substring>[,<substring>...]] [--list] \
          [--events <dir>]\n\
          experiments: {}",
@@ -76,6 +88,7 @@ struct Cli {
     only: Option<String>,
     json_dir: Option<String>,
     events_dir: Option<String>,
+    trace_cache: Option<String>,
     target: Option<String>,
 }
 
@@ -87,6 +100,7 @@ fn parse_args(args: &[String]) -> Cli {
         only: None,
         json_dir: None,
         events_dir: None,
+        trace_cache: None,
         target: None,
     };
     let mut it = args.iter().peekable();
@@ -103,6 +117,25 @@ fn parse_args(args: &[String]) -> Cli {
                 };
                 cli.scale = s;
                 cli.scale_name = name.clone();
+            }
+            "--inst-window" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--inst-window needs an instruction count");
+                    usage()
+                };
+                let Some(total) = mlp_experiments::parse_insts(spec) else {
+                    eprintln!("bad instruction count '{spec}' (try 50M, 100M, 500k)");
+                    usage()
+                };
+                cli.scale = RunScale::window(total);
+                cli.scale_name = format!("window:{spec}");
+            }
+            "--trace-cache" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--trace-cache needs a directory");
+                    usage()
+                };
+                cli.trace_cache = Some(dir.clone());
             }
             "--list" => cli.list = true,
             "--only" => {
@@ -234,6 +267,13 @@ fn main() {
         return;
     }
     let selected = select(&cli);
+    if let Some(dir) = &cli.trace_cache {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create trace cache directory '{dir}': {e}");
+            std::process::exit(1);
+        }
+        mlp_workloads::TraceStore::global().set_cache_dir(dir);
+    }
     if let Some(dir) = &cli.json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create JSON directory '{dir}': {e}");

@@ -174,8 +174,12 @@ pub fn shared_seeded(kind: WorkloadKind, seed: u64, insts: u64) -> SharedTrace {
 /// in the `mlp-experiments` binary.
 pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> Report {
     let shared = shared_seeded(kind, SEED, scale.warmup + scale.measure);
-    let report =
-        Simulator::new(config).run_shared(shared.soa(), shared.len(), scale.warmup, scale.measure);
+    let mut sim = Simulator::new(config);
+    let report = if shared.is_spilled() {
+        sim.run_chunks(shared.chunks(), scale.warmup, scale.measure)
+    } else {
+        sim.run_shared(shared.soa(), shared.len(), scale.warmup, scale.measure)
+    };
     if report.insts < scale.measure {
         panic!(
             "mlpsim run on {kind:?} drained its trace after {} of {} measured \
@@ -195,12 +199,17 @@ pub fn run_mlpsim(kind: WorkloadKind, config: MlpsimConfig, scale: RunScale) -> 
 /// Panics on a prematurely drained trace cursor, like [`run_mlpsim`].
 pub fn run_cyclesim(kind: WorkloadKind, config: CycleSimConfig, scale: RunScale) -> CycleReport {
     let shared = shared_seeded(kind, SEED, scale.cycle_warmup + scale.cycle_measure);
-    let report = CycleSim::new(config).run_shared(
-        shared.soa(),
-        shared.len(),
-        scale.cycle_warmup,
-        scale.cycle_measure,
-    );
+    let mut sim = CycleSim::new(config);
+    let report = if shared.is_spilled() {
+        sim.run_chunks(shared.chunks(), scale.cycle_warmup, scale.cycle_measure)
+    } else {
+        sim.run_shared(
+            shared.soa(),
+            shared.len(),
+            scale.cycle_warmup,
+            scale.cycle_measure,
+        )
+    };
     if report.insts < scale.cycle_measure {
         panic!(
             "cyclesim run on {kind:?} drained its trace after {} of {} measured \

@@ -1,0 +1,1040 @@
+//! Chunked, compressed binary trace format (v2).
+//!
+//! The flat [`tracefile`](crate::tracefile) format (v1) stores 40 bytes
+//! per instruction and must be decoded whole; fine for determinism
+//! fixtures, useless for the paper's 50M-warmup + 100M-measure windows.
+//! Version 2 frames the trace into fixed-capacity chunks of
+//! column-oriented, delta+varint-compressed records so a reader can
+//! stream one [`TraceSoA`] chunk at a time in bounded memory, verify
+//! each chunk independently (per-chunk FNV-1a checksum), and seek
+//! straight to any chunk through the footer index.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! header:  magic "MLP2" | version u16 (=2) | reserved u16 | chunk_cap u32
+//! frame:   magic "CHNK" | n_insts u32 | payload_len u32 | fnv1a64 u64 |
+//!          payload (columns, in order: pc Δvarint | class u8 | flags u8 |
+//!          srcs [u8;3] | dst u8 | addr Δvarint | asize u8 |
+//!          btarget Δvarint | value Δvarint)
+//! footer:  magic "FIDX" | n_chunks u32 | total_insts u64 |
+//!          per chunk: offset u64 | n_insts u32
+//! trailer: footer_offset u64 | magic "2PLM"
+//! ```
+//!
+//! `Δvarint` columns store per-column successive differences,
+//! zigzag-mapped and LEB128-encoded: program counters, effective
+//! addresses and branch targets are locally dense, so deltas are short.
+//! Derived columns (dependence slots, the candidate index) are *not*
+//! stored; the decoder re-derives them through [`TraceSoA::push`],
+//! which also re-validates every record. The trailer makes the file
+//! appendable: seek to `footer_offset`, continue writing frames, then
+//! rewrite footer + trailer ([`ChunkedWriter::resume`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlp_isa::chunked::{ChunkedTrace, ChunkedWriter};
+//! use mlp_isa::{Inst, Reg};
+//!
+//! let mut buf = Vec::new();
+//! let mut w = ChunkedWriter::new(&mut buf, 2)?;
+//! for i in 0..5u64 {
+//!     w.push(&Inst::load(0x100 + 4 * i, Reg::int(1), 0, Reg::int(2), 0x8000))?;
+//! }
+//! let index = w.finish()?;
+//! assert_eq!(index.total_insts, 5);
+//! assert_eq!(index.chunks.len(), 3); // 2 + 2 + 1
+//!
+//! let mut r = ChunkedTrace::new(buf.as_slice())?;
+//! let first = r.next_chunk()?.expect("one chunk");
+//! assert_eq!(first.len(), 2);
+//! # Ok::<(), mlp_isa::tracefile::TraceFileError>(())
+//! ```
+
+use crate::soa::{bkind_of, FLAG_BKIND_SHIFT, FLAG_HAS_BRANCH, FLAG_HAS_MEM, FLAG_TAKEN};
+use crate::tracefile::TraceFileError;
+use crate::{BranchInfo, Inst, MemAccess, Reg, TraceSoA, CLASS_COUNT};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+const MAGIC: [u8; 4] = *b"MLP2";
+const CHUNK_MAGIC: [u8; 4] = *b"CHNK";
+const FOOTER_MAGIC: [u8; 4] = *b"FIDX";
+const END_MAGIC: [u8; 4] = *b"2PLM";
+const VERSION: u16 = 2;
+
+/// Header size in bytes (magic + version + reserved + chunk_cap).
+pub const HEADER_BYTES: u64 = 12;
+const FRAME_HEADER_BYTES: u64 = 20;
+const TRAILER_BYTES: u64 = 12;
+
+/// Default chunk capacity in instructions (~2.8 MiB of decoded columns).
+pub const DEFAULT_CHUNK_INSTS: u32 = 1 << 16;
+
+/// Largest accepted chunk capacity. Bounds every size derived from a
+/// hostile header: decode buffers stay proportional to bytes actually
+/// present, never to a fabricated claim.
+pub const MAX_CHUNK_INSTS: u32 = 1 << 22;
+
+/// Ceiling on encoded bytes per record: four worst-case 10-byte varints
+/// plus seven raw bytes.
+const MAX_RECORD_ENC: u64 = 47;
+/// Floor on encoded bytes per record: four 1-byte varints plus seven raw
+/// bytes.
+const MIN_RECORD_ENC: u64 = 11;
+
+/// Largest footer entry count we pre-reserve for (same rationale as the
+/// v1 record-count cap).
+const MAX_PREALLOC_CHUNKS: u32 = 1 << 16;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_delta(out: &mut Vec<u8>, vals: &[u64]) {
+    let mut prev = 0u64;
+    for &v in vals {
+        put_varint(out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+}
+
+/// Location and size of one chunk frame inside a v2 stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset of the frame (its `CHNK` magic) from stream start.
+    pub offset: u64,
+    /// Instructions in the chunk (`1..=chunk_cap`).
+    pub n_insts: u32,
+}
+
+/// The footer index of a v2 trace: everything needed to size, seek into
+/// or append to the file without decoding it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkIndex {
+    /// Chunk capacity declared in the header.
+    pub chunk_cap: u32,
+    /// Total instructions across all chunks.
+    pub total_insts: u64,
+    /// Per-chunk offsets and counts, in file order.
+    pub chunks: Vec<ChunkEntry>,
+}
+
+impl ChunkIndex {
+    /// The chunk holding absolute instruction `inst`, as
+    /// `(chunk ordinal, index of the chunk's first instruction)`; `None`
+    /// past the end of the trace.
+    pub fn locate(&self, inst: u64) -> Option<(usize, u64)> {
+        let mut start = 0u64;
+        for (k, c) in self.chunks.iter().enumerate() {
+            let next = start + c.n_insts as u64;
+            if inst < next {
+                return Some((k, start));
+            }
+            start = next;
+        }
+        None
+    }
+}
+
+/// Deterministic single-bit fault injector for the streaming read path
+/// (the `trace-bitflip` site, shared with the v1 reader): flips one bit
+/// at the armed offset as bytes stream past.
+struct Flipper {
+    pos: u64,
+    bit: Option<u64>,
+}
+
+impl Flipper {
+    fn new() -> Flipper {
+        Flipper {
+            pos: 0,
+            bit: mlp_faults::param(mlp_faults::TRACE_BITFLIP),
+        }
+    }
+
+    fn apply(&mut self, buf: &mut [u8]) {
+        if let Some(bit) = self.bit {
+            let byte = bit / 8;
+            if byte >= self.pos && byte < self.pos + buf.len() as u64 {
+                buf[(byte - self.pos) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        self.pos += buf.len() as u64;
+    }
+}
+
+/// Streaming writer of v2 chunked traces.
+///
+/// Buffers pushed instructions into a pending chunk, flushing a frame
+/// whenever the chunk capacity fills; [`ChunkedWriter::finish`] flushes
+/// the partial tail chunk and writes footer + trailer. Memory held is
+/// one chunk, independent of trace length.
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+    chunk_cap: u32,
+    pending: TraceSoA,
+    entries: Vec<ChunkEntry>,
+    offset: u64,
+    total: u64,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Starts a new v2 stream on `w` with the given chunk capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_cap` is 0 or exceeds [`MAX_CHUNK_INSTS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Io`] on write failure.
+    pub fn new(mut w: W, chunk_cap: u32) -> Result<ChunkedWriter<W>, TraceFileError> {
+        assert!(
+            (1..=MAX_CHUNK_INSTS).contains(&chunk_cap),
+            "chunk capacity {chunk_cap} outside 1..={MAX_CHUNK_INSTS}"
+        );
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?;
+        w.write_all(&chunk_cap.to_le_bytes())?;
+        Ok(ChunkedWriter {
+            w,
+            chunk_cap,
+            pending: TraceSoA::new(),
+            entries: Vec::new(),
+            offset: HEADER_BYTES,
+            total: 0,
+        })
+    }
+
+    /// Appends one instruction, flushing a frame when the pending chunk
+    /// fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Io`] on write failure.
+    pub fn push(&mut self, inst: &Inst) -> Result<(), TraceFileError> {
+        self.pending.push(inst);
+        if self.pending.len() == self.chunk_cap as usize {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every instruction of `insts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Io`] on write failure.
+    pub fn extend<I: IntoIterator<Item = Inst>>(&mut self, insts: I) -> Result<(), TraceFileError> {
+        for i in insts {
+            self.push(&i)?;
+        }
+        Ok(())
+    }
+
+    /// Instructions written so far (including the pending chunk).
+    pub fn total_insts(&self) -> u64 {
+        self.total + self.pending.len() as u64
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceFileError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let soa = &self.pending;
+        let mut payload = Vec::with_capacity(soa.len() * 16);
+        put_delta(&mut payload, soa.pc());
+        payload.extend_from_slice(soa.class());
+        payload.extend_from_slice(soa.flags_raw());
+        for s in soa.srcs_raw() {
+            payload.extend_from_slice(s);
+        }
+        payload.extend_from_slice(soa.dst_raw());
+        put_delta(&mut payload, soa.addr());
+        payload.extend_from_slice(soa.asize());
+        put_delta(&mut payload, soa.btarget());
+        put_delta(&mut payload, soa.value());
+
+        let n = soa.len() as u32;
+        self.w.write_all(&CHUNK_MAGIC)?;
+        self.w.write_all(&n.to_le_bytes())?;
+        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        self.w.write_all(&payload)?;
+        self.entries.push(ChunkEntry {
+            offset: self.offset,
+            n_insts: n,
+        });
+        self.offset += FRAME_HEADER_BYTES + payload.len() as u64;
+        self.total += n as u64;
+        self.pending = TraceSoA::new();
+        Ok(())
+    }
+
+    /// Flushes the tail chunk, writes footer + trailer and returns the
+    /// footer index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Io`] on write failure.
+    pub fn finish(mut self) -> Result<ChunkIndex, TraceFileError> {
+        self.flush_chunk()?;
+        let footer_offset = self.offset;
+        self.w.write_all(&FOOTER_MAGIC)?;
+        self.w
+            .write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        self.w.write_all(&self.total.to_le_bytes())?;
+        for e in &self.entries {
+            self.w.write_all(&e.offset.to_le_bytes())?;
+            self.w.write_all(&e.n_insts.to_le_bytes())?;
+        }
+        self.w.write_all(&footer_offset.to_le_bytes())?;
+        self.w.write_all(&END_MAGIC)?;
+        self.w.flush()?;
+        Ok(ChunkIndex {
+            chunk_cap: self.chunk_cap,
+            total_insts: self.total,
+            chunks: self.entries,
+        })
+    }
+}
+
+impl<F: Read + Write + Seek> ChunkedWriter<F> {
+    /// Re-opens a finished v2 stream for appending: reads the existing
+    /// footer index, positions the stream at `footer_offset` and
+    /// continues writing frames there; [`ChunkedWriter::finish`] then
+    /// rewrites footer + trailer past the new frames. (New content is
+    /// never shorter than the footer + trailer it overwrites, so no
+    /// truncation is needed.)
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceFileError`] from validating the existing stream, or
+    /// [`TraceFileError::Io`] on seek/read failure.
+    pub fn resume(mut f: F) -> Result<ChunkedWriter<F>, TraceFileError> {
+        let index = read_index(&mut f)?;
+        f.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))?;
+        let mut off = [0u8; 8];
+        f.read_exact(&mut off)?;
+        let footer_offset = u64::from_le_bytes(off);
+        f.seek(SeekFrom::Start(footer_offset))?;
+        Ok(ChunkedWriter {
+            w: f,
+            chunk_cap: index.chunk_cap,
+            pending: TraceSoA::new(),
+            entries: index.chunks,
+            offset: footer_offset,
+            total: index.total_insts,
+        })
+    }
+}
+
+/// Streaming reader of v2 chunked traces: yields one decoded
+/// [`TraceSoA`] per chunk, then validates footer and trailer against
+/// everything seen. Works on any `Read`; no seeking, bounded memory.
+pub struct ChunkedTrace<R: Read> {
+    r: R,
+    flip: Flipper,
+    chunk_cap: u32,
+    seen: Vec<ChunkEntry>,
+    total: u64,
+    index: Option<ChunkIndex>,
+}
+
+impl<R: Read> ChunkedTrace<R> {
+    /// Opens a v2 stream, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::BadMagic`] / [`TraceFileError::UnsupportedVersion`]
+    /// for foreign or v1 streams, [`TraceFileError::CorruptChunk`] for an
+    /// out-of-range chunk capacity, [`TraceFileError::Io`] on read failure.
+    pub fn new(mut r: R) -> Result<ChunkedTrace<R>, TraceFileError> {
+        let mut flip = Flipper::new();
+        let mut head = [0u8; HEADER_BYTES as usize];
+        r.read_exact(&mut head)?;
+        flip.apply(&mut head);
+        if head[0..4] != MAGIC {
+            return Err(TraceFileError::BadMagic(head[0..4].try_into().expect("4")));
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != VERSION {
+            return Err(TraceFileError::UnsupportedVersion(version));
+        }
+        let chunk_cap = u32::from_le_bytes(head[8..12].try_into().expect("4"));
+        if !(1..=MAX_CHUNK_INSTS).contains(&chunk_cap) {
+            return Err(TraceFileError::CorruptChunk {
+                what: "chunk capacity out of range",
+                chunk: 0,
+                record: 0,
+            });
+        }
+        Ok(ChunkedTrace {
+            r,
+            flip,
+            chunk_cap,
+            seen: Vec::new(),
+            total: 0,
+            index: None,
+        })
+    }
+
+    /// Chunk capacity declared in the header.
+    pub fn chunk_cap(&self) -> u32 {
+        self.chunk_cap
+    }
+
+    /// The validated footer index; available once
+    /// [`ChunkedTrace::next_chunk`] has returned `Ok(None)`.
+    pub fn index(&self) -> Option<&ChunkIndex> {
+        self.index.as_ref()
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.r.read_exact(buf)?;
+        self.flip.apply(buf);
+        Ok(())
+    }
+
+    /// Decodes the next chunk; `Ok(None)` once the footer is reached
+    /// (after validating footer, trailer and end-of-stream).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::CorruptChunk`] pointing at the offending chunk
+    /// and record for any validation failure, [`TraceFileError::Io`] on
+    /// read failure (including truncation).
+    pub fn next_chunk(&mut self) -> Result<Option<TraceSoA>, TraceFileError> {
+        if self.index.is_some() {
+            return Ok(None);
+        }
+        let frame_off = self.flip.pos;
+        let chunk = self.seen.len() as u64;
+        let corrupt = |what| TraceFileError::CorruptChunk {
+            what,
+            chunk,
+            record: 0,
+        };
+        let mut magic = [0u8; 4];
+        self.fill(&mut magic)?;
+        if magic == FOOTER_MAGIC {
+            self.read_footer(frame_off)?;
+            return Ok(None);
+        }
+        if magic != CHUNK_MAGIC {
+            return Err(corrupt("bad frame magic"));
+        }
+        let mut head = [0u8; 16];
+        self.fill(&mut head)?;
+        let n_insts = u32::from_le_bytes(head[0..4].try_into().expect("4"));
+        let payload_len = u32::from_le_bytes(head[4..8].try_into().expect("4"));
+        let checksum = u64::from_le_bytes(head[8..16].try_into().expect("8"));
+        if n_insts == 0 {
+            return Err(corrupt("empty chunk"));
+        }
+        if n_insts > self.chunk_cap {
+            return Err(corrupt("chunk exceeds declared capacity"));
+        }
+        let (lo, hi) = (
+            n_insts as u64 * MIN_RECORD_ENC,
+            n_insts as u64 * MAX_RECORD_ENC,
+        );
+        if !(lo..=hi).contains(&(payload_len as u64)) {
+            return Err(corrupt("payload length implausible for record count"));
+        }
+        // Grow organically: a truncated stream stops the allocation at
+        // the bytes actually present, whatever the claimed length.
+        let mut payload = Vec::new();
+        let got = (&mut self.r)
+            .take(payload_len as u64)
+            .read_to_end(&mut payload)?;
+        if got < payload_len as usize {
+            return Err(TraceFileError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated chunk payload",
+            )));
+        }
+        self.flip.apply(&mut payload);
+        if fnv1a64(&payload) != checksum {
+            return Err(corrupt("chunk checksum mismatch"));
+        }
+        let soa = decode_chunk(&payload, n_insts as usize, chunk)?;
+        self.seen.push(ChunkEntry {
+            offset: frame_off,
+            n_insts,
+        });
+        self.total += n_insts as u64;
+        Ok(Some(soa))
+    }
+
+    fn read_footer(&mut self, footer_off: u64) -> Result<(), TraceFileError> {
+        let chunk = self.seen.len() as u64;
+        let corrupt = |what| TraceFileError::CorruptChunk {
+            what,
+            chunk,
+            record: 0,
+        };
+        let mut head = [0u8; 12];
+        self.fill(&mut head)?;
+        let n_chunks = u32::from_le_bytes(head[0..4].try_into().expect("4"));
+        let total = u64::from_le_bytes(head[4..12].try_into().expect("8"));
+        if n_chunks as usize != self.seen.len() {
+            return Err(corrupt("footer chunk count mismatch"));
+        }
+        if total != self.total {
+            return Err(corrupt("footer instruction count mismatch"));
+        }
+        for k in 0..self.seen.len() {
+            let mut e = [0u8; 12];
+            self.fill(&mut e)?;
+            let offset = u64::from_le_bytes(e[0..8].try_into().expect("8"));
+            let n = u32::from_le_bytes(e[8..12].try_into().expect("4"));
+            if (ChunkEntry { offset, n_insts: n }) != self.seen[k] {
+                return Err(TraceFileError::CorruptChunk {
+                    what: "footer index entry mismatch",
+                    chunk: k as u64,
+                    record: 0,
+                });
+            }
+        }
+        let mut tail = [0u8; TRAILER_BYTES as usize];
+        self.fill(&mut tail)?;
+        if u64::from_le_bytes(tail[0..8].try_into().expect("8")) != footer_off {
+            return Err(corrupt("trailer footer offset mismatch"));
+        }
+        if tail[8..12] != END_MAGIC {
+            return Err(corrupt("bad trailing magic"));
+        }
+        // The stream must end here; junk past the trailer is corruption,
+        // not a clean trace (mirrors the v1 trailing-garbage rule).
+        let mut probe = [0u8; 1];
+        loop {
+            match self.r.read(&mut probe) {
+                Ok(0) => break,
+                Ok(_) => return Err(corrupt("trailing bytes after trailer")),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceFileError::Io(e)),
+            }
+        }
+        self.index = Some(ChunkIndex {
+            chunk_cap: self.chunk_cap,
+            total_insts: self.total,
+            chunks: self.seen.clone(),
+        });
+        Ok(())
+    }
+}
+
+/// Decodes one chunk payload into columns, re-validating every record.
+fn decode_chunk(payload: &[u8], n: usize, chunk: u64) -> Result<TraceSoA, TraceFileError> {
+    struct Cur<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> Cur<'a> {
+        fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+            let end = self.pos.checked_add(n)?;
+            if end > self.buf.len() {
+                return None;
+            }
+            let s = &self.buf[self.pos..end];
+            self.pos = end;
+            Some(s)
+        }
+
+        fn varint(&mut self) -> Result<u64, &'static str> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let b = *self.buf.get(self.pos).ok_or("truncated varint")?;
+                self.pos += 1;
+                if shift == 63 && b > 1 {
+                    return Err("varint overflows u64");
+                }
+                v |= ((b & 0x7f) as u64) << shift;
+                if b & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+                if shift > 63 {
+                    return Err("varint too long");
+                }
+            }
+        }
+    }
+
+    let corrupt = |what, record| TraceFileError::CorruptChunk {
+        what,
+        chunk,
+        record,
+    };
+    let mut cur = Cur {
+        buf: payload,
+        pos: 0,
+    };
+    let delta_col = |cur: &mut Cur| -> Result<Vec<u64>, TraceFileError> {
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            let z = cur
+                .varint()
+                .map_err(|what| corrupt(what, out.len() as u64))?;
+            prev = prev.wrapping_add(unzigzag(z) as u64);
+            out.push(prev);
+        }
+        Ok(out)
+    };
+    let truncated = |cur: &Cur, width: usize| {
+        corrupt(
+            "truncated chunk payload",
+            ((payload.len() - cur.pos) / width) as u64,
+        )
+    };
+
+    let pc = delta_col(&mut cur)?;
+    let class = cur.bytes(n).ok_or_else(|| truncated(&cur, 1))?;
+    let flags = cur.bytes(n).ok_or_else(|| truncated(&cur, 1))?;
+    let srcs = cur.bytes(3 * n).ok_or_else(|| truncated(&cur, 3))?;
+    let dst = cur.bytes(n).ok_or_else(|| truncated(&cur, 1))?;
+    let addr = delta_col(&mut cur)?;
+    let asize = cur.bytes(n).ok_or_else(|| truncated(&cur, 1))?;
+    let btarget = delta_col(&mut cur)?;
+    let value = delta_col(&mut cur)?;
+    if cur.pos != payload.len() {
+        return Err(corrupt("trailing bytes in chunk payload", n as u64));
+    }
+
+    let reg = |b: u8, i: usize| -> Result<Option<Reg>, TraceFileError> {
+        if b == crate::REG_NONE {
+            Ok(None)
+        } else if (b as usize) < Reg::COUNT {
+            Ok(Some(Reg::int(b)))
+        } else {
+            Err(corrupt("register index out of range", i as u64))
+        }
+    };
+    let mut soa = TraceSoA::with_capacity(n);
+    for i in 0..n {
+        if class[i] as usize >= CLASS_COUNT {
+            return Err(corrupt("unknown instruction class", i as u64));
+        }
+        let f = flags[i];
+        if f & !(FLAG_HAS_MEM | FLAG_HAS_BRANCH | FLAG_TAKEN | (3 << FLAG_BKIND_SHIFT)) != 0 {
+            return Err(corrupt("invalid flag bits", i as u64));
+        }
+        let has_mem = f & FLAG_HAS_MEM != 0;
+        let has_branch = f & FLAG_HAS_BRANCH != 0;
+        if !has_branch && f & (FLAG_TAKEN | (3 << FLAG_BKIND_SHIFT)) != 0 {
+            return Err(corrupt("branch flags without branch info", i as u64));
+        }
+        if !has_mem && (addr[i] != 0 || asize[i] != 0) {
+            return Err(corrupt("memory fields without access", i as u64));
+        }
+        if !has_branch && btarget[i] != 0 {
+            return Err(corrupt("branch target without branch info", i as u64));
+        }
+        let inst = Inst {
+            pc: pc[i],
+            kind: crate::kind_of(class[i]),
+            srcs: [
+                reg(srcs[3 * i], i)?,
+                reg(srcs[3 * i + 1], i)?,
+                reg(srcs[3 * i + 2], i)?,
+            ],
+            dst: reg(dst[i], i)?,
+            mem: has_mem.then(|| MemAccess {
+                addr: addr[i],
+                size: asize[i],
+            }),
+            branch: has_branch.then(|| BranchInfo {
+                kind: bkind_of(f >> FLAG_BKIND_SHIFT),
+                taken: f & FLAG_TAKEN != 0,
+                target: btarget[i],
+            }),
+            value: value[i],
+        };
+        soa.push(&inst);
+    }
+    Ok(soa)
+}
+
+/// Reads the footer index of a seekable v2 stream without decoding any
+/// chunk: header, trailer, then the footer the trailer points at.
+///
+/// # Errors
+///
+/// Any [`TraceFileError`] describing the malformed structure, or
+/// [`TraceFileError::Io`] on seek/read failure.
+pub fn read_index<R: Read + Seek>(r: &mut R) -> Result<ChunkIndex, TraceFileError> {
+    let corrupt = |what, chunk| TraceFileError::CorruptChunk {
+        what,
+        chunk,
+        record: 0,
+    };
+    r.seek(SeekFrom::Start(0))?;
+    let mut head = [0u8; HEADER_BYTES as usize];
+    r.read_exact(&mut head)?;
+    if head[0..4] != MAGIC {
+        return Err(TraceFileError::BadMagic(head[0..4].try_into().expect("4")));
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if version != VERSION {
+        return Err(TraceFileError::UnsupportedVersion(version));
+    }
+    let chunk_cap = u32::from_le_bytes(head[8..12].try_into().expect("4"));
+    if !(1..=MAX_CHUNK_INSTS).contains(&chunk_cap) {
+        return Err(corrupt("chunk capacity out of range", 0));
+    }
+    let end = r.seek(SeekFrom::End(0))?;
+    if end < HEADER_BYTES + 16 + TRAILER_BYTES {
+        return Err(corrupt("stream too short for footer and trailer", 0));
+    }
+    r.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))?;
+    let mut tail = [0u8; TRAILER_BYTES as usize];
+    r.read_exact(&mut tail)?;
+    if tail[8..12] != END_MAGIC {
+        return Err(corrupt("bad trailing magic", 0));
+    }
+    let footer_offset = u64::from_le_bytes(tail[0..8].try_into().expect("8"));
+    if footer_offset < HEADER_BYTES || footer_offset > end - TRAILER_BYTES - 16 {
+        return Err(corrupt("trailer footer offset out of range", 0));
+    }
+    r.seek(SeekFrom::Start(footer_offset))?;
+    let mut fh = [0u8; 16];
+    r.read_exact(&mut fh)?;
+    if fh[0..4] != FOOTER_MAGIC {
+        return Err(corrupt("bad footer magic", 0));
+    }
+    let n_chunks = u32::from_le_bytes(fh[4..8].try_into().expect("4"));
+    let total = u64::from_le_bytes(fh[8..16].try_into().expect("8"));
+    let mut chunks = Vec::with_capacity(n_chunks.min(MAX_PREALLOC_CHUNKS) as usize);
+    let mut prev_end = HEADER_BYTES;
+    let mut counted = 0u64;
+    for k in 0..n_chunks {
+        let mut e = [0u8; 12];
+        r.read_exact(&mut e)?;
+        let offset = u64::from_le_bytes(e[0..8].try_into().expect("8"));
+        let n_insts = u32::from_le_bytes(e[8..12].try_into().expect("4"));
+        if offset < prev_end || offset >= footer_offset {
+            return Err(corrupt("footer entry offset out of order", k as u64));
+        }
+        if n_insts == 0 || n_insts > chunk_cap {
+            return Err(corrupt("footer entry count out of range", k as u64));
+        }
+        prev_end = offset + FRAME_HEADER_BYTES;
+        counted += n_insts as u64;
+        chunks.push(ChunkEntry { offset, n_insts });
+    }
+    if counted != total {
+        return Err(corrupt(
+            "footer instruction count mismatch",
+            n_chunks as u64,
+        ));
+    }
+    Ok(ChunkIndex {
+        chunk_cap,
+        total_insts: total,
+        chunks,
+    })
+}
+
+/// Seeks to chunk `k` of an indexed stream and decodes it.
+///
+/// # Panics
+///
+/// Panics if `k >= index.chunks.len()`.
+///
+/// # Errors
+///
+/// [`TraceFileError::CorruptChunk`] if the frame disagrees with the
+/// index or fails validation, [`TraceFileError::Io`] on seek/read
+/// failure.
+pub fn read_chunk_at<R: Read + Seek>(
+    r: &mut R,
+    index: &ChunkIndex,
+    k: usize,
+) -> Result<TraceSoA, TraceFileError> {
+    let entry = index.chunks[k];
+    let corrupt = |what| TraceFileError::CorruptChunk {
+        what,
+        chunk: k as u64,
+        record: 0,
+    };
+    r.seek(SeekFrom::Start(entry.offset))?;
+    let mut head = [0u8; FRAME_HEADER_BYTES as usize];
+    r.read_exact(&mut head)?;
+    if head[0..4] != CHUNK_MAGIC {
+        return Err(corrupt("bad frame magic"));
+    }
+    let n_insts = u32::from_le_bytes(head[4..8].try_into().expect("4"));
+    let payload_len = u32::from_le_bytes(head[8..12].try_into().expect("4"));
+    let checksum = u64::from_le_bytes(head[12..20].try_into().expect("8"));
+    if n_insts != entry.n_insts {
+        return Err(corrupt("frame record count disagrees with index"));
+    }
+    if payload_len as u64 > n_insts as u64 * MAX_RECORD_ENC {
+        return Err(corrupt("payload length implausible for record count"));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    if fnv1a64(&payload) != checksum {
+        return Err(corrupt("chunk checksum mismatch"));
+    }
+    decode_chunk(&payload, n_insts as usize, k as u64)
+}
+
+/// Decodes a whole v2 stream into one materialized [`TraceSoA`]
+/// (convenience for tools; the simulators stream chunks instead).
+///
+/// # Errors
+///
+/// Any [`TraceFileError`] from the streaming reader.
+pub fn read_all<R: Read>(r: R) -> Result<TraceSoA, TraceFileError> {
+    let mut trace = ChunkedTrace::new(r)?;
+    let mut soa = TraceSoA::new();
+    while let Some(chunk) = trace.next_chunk()? {
+        soa.append_from(&chunk);
+    }
+    Ok(soa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchKind, InstBuilder, OpKind};
+
+    fn sample(n: usize) -> Vec<Inst> {
+        let r = Reg::int;
+        (0..n)
+            .map(|i| match i % 7 {
+                0 => Inst::load(0x1000 + 4 * i as u64, r(1), 8, r(2), 0x8000 + 64 * i as u64)
+                    .with_value(i as u64),
+                1 => Inst::alu(0x1000 + 4 * i as u64, &[r(2), r(3)], r(4)),
+                2 => Inst::store(0x1000 + 4 * i as u64, r(4), 0, r(5), 0x9000),
+                3 => Inst::cond_branch(0x1000 + 4 * i as u64, r(4), i % 2 == 0, 0x2000),
+                4 => Inst::prefetch(0x1000 + 4 * i as u64, r(3), 0xa000),
+                5 => Inst::casa(0x1000 + 4 * i as u64, r(1), r(2), r(3), r(4), 0xb000),
+                _ => Inst::nop(0x1000 + 4 * i as u64),
+            })
+            .collect()
+    }
+
+    fn written(insts: &[Inst], cap: u32) -> (Vec<u8>, ChunkIndex) {
+        let mut buf = Vec::new();
+        let mut w = ChunkedWriter::new(&mut buf, cap).unwrap();
+        for i in insts {
+            w.push(i).unwrap();
+        }
+        let index = w.finish().unwrap();
+        (buf, index)
+    }
+
+    #[test]
+    fn round_trip_across_chunk_sizes() {
+        let insts = sample(100);
+        for cap in [1u32, 3, 64, 100, 1000] {
+            let (buf, index) = written(&insts, cap);
+            assert_eq!(index.total_insts, 100);
+            let soa = read_all(buf.as_slice()).unwrap();
+            assert_eq!(soa.len(), insts.len());
+            for (i, inst) in insts.iter().enumerate() {
+                assert_eq!(soa.get(i), *inst, "cap {cap}, instruction {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let (buf, index) = written(&[], 16);
+        assert_eq!(index.chunks.len(), 0);
+        assert_eq!(read_all(buf.as_slice()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn oddball_branch_info_on_non_branch_round_trips() {
+        // The SoA supports branch metadata on a non-branch class (v1
+        // rejects it); v2 must round-trip whatever the builder makes.
+        let insts = vec![InstBuilder::new(0x130, OpKind::Alu)
+            .branch(BranchKind::Call, false, 0x5000)
+            .build()];
+        let (buf, _) = written(&insts, 4);
+        let soa = read_all(buf.as_slice()).unwrap();
+        assert_eq!(soa.get(0), insts[0]);
+    }
+
+    #[test]
+    fn streaming_reader_yields_sized_chunks() {
+        let insts = sample(10);
+        let (buf, _) = written(&insts, 4);
+        let mut r = ChunkedTrace::new(buf.as_slice()).unwrap();
+        let mut sizes = Vec::new();
+        while let Some(c) = r.next_chunk().unwrap() {
+            sizes.push(c.len());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(r.index().unwrap().total_insts, 10);
+    }
+
+    #[test]
+    fn index_and_random_access_agree() {
+        let insts = sample(50);
+        let (buf, index) = written(&insts, 8);
+        let mut c = std::io::Cursor::new(buf);
+        let re = read_index(&mut c).unwrap();
+        assert_eq!(re, index);
+        assert_eq!(re.locate(0), Some((0, 0)));
+        assert_eq!(re.locate(7), Some((0, 0)));
+        assert_eq!(re.locate(8), Some((1, 8)));
+        assert_eq!(re.locate(49), Some((6, 48)));
+        assert_eq!(re.locate(50), None);
+        for (k, entry) in re.chunks.iter().enumerate() {
+            let soa = read_chunk_at(&mut c, &re, k).unwrap();
+            assert_eq!(soa.len(), entry.n_insts as usize);
+            let base = 8 * k;
+            for i in 0..soa.len() {
+                assert_eq!(soa.get(i), insts[base + i], "chunk {k} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_appends_identically() {
+        let insts = sample(30);
+        // Whole trace in one go...
+        let (straight, _) = written(&insts, 8);
+        // ...versus write 13, finish, resume, append 17.
+        let mut f = std::io::Cursor::new(Vec::new());
+        let mut w = ChunkedWriter::new(&mut f, 8).unwrap();
+        for i in &insts[..13] {
+            w.push(i).unwrap();
+        }
+        w.finish().unwrap();
+        let mut w = ChunkedWriter::resume(&mut f).unwrap();
+        for i in &insts[13..] {
+            w.push(i).unwrap();
+        }
+        let index = w.finish().unwrap();
+        assert_eq!(index.total_insts, 30);
+        let soa = read_all(f.get_ref().as_slice()).unwrap();
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(soa.get(i), *inst, "instruction {i}");
+        }
+        // Chunk boundaries differ (13 splits as 8+5), so the bytes need
+        // not match `straight`; the decoded trace must.
+        assert_eq!(soa.len(), read_all(straight.as_slice()).unwrap().len());
+    }
+
+    #[test]
+    fn checksum_catches_payload_corruption() {
+        let (mut buf, index) = written(&sample(20), 8);
+        // Flip a byte inside the first chunk's payload.
+        let off = index.chunks[0].offset as usize + FRAME_HEADER_BYTES as usize;
+        buf[off] ^= 0x40;
+        match read_all(buf.as_slice()) {
+            Err(TraceFileError::CorruptChunk { what, chunk: 0, .. }) => {
+                assert!(what.contains("checksum"), "got {what}");
+            }
+            other => panic!("expected checksum corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_io_error() {
+        let (buf, _) = written(&sample(20), 8);
+        for cut in [buf.len() - 1, buf.len() - 13, HEADER_BYTES as usize + 3] {
+            assert!(
+                matches!(
+                    read_all(&buf[..cut]),
+                    Err(TraceFileError::Io(_) | TraceFileError::CorruptChunk { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (mut buf, _) = written(&sample(5), 4);
+        buf.push(0x5a);
+        match read_all(buf.as_slice()) {
+            Err(TraceFileError::CorruptChunk { what, .. }) => {
+                assert!(what.contains("trailing"), "got {what}");
+            }
+            other => panic!("expected trailing-garbage corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_stream_reports_bad_magic() {
+        let mut v1 = Vec::new();
+        crate::tracefile::write(&mut v1, &sample(3)).unwrap();
+        assert!(matches!(
+            read_all(v1.as_slice()),
+            Err(TraceFileError::BadMagic(m)) if &m == b"MLPT"
+        ));
+    }
+
+    #[test]
+    fn hostile_header_cannot_force_allocation() {
+        // A 20-byte stream claiming a maximal chunk: must die on the
+        // missing payload bytes, not allocate for the claim.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&MAX_CHUNK_INSTS.to_le_bytes());
+        buf.extend_from_slice(&CHUNK_MAGIC);
+        buf.extend_from_slice(&MAX_CHUNK_INSTS.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let mut r = ChunkedTrace::new(buf.as_slice()).unwrap();
+        assert!(matches!(
+            r.next_chunk(),
+            Err(TraceFileError::Io(_) | TraceFileError::CorruptChunk { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_extremes_round_trip() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, u64::MAX, u64::MAX - 1, 1 << 63] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut soa_insts = vec![Inst::nop(v)];
+            soa_insts[0].value = v;
+            let (bytes, _) = written(&soa_insts, 1);
+            let back = read_all(bytes.as_slice()).unwrap();
+            assert_eq!(back.get(0).pc, v);
+            assert_eq!(back.get(0).value, v);
+        }
+        assert_eq!(zigzag(unzigzag(u64::MAX)), u64::MAX);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+}

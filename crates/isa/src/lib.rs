@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 mod inst;
 mod op;
 mod reg;
@@ -46,10 +47,11 @@ pub use inst::{BranchInfo, Inst, InstBuilder, MemAccess};
 pub use op::{BranchKind, OpKind};
 pub use reg::Reg;
 pub use soa::{
-    class_of, kind_of, InstSource, SharedSoaSource, StreamingSoaSource, TraceSoA, ATTR_BRANCH,
-    ATTR_READS_MEM, ATTR_SERIALIZING, ATTR_WRITES_MEM, AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC,
-    CLASS_ATTRS, CLASS_BR_CALL, CLASS_BR_COND, CLASS_BR_IND, CLASS_BR_RET, CLASS_COUNT, CLASS_LOAD,
-    CLASS_MEMBAR, CLASS_NOP, CLASS_PREFETCH, CLASS_STORE, DEP_READ_NONE, DEP_WRITE_NONE, REG_NONE,
+    class_of, kind_of, ChunkedSoaSource, InstSource, SharedSoaSource, SoAChunks,
+    StreamingSoaSource, TraceSoA, ATTR_BRANCH, ATTR_READS_MEM, ATTR_SERIALIZING, ATTR_WRITES_MEM,
+    AVAIL_SLOTS, CLASS_ALU, CLASS_ATOMIC, CLASS_ATTRS, CLASS_BR_CALL, CLASS_BR_COND, CLASS_BR_IND,
+    CLASS_BR_RET, CLASS_COUNT, CLASS_LOAD, CLASS_MEMBAR, CLASS_NOP, CLASS_PREFETCH, CLASS_STORE,
+    DEP_READ_NONE, DEP_WRITE_NONE, REG_NONE,
 };
 pub use stats::{InstMix, TraceStats};
 pub use trace::{SliceTrace, TraceSource, VecTrace};

@@ -150,13 +150,14 @@ pub const DEP_WRITE_NONE: u8 = Reg::COUNT as u8 + 1; // 65
 /// `Reg::COUNT` real registers plus the two sentinels.
 pub const AVAIL_SLOTS: usize = Reg::COUNT + 2;
 
-// `flags` column bits.
-const FLAG_HAS_MEM: u8 = 1 << 0;
-const FLAG_HAS_BRANCH: u8 = 1 << 1;
-const FLAG_TAKEN: u8 = 1 << 2;
-const FLAG_BKIND_SHIFT: u32 = 3; // bits 3-4: BranchKind code
+// `flags` column bits. `pub(crate)` so the chunked trace format can
+// serialize the column raw and validate it on decode.
+pub(crate) const FLAG_HAS_MEM: u8 = 1 << 0;
+pub(crate) const FLAG_HAS_BRANCH: u8 = 1 << 1;
+pub(crate) const FLAG_TAKEN: u8 = 1 << 2;
+pub(crate) const FLAG_BKIND_SHIFT: u32 = 3; // bits 3-4: BranchKind code
 
-const fn bkind_code(kind: BranchKind) -> u8 {
+pub(crate) const fn bkind_code(kind: BranchKind) -> u8 {
     match kind {
         BranchKind::Conditional => 0,
         BranchKind::Call => 1,
@@ -165,7 +166,7 @@ const fn bkind_code(kind: BranchKind) -> u8 {
     }
 }
 
-const fn bkind_of(code: u8) -> BranchKind {
+pub(crate) const fn bkind_of(code: u8) -> BranchKind {
     match code & 3 {
         0 => BranchKind::Conditional,
         1 => BranchKind::Call,
@@ -375,6 +376,13 @@ impl TraceSoA {
         &self.pc
     }
 
+    /// Raw flags column (crate-internal: the chunked trace format
+    /// serializes it verbatim and validates it on decode).
+    #[inline]
+    pub(crate) fn flags_raw(&self) -> &[u8] {
+        &self.flags
+    }
+
     /// Class-code column (index [`CLASS_ATTRS`] with these).
     #[inline]
     pub fn class(&self) -> &[u8] {
@@ -440,6 +448,67 @@ impl TraceSoA {
     pub fn candidates(&self) -> &[u32] {
         &self.candidates
     }
+
+    /// Appends every instruction of `other`, re-basing its candidate
+    /// index. Equivalent to pushing `other.get(i)` for each `i`, but
+    /// copies the columns directly.
+    pub fn append_from(&mut self, other: &TraceSoA) {
+        let offset = self.pc.len() as u32;
+        self.pc.extend_from_slice(&other.pc);
+        self.class.extend_from_slice(&other.class);
+        self.flags.extend_from_slice(&other.flags);
+        self.srcs.extend_from_slice(&other.srcs);
+        self.dst.extend_from_slice(&other.dst);
+        self.dep_srcs.extend_from_slice(&other.dep_srcs);
+        self.dep_dst.extend_from_slice(&other.dep_dst);
+        self.addr.extend_from_slice(&other.addr);
+        self.asize.extend_from_slice(&other.asize);
+        self.btarget.extend_from_slice(&other.btarget);
+        self.value.extend_from_slice(&other.value);
+        self.candidates
+            .extend(other.candidates.iter().map(|&c| c + offset));
+    }
+
+    /// Drops the first `n` instructions, shifting the rest (and the
+    /// candidate index) down. Used by streaming sources to evict consumed
+    /// prefixes and keep resident memory bounded by the read-ahead
+    /// window, not the trace length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn drain_prefix(&mut self, n: usize) {
+        assert!(n <= self.pc.len(), "drain beyond trace length");
+        if n == 0 {
+            return;
+        }
+        self.pc.drain(..n);
+        self.class.drain(..n);
+        self.flags.drain(..n);
+        self.srcs.drain(..n);
+        self.dst.drain(..n);
+        self.dep_srcs.drain(..n);
+        self.dep_dst.drain(..n);
+        self.addr.drain(..n);
+        self.asize.drain(..n);
+        self.btarget.drain(..n);
+        self.value.drain(..n);
+        let keep = self.candidates.partition_point(|&c| (c as usize) < n);
+        self.candidates.drain(..keep);
+        for c in &mut self.candidates {
+            *c -= n as u32;
+        }
+    }
+
+    /// Approximate resident heap bytes of the columns (per-instruction
+    /// column widths plus the sparse candidate index; allocator slack and
+    /// unused capacity are not counted). Used for cache-budget
+    /// accounting, not allocation.
+    pub fn approx_bytes(&self) -> u64 {
+        // pc 8 + class 1 + flags 1 + srcs 3 + dst 1 + dep_srcs 3 +
+        // dep_dst 1 + addr 8 + asize 1 + btarget 8 + value 8 = 43.
+        self.pc.len() as u64 * 43 + self.candidates.len() as u64 * 4
+    }
 }
 
 /// A column source the simulator kernels run over: a [`TraceSoA`] plus a
@@ -458,8 +527,28 @@ pub trait InstSource {
     /// Instructions currently available.
     fn available(&self) -> usize;
 
-    /// The columns; indices below [`InstSource::available`] are valid.
+    /// The columns; slots `[base() - base(), available() - base())` are
+    /// valid — i.e. absolute trace index `i` lives at column slot
+    /// `i - base()`.
     fn soa(&self) -> &TraceSoA;
+
+    /// Absolute trace index of `soa()` slot 0. Always 0 for materialized
+    /// sources; a bounded-memory streaming source advances it as
+    /// [`InstSource::release`] lets it evict consumed prefixes.
+    ///
+    /// May change across `ensure`/`release` calls, so engines must
+    /// re-read it after either; it never moves past the lowest index not
+    /// yet released.
+    #[inline]
+    fn base(&self) -> usize {
+        0
+    }
+
+    /// Declares that indices below `before` will never be read again.
+    /// Purely a hint: a materialized source ignores it, a streaming
+    /// source may evict the released prefix to bound resident memory.
+    #[inline]
+    fn release(&mut self, _before: usize) {}
 }
 
 /// An [`InstSource`] over a pre-materialized [`TraceSoA`] (or a prefix of
@@ -539,6 +628,110 @@ impl<T: TraceSource> InstSource for StreamingSoaSource<'_, T> {
     #[inline]
     fn soa(&self) -> &TraceSoA {
         &self.soa
+    }
+}
+
+/// A supplier of column-oriented trace chunks, the streaming counterpart
+/// of a materialized [`TraceSoA`]: each call yields the next run of
+/// instructions (any non-zero length) until the trace ends.
+///
+/// Blanket-implemented for every `Iterator<Item = TraceSoA>`, so a
+/// chunked trace file reader, a generator adapter, or a plain
+/// `vec![soa].into_iter()` all drive the same engine entry points.
+pub trait SoAChunks {
+    /// The next chunk, or `None` when the trace is exhausted.
+    fn next_chunk(&mut self) -> Option<TraceSoA>;
+}
+
+impl<I: Iterator<Item = TraceSoA>> SoAChunks for I {
+    #[inline]
+    fn next_chunk(&mut self) -> Option<TraceSoA> {
+        self.next()
+    }
+}
+
+/// Smallest released prefix worth compacting away. Draining costs a copy
+/// of the retained suffix, so [`ChunkedSoaSource`] waits until the
+/// consumed prefix is both non-trivial and at least half the buffer —
+/// each drain then removes more instructions than it keeps, making the
+/// copy cost amortized O(1) per instruction.
+const DRAIN_MIN: usize = 1024;
+
+/// An [`InstSource`] over a chunk stream that keeps only a sliding
+/// window of columns resident.
+///
+/// Chunks are appended into one contiguous rolling [`TraceSoA`] (engines
+/// index columns, so the window must be contiguous even when a
+/// dependence or fetch-ahead range straddles a chunk boundary); prefixes
+/// the engine has [`InstSource::release`]d are compacted away. Resident
+/// memory is bounded by the engine's read-ahead span plus O(chunk), not
+/// by the trace length.
+pub struct ChunkedSoaSource<C: SoAChunks> {
+    chunks: C,
+    buf: TraceSoA,
+    /// Absolute trace index of `buf` slot 0.
+    base: usize,
+    /// Absolute index below which the engine has released everything.
+    released: usize,
+    done: bool,
+}
+
+impl<C: SoAChunks> ChunkedSoaSource<C> {
+    /// A source draining `chunks`.
+    pub fn new(chunks: C) -> ChunkedSoaSource<C> {
+        ChunkedSoaSource {
+            chunks,
+            buf: TraceSoA::new(),
+            base: 0,
+            released: 0,
+            done: false,
+        }
+    }
+
+    fn maybe_drain(&mut self) {
+        let n = self.released.saturating_sub(self.base);
+        if n >= DRAIN_MIN && n * 2 >= self.buf.len() {
+            self.buf.drain_prefix(n);
+            self.base += n;
+        }
+    }
+}
+
+impl<C: SoAChunks> InstSource for ChunkedSoaSource<C> {
+    fn ensure(&mut self, upto: usize) -> usize {
+        while !self.done && self.base + self.buf.len() < upto {
+            match self.chunks.next_chunk() {
+                Some(chunk) => {
+                    self.buf.append_from(&chunk);
+                    self.maybe_drain();
+                }
+                None => self.done = true,
+            }
+        }
+        self.base + self.buf.len()
+    }
+
+    #[inline]
+    fn available(&self) -> usize {
+        self.base + self.buf.len()
+    }
+
+    #[inline]
+    fn soa(&self) -> &TraceSoA {
+        &self.buf
+    }
+
+    #[inline]
+    fn base(&self) -> usize {
+        self.base
+    }
+
+    fn release(&mut self, before: usize) {
+        let before = before.min(self.base + self.buf.len());
+        if before > self.released {
+            self.released = before;
+            self.maybe_drain();
+        }
     }
 }
 
@@ -632,6 +825,67 @@ mod tests {
         let mut s = SharedSoaSource::new(&soa, 3);
         assert_eq!(s.ensure(100), 3);
         assert_eq!(s.available(), 3);
+    }
+
+    #[test]
+    fn append_and_drain_preserve_contents() {
+        let insts = sample();
+        let mut soa = TraceSoA::from_insts(&insts[..4]);
+        soa.append_from(&TraceSoA::from_insts(&insts[4..]));
+        let whole = TraceSoA::from_insts(&insts);
+        assert_eq!(soa.candidates(), whole.candidates());
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(soa.get(i), *inst, "after append, instruction {i}");
+        }
+        soa.drain_prefix(3);
+        assert_eq!(soa.len(), insts.len() - 3);
+        for (i, inst) in insts[3..].iter().enumerate() {
+            assert_eq!(soa.get(i), *inst, "after drain, instruction {i}");
+        }
+        let naive: Vec<u32> = insts[3..]
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.kind.reads_memory())
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(soa.candidates(), naive.as_slice());
+        soa.drain_prefix(soa.len());
+        assert!(soa.is_empty() && soa.candidates().is_empty());
+    }
+
+    #[test]
+    fn chunked_source_streams_and_evicts() {
+        // A long synthetic trace delivered in 256-inst chunks; release
+        // everything behind the read point and check the window slides.
+        let make = |i: usize| {
+            Inst::load(
+                0x1000 + 4 * i as u64,
+                Reg::int(1),
+                0,
+                Reg::int(2),
+                0x8000 + 64 * i as u64,
+            )
+        };
+        let total = 10 * 1024;
+        let chunks = (0..total / 256).map(move |c| {
+            TraceSoA::from_insts(&(c * 256..(c + 1) * 256).map(make).collect::<Vec<_>>())
+        });
+        let mut src = ChunkedSoaSource::new(chunks);
+        assert_eq!(src.available(), 0);
+        for i in 0..total {
+            assert!(src.ensure(i + 1) > i, "trace ended early at {i}");
+            let slot = i - src.base();
+            assert_eq!(src.soa().get(slot), make(i), "instruction {i}");
+            src.release(i);
+        }
+        assert_eq!(src.ensure(total + 1), total);
+        // The rolling buffer held a bounded window, not the whole trace.
+        assert!(src.base() > 0, "prefix was never evicted");
+        assert!(
+            src.soa().len() < total / 2,
+            "resident window {} not bounded",
+            src.soa().len()
+        );
     }
 
     #[test]

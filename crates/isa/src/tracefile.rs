@@ -37,7 +37,8 @@ use std::io::{self, Read, Write};
 const MAGIC: [u8; 4] = *b"MLPT";
 const VERSION: u16 = 1;
 const NO_REG: u8 = 0xff;
-const RECORD_BYTES: usize = 40;
+/// On-disk size of one v1 instruction record.
+pub const RECORD_BYTES: usize = 40;
 
 /// Error produced when reading or writing a binary trace.
 #[derive(Debug)]
@@ -59,6 +60,21 @@ pub enum TraceFileError {
         /// Index of the offending record.
         record: u64,
     },
+    /// A v2 chunked stream carried an invalid frame: bad frame magic,
+    /// checksum mismatch, a record that fails validation, an
+    /// inconsistent footer index, or trailing bytes. Carries both the
+    /// chunk ordinal and the record index *within* that chunk so
+    /// corruption reports point at the exact spot in the file.
+    CorruptChunk {
+        /// What was wrong with the frame.
+        what: &'static str,
+        /// Ordinal of the offending chunk (0-based; equal to the chunk
+        /// count for footer/trailer problems).
+        chunk: u64,
+        /// Index of the offending record within the chunk (0 when the
+        /// problem is not tied to one record).
+        record: u64,
+    },
 }
 
 impl fmt::Display for TraceFileError {
@@ -71,6 +87,13 @@ impl fmt::Display for TraceFileError {
             }
             TraceFileError::Corrupt { what, record } => {
                 write!(f, "corrupt trace record {record}: {what}")
+            }
+            TraceFileError::CorruptChunk {
+                what,
+                chunk,
+                record,
+            } => {
+                write!(f, "corrupt trace chunk {chunk} record {record}: {what}")
             }
         }
     }

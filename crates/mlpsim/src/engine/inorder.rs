@@ -80,10 +80,16 @@ pub(crate) fn run<S: InstSource>(
     }
 
     while consumed < limit {
+        // Strictly in-order: nothing below the next instruction is ever
+        // re-read, so a streaming source may evict it.
+        src.release(next);
         if src.available() <= next && src.ensure(next + 1) <= next {
             break;
         }
-        let idx = next;
+        // Column slot of `next` (streaming sources offset their columns
+        // by `base()`; stable for the rest of the iteration since no
+        // further ensure/release happens before the reads).
+        let idx = next - src.base();
         next += 1;
         consumed += 1;
         if consumed == warmup + 1 && !tracker.measuring {

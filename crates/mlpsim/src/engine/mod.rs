@@ -4,7 +4,10 @@ mod scratch;
 
 use crate::config::{BranchMode, MlpsimConfig, ValueMode, WindowModel};
 use crate::report::{Inhibitor, InhibitorCounts, OffchipCounts, Report};
-use mlp_isa::{InstSource, SharedSoaSource, StreamingSoaSource, TraceSoA, TraceSource};
+use mlp_isa::{
+    ChunkedSoaSource, InstSource, SharedSoaSource, SoAChunks, StreamingSoaSource, TraceSoA,
+    TraceSource,
+};
 use mlp_predict::{
     BranchObserver, BranchPredictor, BranchStats, HybridValuePredictor, LastValuePredictor,
     PerfectBranchPredictor, PerfectValuePredictor, StridePredictor, ValueObserver, ValuePrediction,
@@ -422,6 +425,19 @@ impl Simulator {
     /// Panics if `len > soa.len()`.
     pub fn run_shared(&mut self, soa: &TraceSoA, len: usize, warmup: u64, measure: u64) -> Report {
         let mut src = SharedSoaSource::new(soa, len);
+        self.run_source(&mut src, warmup, measure)
+    }
+
+    /// Runs the epoch model over a stream of column chunks (a spilled
+    /// trace file, a generator adapter, …), keeping only a sliding
+    /// window of the trace resident: peak memory is bounded by the
+    /// engine's read-ahead span plus one chunk, independent of trace
+    /// length. Dependence and epoch state carries across chunk
+    /// boundaries inside the engine, so the result is identical to
+    /// materializing the whole trace and calling
+    /// [`Simulator::run_shared`].
+    pub fn run_chunks<C: SoAChunks>(&mut self, chunks: C, warmup: u64, measure: u64) -> Report {
+        let mut src = ChunkedSoaSource::new(chunks);
         self.run_source(&mut src, warmup, measure)
     }
 

@@ -173,6 +173,15 @@ impl<S: InstSource> Engine<'_, S> {
         self.src.available() >= want || self.src.ensure(want) >= want
     }
 
+    /// Column slot of absolute trace index `idx`. A streaming source
+    /// evicts released prefixes, so its columns are offset by
+    /// [`InstSource::base`]; must be recomputed after any
+    /// `ensure`/`release` (both may compact the window).
+    #[inline]
+    fn rel(&self, idx: usize) -> usize {
+        idx - self.src.base()
+    }
+
     fn run_loop(&mut self) -> Report {
         loop {
             self.fetch_at_epoch();
@@ -224,6 +233,9 @@ impl<S: InstSource> Engine<'_, S> {
     }
 
     fn advance(&mut self) {
+        // Everything below the fetch frontier has been admitted and its
+        // effects cached in engine state; let a streaming source evict it.
+        self.src.release(self.next);
         self.e += 1;
         let mask = self.issue_buckets.len() as u64 - 1;
         let n = std::mem::take(&mut self.issue_buckets[(self.e & mask) as usize]);
@@ -284,7 +296,7 @@ impl<S: InstSource> Engine<'_, S> {
             }
             // Instruction-fetch classification of the next instruction.
             if !self.perfect_ifetch && self.iclassified == 0 {
-                let pc = self.src.soa().pc()[self.next];
+                let pc = self.src.soa().pc()[self.rel(self.next)];
                 let acc = self.hierarchy.ifetch(pc);
                 self.iclassified = 1;
                 if acc.is_off_chip() {
@@ -344,7 +356,7 @@ impl<S: InstSource> Engine<'_, S> {
             if !self.have(self.iclassified + 1) {
                 return;
             }
-            let pc = self.src.soa().pc()[self.next + self.iclassified];
+            let pc = self.src.soa().pc()[self.rel(self.next + self.iclassified)];
             let acc = self.hierarchy.ifetch(pc);
             self.iclassified += 1;
             if acc.is_off_chip() {
@@ -359,7 +371,7 @@ impl<S: InstSource> Engine<'_, S> {
     /// pinned at 0, so absent dependences never bind).
     #[inline]
     fn data_epoch(&self, idx: usize) -> u64 {
-        let [a, b, c] = self.src.soa().dep_srcs()[idx];
+        let [a, b, c] = self.src.soa().dep_srcs()[self.rel(idx)];
         self.e
             .max(self.avail[a as usize])
             .max(self.avail[b as usize])
@@ -371,7 +383,7 @@ impl<S: InstSource> Engine<'_, S> {
     /// [`mlp_isa::DEP_WRITE_NONE`] trash slot).
     #[inline]
     fn set_avail(&mut self, idx: usize, epoch: u64) {
-        self.avail[self.src.soa().dep_dst()[idx] as usize] = epoch;
+        self.avail[self.src.soa().dep_dst()[self.rel(idx)] as usize] = epoch;
     }
 
     fn push_entry(&mut self, exec: u64, complete: u64) {
@@ -405,7 +417,7 @@ impl<S: InstSource> Engine<'_, S> {
 
     fn admit(&mut self, idx: usize) {
         let data = self.data_epoch(idx);
-        match self.src.soa().class()[idx] {
+        match self.src.soa().class()[self.rel(idx)] {
             CLASS_ALU | CLASS_NOP => {
                 self.set_avail(idx, data);
                 self.push_entry(data, data);
@@ -441,8 +453,8 @@ impl<S: InstSource> Engine<'_, S> {
             CLASS_STORE => self.admit_store(idx, data),
             CLASS_PREFETCH => {
                 let exec = data;
-                if self.src.soa().has_mem(idx) {
-                    let addr = self.src.soa().addr()[idx];
+                if self.src.soa().has_mem(self.rel(idx)) {
+                    let addr = self.src.soa().addr()[self.rel(idx)];
                     let line = line_of(addr);
                     let in_flight = self.line_avail.get(&line).copied().unwrap_or(0) > exec;
                     if !in_flight && self.hierarchy.prefetch(addr).is_off_chip() {
@@ -479,8 +491,11 @@ impl<S: InstSource> Engine<'_, S> {
         policy_cause: Option<Inhibitor>,
         also_store: bool,
     ) {
-        debug_assert!(self.src.soa().has_mem(idx), "loads carry a memory access");
-        let addr = self.src.soa().addr()[idx];
+        debug_assert!(
+            self.src.soa().has_mem(self.rel(idx)),
+            "loads carry a memory access"
+        );
+        let addr = self.src.soa().addr()[self.rel(idx)];
         let line = line_of(addr);
         let fwd = self.store_fwd.get(&(addr & !7)).copied();
         let (ready, missed) = if let Some(ef) = fwd {
@@ -503,8 +518,8 @@ impl<S: InstSource> Engine<'_, S> {
                     self.tracker.note_policy(self.e, cause);
                 }
             }
-            let pc = self.src.soa().pc()[idx];
-            let value = self.src.soa().value()[idx];
+            let pc = self.src.soa().pc()[self.rel(idx)];
+            let value = self.src.soa().value()[self.rel(idx)];
             let predicted = matches!(
                 self.values.observe(pc, value),
                 Some(ValuePrediction::Correct)
@@ -534,8 +549,11 @@ impl<S: InstSource> Engine<'_, S> {
         if self.loads_in_order && self.last_mem_exec > exec {
             exec = self.last_mem_exec;
         }
-        debug_assert!(self.src.soa().has_mem(idx), "stores carry a memory access");
-        let addr = self.src.soa().addr()[idx];
+        debug_assert!(
+            self.src.soa().has_mem(self.rel(idx)),
+            "stores carry a memory access"
+        );
+        let addr = self.src.soa().addr()[self.rel(idx)];
         // Write-allocate install; store misses are absorbed by the store
         // buffer and are not useful off-chip accesses (paper §2.1). With
         // a finite buffer (the paper's future-work store-MLP study) each
@@ -564,7 +582,7 @@ impl<S: InstSource> Engine<'_, S> {
         if self.wait_store_addr {
             // The address register is slot 0 of the *raw* source columns
             // (dependence columns are compacted and lose slot positions).
-            let r = self.src.soa().srcs_raw()[idx][0];
+            let r = self.src.soa().srcs_raw()[self.rel(idx)][0];
             let addr_ready = if r == REG_NONE || r == 0 {
                 self.e
             } else {
@@ -590,9 +608,11 @@ impl<S: InstSource> Engine<'_, S> {
         let info = self
             .src
             .soa()
-            .branch_info(idx)
+            .branch_info(self.rel(idx))
             .expect("branch classes carry branch info");
-        let mispredicted = self.branches.observe_branch(self.src.soa().pc()[idx], info);
+        let mispredicted = self
+            .branches
+            .observe_branch(self.src.soa().pc()[self.rel(idx)], info);
         if mispredicted && exec > self.e {
             // Unresolvable misprediction: the processor runs down the
             // wrong path until the branch resolves.

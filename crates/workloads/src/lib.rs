@@ -48,5 +48,5 @@ mod store;
 mod walker;
 
 pub use config::{WorkloadConfig, WorkloadKind};
-pub use store::{SharedTrace, TraceCursor, TraceStore};
+pub use store::{SharedTrace, TraceChunks, TraceCursor, TraceStore};
 pub use walker::Workload;

@@ -33,8 +33,10 @@ cargo test -q --release -p mlp-experiments --test differential
 
 echo "==> no-panic property suites"
 # Hostile-input coverage: arbitrary/mutated trace bytes must never panic
-# the decoder, and randomly panicking sweep jobs must never lose a slot.
+# the decoders (v1 and chunked v2), and randomly panicking sweep jobs
+# must never lose a slot.
 cargo test -q -p mlp-isa --test prop
+cargo test -q -p mlp-isa --test chunked_prop
 cargo test -q -p mlp-par --test prop
 
 echo "==> model + observability property suites"
@@ -57,6 +59,19 @@ target/release/mlp-stats timeline "$smoke_dir/epochs.quick.jsonl" >/dev/null
 target/release/mlp-stats diff \
     "$smoke_dir/epochs.quick.json" "$smoke_dir/epochs.quick.json" >/dev/null
 
+echo "==> streaming smoke (spilled trace run == in-memory run)"
+# Force every trace to spill as a chunked v2 file and re-run an
+# experiment from disk: the streamed report must be byte-identical to
+# the in-memory one.
+stream_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir" "$stream_dir"' EXIT
+target/release/mlp-experiments table5 --scale quick \
+    --json "$stream_dir/mem" >/dev/null
+MLP_TRACE_CACHE_BYTES=0 target/release/mlp-experiments table5 --scale quick \
+    --trace-cache "$stream_dir/cache" --json "$stream_dir/disk" >/dev/null
+ls "$stream_dir"/cache/*.mlp2 >/dev/null   # traces really went to disk
+diff "$stream_dir/mem/table5.quick.json" "$stream_dir/disk/table5.quick.json"
+
 echo "==> line coverage (fail-soft; see scripts/coverage.sh)"
 if scripts/coverage.sh; then
     :
@@ -74,5 +89,12 @@ echo "==> experiment bench (records results/BENCH_experiments.json; guards figur
 # baseline and fails on a >3x same-scale regression. Re-bless intentional
 # changes with MLP_BENCH_GUARD=off.
 cargo bench -q -p mlp-bench --bench experiments >/dev/null
+
+echo "==> stream bench (records results/BENCH_stream.json; guards peak RSS + wall time)"
+# Bounded-memory property of the streaming path at the paper's window
+# size: spill 100M instructions, run from disk, assert peak RSS stays
+# under the absolute streaming budget. (~90s; the bench's own default is
+# 8M so plain 'cargo bench' stays fast.)
+MLP_STREAM_BENCH_INSTS=100M cargo bench -q -p mlp-bench --bench stream >/dev/null
 
 echo "All checks passed."

@@ -127,6 +127,24 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// Snapshots the generator state (for checkpoint/resume).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`SmallRng::state`] snapshot.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state (a xoshiro fixed point no seed
+        /// can reach).
+        pub fn from_state(s: [u64; 4]) -> SmallRng {
+            assert!(s != [0; 4], "all-zero xoshiro state");
+            SmallRng { s }
+        }
+    }
+
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = *state;
