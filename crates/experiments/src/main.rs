@@ -48,10 +48,10 @@
 //! any failed (or an artifact could not be written), `2` for usage
 //! errors.
 
+use mlp_experiments::exec;
 use mlp_experiments::registry::{self, Experiment};
 use mlp_experiments::report::Report;
 use mlp_experiments::RunScale;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Default directory for `--json` output.
@@ -218,27 +218,6 @@ struct Failure {
     error: String,
 }
 
-/// Replaces the default panic hook (full backtrace per panic, noisy when
-/// a contained sweep job dies) with a one-line stderr note. The payload
-/// still reaches the isolation boundary via `catch_unwind`.
-fn install_compact_panic_hook() {
-    std::panic::set_hook(Box::new(|info| {
-        // Push any buffered event lines to disk first: a panic must not
-        // leave the `--events` trace with a torn final line.
-        mlp_obs::flush_event_sink();
-        let msg = info
-            .payload()
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| info.payload().downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        match info.location() {
-            Some(loc) => eprintln!("[panic at {loc}: {msg}]"),
-            None => eprintln!("[panic: {msg}]"),
-        }
-    }));
-}
-
 fn print_failure_summary(failures: &[Failure], total: usize) {
     let width = failures
         .iter()
@@ -287,7 +266,7 @@ fn main() {
         }
         mlp_obs::enable_events();
     }
-    install_compact_panic_hook();
+    exec::install_compact_panic_hook();
     let mut failures: Vec<Failure> = Vec::new();
     let t_all = Instant::now();
     // Wall time of each whole experiment — recorded before the counter
@@ -319,23 +298,23 @@ fn main() {
                 ("scale", cli.scale.label().into()),
             ],
         );
-        let t0 = Instant::now();
         // The isolation boundary: a panic anywhere inside one experiment
         // (its sweeps run under mlp_par's per-job containment and re-raise
-        // here) must not abort the batch.
-        let outcome = catch_unwind(AssertUnwindSafe(|| e.run(cli.scale)));
-        let elapsed = t0.elapsed();
+        // here) must not abort the batch. Shared with the mlp-serve
+        // daemon via exec::run_isolated.
+        let iso = exec::run_isolated(*e, cli.scale);
+        let elapsed = iso.elapsed;
         EXPERIMENT_TIMER.record_ns(elapsed.as_nanos() as u64);
         mlp_obs::emit(
             "experiment.end",
             &[
                 ("experiment", e.name().into()),
-                ("ok", outcome.is_ok().into()),
+                ("ok", iso.outcome.is_ok().into()),
                 ("wall_ms", (elapsed.as_secs_f64() * 1e3).into()),
             ],
         );
         let metrics = obs_counters.then(mlp_obs::snapshot_and_reset);
-        match outcome {
+        match iso.outcome {
             Ok(mut run) => {
                 if let Some(snapshot) = &metrics {
                     run.report.set_metrics(snapshot);
@@ -356,8 +335,7 @@ fn main() {
                 }
                 eprintln!("[{} finished in {:.1}s]\n", e.name(), elapsed.as_secs_f64());
             }
-            Err(payload) => {
-                let error = mlp_par::panic_message(payload);
+            Err(error) => {
                 eprintln!(
                     "[{} FAILED after {:.1}s: {error}]\n",
                     e.name(),

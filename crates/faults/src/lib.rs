@@ -15,14 +15,20 @@
 //! | [`SWEEP_PANIC`] | `sweep-panic:<n>` | the *n*-th sweep job started by `mlp_par::try_par_map` (counted process-wide, 1-based) panics |
 //! | [`CURSOR_TRUNCATE`] | `cursor-truncate:<n>` | every materialized trace cursor is capped at `n` instructions, so a run drains its trace early |
 //! | [`TRACE_BITFLIP`] | `trace-bitflip:<bit>` | `mlp_isa::tracefile::read` sees bit `bit` (a process-wide bit offset into the stream) flipped |
+//! | [`SERVE_JOB_HANG`] | `serve-job-hang:<n>` | the *n*-th job body started by the `mlp-serve` worker pool wedges (sleeps past any deadline) |
+//! | [`SERVE_IO_ERROR`] | `serve-io-error:<n>` | the *n*-th serve job attempt fails with a transient injected IO error (retried with backoff) |
+//! | [`SERVE_CACHE_CORRUPT`] | `serve-cache-corrupt:<n>` | the *n*-th result-cache write by `mlp-serve` stores corrupt bytes |
 //!
-//! Two probe flavours cover those semantics: [`fire`] counts dynamic
+//! Three probe flavours cover those semantics: [`fire`] counts dynamic
 //! occurrences and panics on the *n*-th one (for sites whose parameter is
-//! an ordinal), while [`param`] just hands the armed parameter back (for
-//! sites whose parameter is a size or offset). Determinism: occurrence
-//! counting uses a single process-wide counter, so which *experiment* a
-//! fault lands in depends only on the cumulative number of probes —
-//! experiments run sequentially — never on thread scheduling.
+//! an ordinal), [`trip`] counts the same way but *returns* `true` on the
+//! armed occurrence instead of panicking (for sites whose effect is not a
+//! panic — hanging a worker, corrupting bytes), and [`param`] just hands
+//! the armed parameter back (for sites whose parameter is a size or
+//! offset). Determinism: occurrence counting uses a single process-wide
+//! counter, so which *experiment* a fault lands in depends only on the
+//! cumulative number of probes — experiments run sequentially — never on
+//! thread scheduling.
 //!
 //! A malformed `MLP_FAULT` value is reported once on stderr and ignored:
 //! a typo'd injection must not silently pass a fault test, and the
@@ -51,6 +57,16 @@ pub const SWEEP_PANIC: &str = "sweep-panic";
 pub const CURSOR_TRUNCATE: &str = "cursor-truncate";
 /// Site name: flip the armed bit offset in a binary trace stream.
 pub const TRACE_BITFLIP: &str = "trace-bitflip";
+/// Site name: wedge the n-th job body started by the `mlp-serve` worker
+/// pool (the body sleeps far past any configured deadline, so the
+/// daemon's watchdog must reclaim the worker).
+pub const SERVE_JOB_HANG: &str = "serve-job-hang";
+/// Site name: fail the n-th serve job attempt with a transient injected
+/// IO error (the daemon retries it with capped backoff).
+pub const SERVE_IO_ERROR: &str = "serve-io-error";
+/// Site name: corrupt the bytes of the n-th result-cache write performed
+/// by `mlp-serve` (a later read must detect and regenerate).
+pub const SERVE_CACHE_CORRUPT: &str = "serve-cache-corrupt";
 
 /// The environment variable that arms a fault site.
 pub const ENV_VAR: &str = "MLP_FAULT";
@@ -123,17 +139,26 @@ pub fn param(site: &str) -> Option<u64> {
 ///
 /// Panics with an `injected fault:` message on the n-th occurrence.
 pub fn fire(site: &str) {
-    let hit = with_armed(|armed| match armed {
+    if trip(site) {
+        let n = param(site).unwrap_or(0);
+        panic!("injected fault: {site}:{n} (occurrence {n})");
+    }
+}
+
+/// Counts one dynamic occurrence of `site` and returns `true` if it is
+/// the armed occurrence (1-based), `false` otherwise. The non-panicking
+/// sibling of [`fire`], for sites whose injected effect is behavioural
+/// rather than a panic — wedging a worker, corrupting bytes on the way
+/// to disk. Always `false` unless `site` is armed; an armed parameter of
+/// `0` never trips.
+pub fn trip(site: &str) -> bool {
+    with_armed(|armed| match armed {
         Some(a) if a.site == site => {
             a.occurrences += 1;
             a.occurrences == a.param
         }
         _ => false,
-    });
-    if hit {
-        let n = param(site).unwrap_or(0);
-        panic!("injected fault: {site}:{n} (occurrence {n})");
-    }
+    })
 }
 
 /// Arms `site` with `param` (or disarms everything with `None`),
@@ -209,6 +234,19 @@ mod tests {
         fire(SWEEP_PANIC);
         fire(SWEEP_PANIC);
         set_for_test(None);
+    }
+
+    #[test]
+    fn trip_returns_true_exactly_once() {
+        let _g = lock();
+        set_for_test(Some((SERVE_JOB_HANG, 2)));
+        assert!(!trip(SERVE_JOB_HANG));
+        assert!(trip(SERVE_JOB_HANG), "second occurrence must trip");
+        assert!(!trip(SERVE_JOB_HANG), "later occurrences stay quiet");
+        // Other sites never trip while a different site is armed.
+        assert!(!trip(SERVE_IO_ERROR));
+        set_for_test(None);
+        assert!(!trip(SERVE_CACHE_CORRUPT), "unarmed probes never trip");
     }
 
     #[test]

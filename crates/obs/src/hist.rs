@@ -146,6 +146,31 @@ impl Histogram {
             max,
         })
     }
+
+    /// Reads the histogram without resetting it, returning its value if
+    /// any observation was recorded. The non-draining sibling of
+    /// [`Histogram::drain`] for live status endpoints that must not
+    /// perturb accumulating state.
+    pub(crate) fn peek(&'static self) -> Option<HistogramValue> {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            if n != 0 {
+                buckets.push((b as u32, n));
+                count += n;
+            }
+        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        (count != 0).then_some(HistogramValue {
+            name: self.name,
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
 }
 
 /// One histogram's drained distribution.

@@ -158,6 +158,19 @@ pub fn enable_events() {
     MODE.store(encode(upgraded), Ordering::Relaxed);
 }
 
+/// Arms counter accumulation on top of whatever the env said — the
+/// `mlp-serve` daemon's `/statusz` metrics must work without requiring
+/// every deployment to export `MLP_OBS`. Never downgrades.
+pub fn enable_counters() {
+    let upgraded = match mode() {
+        Mode::Off => Mode::Counters,
+        Mode::Events => Mode::All,
+        m => m,
+    };
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    MODE.store(encode(upgraded), Ordering::Relaxed);
+}
+
 /// How a counter combines recorded values.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CounterKind {
@@ -418,6 +431,58 @@ pub fn snapshot_and_reset() -> Snapshot {
     let mut histograms: Vec<HistogramValue> = {
         let reg = hist::HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner());
         reg.iter().filter_map(|h| h.drain()).collect()
+    };
+    histograms.sort_by_key(|h| h.name);
+    Snapshot {
+        counters,
+        timers,
+        histograms,
+    }
+}
+
+/// Reads every registered counter, timer and histogram **without
+/// resetting anything** and returns the nonzero ones, sorted by name.
+///
+/// The non-draining sibling of [`snapshot_and_reset`], for live status
+/// endpoints (`mlp-serve /statusz`) that report cumulative process
+/// totals: a status probe must observe the daemon, not disturb it, so
+/// two consecutive probes with no intervening activity return identical
+/// snapshots.
+pub fn snapshot() -> Snapshot {
+    let mut counters: Vec<CounterValue> = {
+        let reg = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .filter_map(|c| {
+                let value = c.value.load(Ordering::Relaxed);
+                (value != 0).then_some(CounterValue {
+                    name: c.name,
+                    kind: c.kind,
+                    value,
+                })
+            })
+            .collect()
+    };
+    counters.sort_by_key(|c| c.name);
+    let mut timers: Vec<TimerValue> = {
+        let reg = TIMERS.lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .filter_map(|t| {
+                let count = t.count.load(Ordering::Relaxed);
+                let total_ns = t.total_ns.load(Ordering::Relaxed);
+                let max_ns = t.max_ns.load(Ordering::Relaxed);
+                (count != 0).then_some(TimerValue {
+                    name: t.name,
+                    count,
+                    total_ns,
+                    max_ns,
+                })
+            })
+            .collect()
+    };
+    timers.sort_by_key(|t| t.name);
+    let mut histograms: Vec<HistogramValue> = {
+        let reg = hist::HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter().filter_map(|h| h.peek()).collect()
     };
     histograms.sort_by_key(|h| h.name);
     Snapshot {
@@ -740,6 +805,55 @@ mod tests {
         set_event_sink(None).expect("flush sink");
         assert_eq!(std::fs::read_to_string(&path).expect("read"), "");
         let _ = std::fs::remove_file(&path);
+        set_for_test(None);
+    }
+
+    #[test]
+    fn enable_counters_upgrades_but_never_downgrades() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_for_test(Some(Mode::Off));
+        enable_counters();
+        assert_eq!(mode(), Mode::Counters);
+        set_for_test(Some(Mode::Events));
+        enable_counters();
+        assert_eq!(mode(), Mode::All);
+        set_for_test(Some(Mode::All));
+        enable_counters();
+        assert_eq!(mode(), Mode::All);
+        set_for_test(None);
+    }
+
+    static PEEK_HITS: Counter = Counter::new("test.peek.hits");
+    static PEEK_PHASE: PhaseTimer = PhaseTimer::new("test.peek.phase");
+    static PEEK_HIST: Histogram = Histogram::new("test.peek.hist");
+
+    #[test]
+    fn snapshot_reads_without_resetting() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_for_test(Some(Mode::Counters));
+        let _ = snapshot_and_reset();
+        PEEK_HITS.add(4);
+        PEEK_PHASE.record_ns(800);
+        PEEK_HIST.record(17);
+        let first = snapshot();
+        let second = snapshot();
+        assert_eq!(first, second, "consecutive peeks must be identical");
+        assert_eq!(first.counter("test.peek.hits"), 4);
+        let timer = first
+            .timers
+            .iter()
+            .find(|t| t.name == "test.peek.phase")
+            .expect("timer peeked");
+        assert_eq!((timer.count, timer.total_ns), (1, 800));
+        let h = first.histogram("test.peek.hist").expect("hist peeked");
+        assert_eq!((h.count, h.sum, h.max), (1, 17, 17));
+        // Values keep accumulating after a peek…
+        PEEK_HITS.add(1);
+        assert_eq!(snapshot().counter("test.peek.hits"), 5);
+        // …and are still there for the draining snapshot.
+        let drained = snapshot_and_reset();
+        assert_eq!(drained.counter("test.peek.hits"), 5);
+        assert!(snapshot().counter("test.peek.hits") == 0);
         set_for_test(None);
     }
 

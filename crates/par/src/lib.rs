@@ -36,8 +36,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Duration;
 
 /// Programmatic thread-count override; `0` means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -103,6 +104,15 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
+/// Placeholder message for panic payloads that are not `&str`/`String`.
+///
+/// `std::panic::panic_any` lets code throw arbitrary types; every
+/// containment layer in the workspace funnels such payloads through
+/// [`panic_message`], so they all report this exact marker (plus the job
+/// index, via [`JobPanic`]'s `Display`) instead of each inventing its own
+/// wording.
+pub const NON_STRING_PANIC: &str = "<non-string panic>";
+
 /// Stringifies a `catch_unwind` payload.
 pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -110,7 +120,7 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
-        "non-string panic payload".to_string()
+        NON_STRING_PANIC.to_string()
     }
 }
 
@@ -219,6 +229,161 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map(&items, f)
+}
+
+/// Outcome of running one closure under [`supervised`].
+#[derive(Debug)]
+pub enum Supervised<R> {
+    /// The closure returned normally.
+    Finished(R),
+    /// The closure panicked; the payload is stringified with
+    /// [`panic_message`].
+    Panicked(String),
+    /// The closure did not finish within the deadline. Its thread is
+    /// *detached*, not killed — safe Rust cannot cancel a running
+    /// thread — so the closure may still be executing in the background.
+    TimedOut,
+}
+
+/// Runs `f` on a fresh thread and waits at most `deadline` for it to
+/// finish, containing panics.
+///
+/// This is the watchdog primitive under `mlp-serve`'s per-job deadline
+/// enforcement: the supervising thread blocks on a channel with
+/// `recv_timeout`, so a wedged closure costs the caller exactly the
+/// deadline and never a hang. On timeout the worker thread is detached
+/// (it keeps running until it finishes or the process exits), which is
+/// why `f` must own everything it touches (`'static`) — it can outlive
+/// the caller's stack frame.
+pub fn supervised<R, F>(deadline: Duration, f: F) -> Supervised<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Result<R, String>>();
+    let handle = thread::Builder::new()
+        .name("mlp-par-supervised".into())
+        .spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(f)).map_err(panic_message);
+            // The supervisor may have given up already; a dead receiver
+            // just means the result is dropped with the thread.
+            let _ = tx.send(out);
+        })
+        .expect("spawning a supervised worker thread");
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(r)) => {
+            let _ = handle.join();
+            Supervised::Finished(r)
+        }
+        Ok(Err(msg)) => {
+            let _ = handle.join();
+            Supervised::Panicked(msg)
+        }
+        Err(_) => Supervised::TimedOut,
+    }
+}
+
+/// Why a deadline-supervised job produced no result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job panicked (contained, message preserved).
+    Panic(JobPanic),
+    /// The job exceeded its wall-clock deadline and was abandoned.
+    Timeout {
+        /// Index of the job in the input slice.
+        index: usize,
+        /// The deadline it exceeded.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Panic(p) => write!(f, "{p}"),
+            JobFailure::Timeout { index, deadline } => write!(
+                f,
+                "sweep job {index} exceeded its {}ms deadline",
+                deadline.as_millis()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// [`try_par_map`] with a per-job wall-clock deadline.
+///
+/// Each job runs on its own [`supervised`] thread: a job that panics
+/// yields `Err(JobFailure::Panic)` in its slot, a job that outlives
+/// `deadline` yields `Err(JobFailure::Timeout)` and its thread is
+/// detached, and every other job still runs to completion, in input
+/// order. Because a timed-out job's thread can outlive this call, the
+/// items and closure are owned (`Clone`/`'static`) rather than borrowed —
+/// the abandoned thread keeps its own copies.
+pub fn try_par_map_deadline<T, R, F>(
+    items: &[T],
+    deadline: Duration,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let run = |i: usize, item: T| -> Result<R, JobFailure> {
+        let f = Arc::clone(&f);
+        match supervised(deadline, move || {
+            mlp_faults::fire(mlp_faults::SWEEP_PANIC);
+            f(item)
+        }) {
+            Supervised::Finished(r) => Ok(r),
+            Supervised::Panicked(message) => Err(JobFailure::Panic(JobPanic { index: i, message })),
+            Supervised::TimedOut => Err(JobFailure::Timeout { index: i, deadline }),
+        }
+    };
+
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run(i, item.clone()))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, JobFailure>)>();
+    let mut slots: Vec<Option<Result<R, JobFailure>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = run(i, items[i].clone());
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index was claimed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -353,6 +518,89 @@ mod tests {
         assert_eq!(p.to_string(), "sweep job 7 panicked: oops");
         assert_eq!(panic_message(Box::new("static")), "static");
         assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
-        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
+        assert_eq!(panic_message(Box::new(42u32)), NON_STRING_PANIC);
+        assert_eq!(panic_message(Box::new(42u32)), "<non-string panic>");
+    }
+
+    #[test]
+    fn non_string_panic_payload_keeps_marker_and_index() {
+        let _g = lock();
+        for threads in [1, 4] {
+            set_thread_override(Some(threads));
+            let out = try_par_map(&[0u32, 1, 2, 3], |&x| {
+                if x == 2 {
+                    std::panic::panic_any(0xdeadbeefu64);
+                }
+                x
+            });
+            set_thread_override(None);
+            let err = out[2].as_ref().expect_err("job 2 must fail");
+            assert_eq!(err.index, 2);
+            assert_eq!(err.message, NON_STRING_PANIC);
+            assert_eq!(err.to_string(), "sweep job 2 panicked: <non-string panic>");
+            assert_eq!(out[0], Ok(0));
+            assert_eq!(out[1], Ok(1));
+            assert_eq!(out[3], Ok(3));
+        }
+    }
+
+    #[test]
+    fn supervised_outcomes() {
+        let _g = lock();
+        match supervised(Duration::from_secs(10), || 41 + 1) {
+            Supervised::Finished(42) => {}
+            other => panic!("expected Finished(42), got {other:?}"),
+        }
+        match supervised(Duration::from_secs(10), || -> u32 { panic!("kaput") }) {
+            Supervised::Panicked(msg) => assert_eq!(msg, "kaput"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        match supervised(Duration::from_millis(25), || {
+            thread::sleep(Duration::from_secs(30));
+            0u32
+        }) {
+            Supervised::TimedOut => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        match supervised(Duration::from_secs(10), || -> u32 {
+            std::panic::panic_any(7i32)
+        }) {
+            Supervised::Panicked(msg) => assert_eq!(msg, NON_STRING_PANIC),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_map_contains_timeouts_and_panics_in_their_slots() {
+        let _g = lock();
+        for threads in [1, 3] {
+            set_thread_override(Some(threads));
+            let deadline = Duration::from_millis(200);
+            let out = try_par_map_deadline(&[0u32, 1, 2, 3, 4], deadline, |x| {
+                match x {
+                    1 => thread::sleep(Duration::from_secs(30)), // wedged
+                    3 => panic!("job three exploded"),
+                    _ => {}
+                }
+                x * 10
+            });
+            set_thread_override(None);
+            assert_eq!(out.len(), 5);
+            assert_eq!(out[0], Ok(0));
+            assert_eq!(out[2], Ok(20));
+            assert_eq!(out[4], Ok(40));
+            assert_eq!(out[1], Err(JobFailure::Timeout { index: 1, deadline }));
+            assert_eq!(
+                out[1].as_ref().unwrap_err().to_string(),
+                "sweep job 1 exceeded its 200ms deadline"
+            );
+            match &out[3] {
+                Err(JobFailure::Panic(p)) => {
+                    assert_eq!(p.index, 3);
+                    assert_eq!(p.message, "job three exploded");
+                }
+                other => panic!("expected Panic in slot 3, got {other:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,159 @@
+//! `mlp-serve` — the fault-isolated simulation daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! mlp-serve [--addr host:port] [--port-file <path>] [--workers N]
+//!           [--queue N] [--deadline-ms N] [--retries N]
+//!           [--cache-dir <dir>] [--trace-cache <dir>]
+//! ```
+//!
+//! Binds `--addr` (default `127.0.0.1:0`, an ephemeral port) and serves
+//! experiment jobs until `POST /v1/shutdown`. `--port-file` writes the
+//! bound `host:port` to a file once listening — `scripts/check.sh` and
+//! the chaos tests use it instead of racing log output. Jobs run on
+//! `--workers` supervised threads behind a `--queue`-bounded admission
+//! queue; each gets `--deadline-ms` of wall clock spanning up to
+//! `--retries` retries of transient failures. `--cache-dir` enables the
+//! crash-safe result cache; `--trace-cache` pins the workload spill
+//! directory exactly like `mlp-experiments --trace-cache` (the warm
+//! in-memory [`mlp_workloads::TraceStore`] is process-global either way,
+//! so repeated jobs share materialized traces).
+//!
+//! Exit codes: `0` on clean shutdown, `1` on serve errors, `2` for
+//! usage errors.
+
+use mlp_serve::cache::ResultCache;
+use mlp_serve::jobs::{SchedConfig, Scheduler};
+use mlp_serve::server::Server;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mlp-serve [--addr host:port] [--port-file <path>] [--workers N] \
+         [--queue N] [--deadline-ms N] [--retries N] [--cache-dir <dir>] \
+         [--trace-cache <dir>]"
+    );
+    std::process::exit(2);
+}
+
+struct Cli {
+    addr: String,
+    port_file: Option<String>,
+    workers: usize,
+    queue: usize,
+    deadline_ms: u64,
+    retries: u32,
+    cache_dir: Option<String>,
+    trace_cache: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        addr: "127.0.0.1:0".to_string(),
+        port_file: None,
+        workers: 2,
+        queue: 16,
+        deadline_ms: 300_000,
+        retries: 2,
+        cache_dir: None,
+        trace_cache: None,
+    };
+    fn value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a String>) -> &'a String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    }
+    fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs a number, got '{raw}'");
+            usage()
+        })
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cli.addr = value("--addr", &mut it).clone(),
+            "--port-file" => cli.port_file = Some(value("--port-file", &mut it).clone()),
+            "--workers" => cli.workers = number("--workers", value("--workers", &mut it)),
+            "--queue" => cli.queue = number("--queue", value("--queue", &mut it)),
+            "--deadline-ms" => {
+                cli.deadline_ms = number("--deadline-ms", value("--deadline-ms", &mut it))
+            }
+            "--retries" => cli.retries = number("--retries", value("--retries", &mut it)),
+            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir", &mut it).clone()),
+            "--trace-cache" => cli.trace_cache = Some(value("--trace-cache", &mut it).clone()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+
+    // Same compact containment as the CLI: a contained job panic is one
+    // stderr line, not a backtrace storm.
+    mlp_experiments::exec::install_compact_panic_hook();
+
+    if let Some(dir) = &cli.trace_cache {
+        mlp_workloads::TraceStore::global().set_cache_dir(dir);
+    }
+
+    let sched = Scheduler::start(SchedConfig {
+        workers: cli.workers,
+        queue_cap: cli.queue,
+        deadline: Duration::from_millis(cli.deadline_ms),
+        retries: cli.retries,
+        cache: cli.cache_dir.as_ref().map(ResultCache::new),
+    });
+
+    let server = match Server::bind(&cli.addr, sched) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mlp-serve: cannot bind {}: {e}", cli.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mlp-serve: no local address: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &cli.port_file {
+        // Written atomically so a watching script never reads a torn
+        // half-written address.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .is_err()
+        {
+            eprintln!("mlp-serve: cannot write port file '{path}'");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "[mlp-serve listening on {addr}: {} workers, queue {}, deadline {}ms, retries {}, cache {}]",
+        cli.workers,
+        cli.queue,
+        cli.deadline_ms,
+        cli.retries,
+        cli.cache_dir.as_deref().unwrap_or("off"),
+    );
+
+    match server.run() {
+        Ok(()) => eprintln!("[mlp-serve drained and stopped]"),
+        Err(e) => {
+            eprintln!("mlp-serve: serve error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -45,7 +45,7 @@ use mlp_isa::tracefile::TraceFileError;
 use mlp_isa::{Inst, TraceSoA};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::BufReader;
+use std::io::{BufReader, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -298,6 +298,8 @@ impl Iterator for TraceCursor {
 /// One cached trace: the paused generator plus everything it has emitted
 /// (in the column buffer, or in a spilled chunk file, never both).
 struct Entry {
+    kind: WorkloadKind,
+    seed: u64,
     generator: Workload,
     buf: TraceSoA,
     /// Immutable snapshot of `buf`, rebuilt lazily after growth.
@@ -310,6 +312,8 @@ struct Entry {
 impl Entry {
     fn new(kind: WorkloadKind, seed: u64) -> Entry {
         Entry {
+            kind,
+            seed,
             generator: Workload::new(kind, seed),
             buf: TraceSoA::new(),
             shared: None,
@@ -336,7 +340,9 @@ impl Entry {
 
     /// Moves this entry to the spilled tier with at least `len`
     /// instructions on disk, reusing a valid existing `(file, sidecar)`
-    /// pair when one is present.
+    /// pair when one is present. Callers must hold the [`SpillLock`] for
+    /// the file: adoption + append and fresh writes both mutate the
+    /// shared on-disk pair.
     fn spill(
         &mut self,
         kind: WorkloadKind,
@@ -383,6 +389,9 @@ impl Entry {
     /// resuming the paused generator. Handles holding the pre-append
     /// index stay valid: appending only adds frames and rewrites the
     /// footer, never moves existing chunks.
+    ///
+    /// Callers must hold the [`SpillLock`] for the file: appends rewrite
+    /// the footer in place, so two writers interleaving would corrupt it.
     fn extend_spill(&mut self, len: usize) -> Result<(), TraceFileError> {
         let sp = self.spilled.as_ref().expect("extend requires a spill");
         if sp.index.total_insts >= len as u64 {
@@ -391,6 +400,31 @@ impl Entry {
         let path = sp.path.clone();
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
         let mut w = ChunkedWriter::resume(file)?;
+        if w.total_insts() != self.generator.emitted() {
+            // Another process appended since this entry last synced with
+            // the file (its sidecar moved with it). Re-adopt the on-disk
+            // (file, sidecar) pair so we resume from the true tail
+            // instead of appending stale instructions over it.
+            drop(w);
+            let ckpt = path.with_extension("ckpt");
+            let (generator, index) =
+                try_adopt(&path, &ckpt, self.kind, self.seed).ok_or_else(|| {
+                    TraceFileError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "spill file advanced but its sidecar no longer validates",
+                    ))
+                })?;
+            self.generator = generator;
+            self.spilled = Some(Arc::new(SpilledTrace {
+                path: path.clone(),
+                index,
+            }));
+            if self.spilled.as_ref().expect("just set").index.total_insts >= len as u64 {
+                return Ok(());
+            }
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            w = ChunkedWriter::resume(file)?;
+        }
         let need = len as u64 - w.total_insts();
         for inst in self.generator.by_ref().take(need as usize) {
             w.push(&inst)?;
@@ -413,6 +447,88 @@ impl Entry {
 
 fn spill_path(dir: &Path, kind: WorkloadKind, seed: u64) -> PathBuf {
     dir.join(format!("{kind:?}-{seed}.mlp2").to_lowercase())
+}
+
+/// Advisory writer lock for one spill file: a `.lock` sidecar created
+/// with `O_EXCL` holding the owner's pid, removed on drop.
+///
+/// Spill files are shared across processes (adoption), and appends
+/// rewrite the footer in place, so two writers interleaving would
+/// corrupt the file. The lock serializes *writers* only — reads of
+/// already-written frames need no lock because appends never move
+/// existing chunks. A lock whose owner pid is no longer alive (per
+/// `/proc`) is stale — e.g. a crashed run — and is stolen; on platforms
+/// without `/proc` liveness is unknowable, so locks are honoured until
+/// their owner removes them.
+struct SpillLock {
+    path: PathBuf,
+}
+
+impl SpillLock {
+    /// Tries to take the writer lock for the spill file at `path`.
+    /// Returns `None` on contention (another live process owns it) or
+    /// when the lock file cannot be created at all.
+    fn acquire(path: &Path) -> Option<SpillLock> {
+        let lock_path = path.with_extension("lock");
+        // At most one steal attempt: first pass may find a stale lock,
+        // second pass must win the O_EXCL race or give up.
+        for _ in 0..2 {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.flush();
+                    return Some(SpillLock { path: lock_path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&lock_path) {
+                        let _ = fs::remove_file(&lock_path);
+                        continue;
+                    }
+                    return None;
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+impl Drop for SpillLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether an existing lock file's owner is provably dead.
+///
+/// Empty/unreadable content means the owner is between `O_EXCL` and
+/// writing its pid — treat as live. Non-numeric content is garbage (not
+/// written by us) — treat as stale. A numeric pid is probed via `/proc`;
+/// without `/proc` we assume live (conservative: fall back to memory
+/// rather than corrupt a file something may be writing).
+fn lock_is_stale(lock_path: &Path) -> bool {
+    let Ok(text) = fs::read_to_string(lock_path) else {
+        return false;
+    };
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return false;
+    }
+    let Ok(pid) = trimmed.parse::<u32>() else {
+        return true;
+    };
+    if pid == std::process::id() {
+        return false;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return false;
+    }
+    !proc_root.join(pid.to_string()).exists()
 }
 
 /// Writes a checkpoint sidecar atomically (temp + rename).
@@ -537,7 +653,20 @@ impl TraceStore {
             .unwrap_or_else(|e| e.into_inner())
             .clone();
         let mut entry = cell.lock().unwrap_or_else(|e| e.into_inner());
-        if entry.spilled.is_some() {
+        if let Some(sp) = &entry.spilled {
+            // Reads of already-written frames need no lock: appends only
+            // ever add frames past the snapshotted index.
+            if sp.index.total_insts >= len as u64 {
+                return entry.spilled_trace(len);
+            }
+            let path = sp.path.clone();
+            let Some(_lock) = SpillLock::acquire(&path) else {
+                // Another live process is appending to this file right
+                // now. Serve this one request from the memory tier (a
+                // throwaway regeneration) instead of racing the writer;
+                // the entry keeps its spill and re-syncs next request.
+                return Entry::new(kind, seed).memory_trace_of_len(len);
+            };
             if entry.extend_spill(len).is_ok() {
                 return entry.spilled_trace(len);
             }
@@ -548,8 +677,15 @@ impl TraceStore {
             *entry = fresh;
             return t;
         }
-        if policy.should_spill(len) && entry.spill(kind, seed, len, &policy.dir).is_ok() {
-            return entry.spilled_trace(len);
+        if policy.should_spill(len) && fs::create_dir_all(&policy.dir).is_ok() {
+            let path = spill_path(&policy.dir, kind, seed);
+            if let Some(_lock) = SpillLock::acquire(&path) {
+                if entry.spill(kind, seed, len, &policy.dir).is_ok() {
+                    return entry.spilled_trace(len);
+                }
+            }
+            // Contention or spill failure: memory tier, never racing the
+            // other writer. A later request retries the spill.
         }
         entry.memory_trace_of_len(len)
     }
@@ -565,6 +701,7 @@ impl TraceStore {
             if let Some(sp) = &entry.spilled {
                 let _ = fs::remove_file(&sp.path);
                 let _ = fs::remove_file(sp.path.with_extension("ckpt"));
+                let _ = fs::remove_file(sp.path.with_extension("lock"));
             }
         }
         entries.clear();
@@ -849,6 +986,94 @@ mod tests {
         store.set_cache_bytes(0);
         let again = store.trace(WorkloadKind::Database, 5, 60_000);
         assert_eq!(again.to_vec(), want);
+    }
+
+    #[test]
+    fn contended_fresh_spill_falls_back_to_memory() {
+        let (store, dir) = spilling_store("contend");
+        fs::create_dir_all(&dir.0).unwrap();
+        let path = spill_path(&dir.0, WorkloadKind::Database, 21);
+        // Simulate a live foreign writer: the owner pid (ours) is alive.
+        fs::write(path.with_extension("lock"), std::process::id().to_string()).unwrap();
+        let t = store.trace(WorkloadKind::Database, 21, 60_000);
+        assert!(!t.is_spilled(), "contended spill must fall back to memory");
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::Database, 21)
+            .take(60_000)
+            .collect();
+        assert_eq!(t.to_vec(), fresh);
+        // The "other process" releases the lock: the next request spills.
+        fs::remove_file(path.with_extension("lock")).unwrap();
+        let t2 = store.trace(WorkloadKind::Database, 21, 60_000);
+        assert!(t2.is_spilled());
+        assert_eq!(t2.to_vec(), fresh);
+        assert!(
+            !path.with_extension("lock").exists(),
+            "the writer lock is released after the spill"
+        );
+    }
+
+    #[test]
+    fn contended_extension_falls_back_without_clobbering_spill() {
+        let (store, dir) = spilling_store("contend-ext");
+        let short = store.trace(WorkloadKind::SpecWeb99, 13, 60_000);
+        assert!(short.is_spilled());
+        let path = spill_path(&dir.0, WorkloadKind::SpecWeb99, 13);
+        fs::write(path.with_extension("lock"), std::process::id().to_string()).unwrap();
+        let long = store.trace(WorkloadKind::SpecWeb99, 13, 120_000);
+        assert!(!long.is_spilled(), "contended append serves from memory");
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::SpecWeb99, 13)
+            .take(120_000)
+            .collect();
+        assert_eq!(long.to_vec(), fresh);
+        // The spilled prefix is still served lock-free in the meantime.
+        let prefix = store.trace(WorkloadKind::SpecWeb99, 13, 50_000);
+        assert!(prefix.is_spilled());
+        assert_eq!(prefix.to_vec(), &fresh[..50_000]);
+        // Lock released: the append goes through and stays correct.
+        fs::remove_file(path.with_extension("lock")).unwrap();
+        let long2 = store.trace(WorkloadKind::SpecWeb99, 13, 120_000);
+        assert!(long2.is_spilled());
+        assert_eq!(long2.to_vec(), fresh);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_owner_is_stolen() {
+        let (store, dir) = spilling_store("stale");
+        fs::create_dir_all(&dir.0).unwrap();
+        let path = spill_path(&dir.0, WorkloadKind::Database, 31);
+        // Far above any real pid_max: provably dead owner.
+        fs::write(path.with_extension("lock"), "999999999").unwrap();
+        let t = store.trace(WorkloadKind::Database, 31, 60_000);
+        assert!(t.is_spilled(), "a dead owner's lock must be stolen");
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::Database, 31)
+            .take(60_000)
+            .collect();
+        assert_eq!(t.to_vec(), fresh);
+        assert!(!path.with_extension("lock").exists());
+    }
+
+    #[test]
+    fn foreign_append_is_resynced_not_overwritten() {
+        // Two stores (standing in for two processes) share one cache dir.
+        let dir = TempDir::new("resync");
+        let a = TraceStore::new();
+        a.set_cache_dir(&dir.0);
+        a.set_cache_bytes(0);
+        let b = TraceStore::new();
+        b.set_cache_dir(&dir.0);
+        b.set_cache_bytes(0);
+        let _a1 = a.trace(WorkloadKind::SpecJbb2000, 17, 60_000);
+        // b adopts the file at 60k and appends to 90k; a's generator is
+        // now 30k instructions behind the file tail.
+        let _b1 = b.trace(WorkloadKind::SpecJbb2000, 17, 90_000);
+        // a extending to 120k must resync from the sidecar and append
+        // after the true tail, not write stale instructions over it.
+        let t = a.trace(WorkloadKind::SpecJbb2000, 17, 120_000);
+        assert!(t.is_spilled());
+        let fresh: Vec<Inst> = Workload::new(WorkloadKind::SpecJbb2000, 17)
+            .take(120_000)
+            .collect();
+        assert_eq!(t.to_vec(), fresh);
     }
 
     #[test]

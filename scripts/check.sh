@@ -72,6 +72,36 @@ MLP_TRACE_CACHE_BYTES=0 target/release/mlp-experiments table5 --scale quick \
 ls "$stream_dir"/cache/*.mlp2 >/dev/null   # traces really went to disk
 diff "$stream_dir/mem/table5.quick.json" "$stream_dir/disk/table5.quick.json"
 
+echo "==> serve chaos suite (hang/io-error/cache-corrupt/shed, release)"
+# Arms each MLP_FAULT serve site in a real daemon process and checks the
+# faulted job degrades while sibling responses stay byte-identical and
+# the daemon keeps serving.
+cargo test -q --release -p mlp-serve --test chaos
+
+echo "==> mlp-serve smoke (daemon response == CLI artifact bytes)"
+# Start the daemon on an ephemeral port, run one experiment through it,
+# and diff the response byte-for-byte against the file the CLI writes
+# for the same experiment and scale.
+serve_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir" "$stream_dir" "$serve_dir"' EXIT
+target/release/mlp-serve --addr 127.0.0.1:0 --port-file "$serve_dir/port" \
+    --workers 2 --cache-dir "$serve_dir/cache" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 150); do [ -s "$serve_dir/port" ] && break; sleep 0.1; done
+serve_addr=$(cat "$serve_dir/port")
+target/release/mlp-loadgen get "$serve_addr" /healthz | grep -q '"status":"ok"'
+target/release/mlp-loadgen run "$serve_addr" fm quick > "$serve_dir/served.json"
+target/release/mlp-experiments fm --scale quick --json "$serve_dir/cli" >/dev/null
+diff "$serve_dir/served.json" "$serve_dir/cli/fm.quick.json"
+
+echo "==> serve load burst (records results/BENCH_serve.json; 3x p50 guard)"
+# Client-observed latency distribution + serve.* counter deltas against
+# the same daemon (mostly cache-served after the smoke run above).
+# Re-bless intentional changes with MLP_BENCH_GUARD=off.
+target/release/mlp-loadgen bench "$serve_addr" --clients 4 --requests 8 >/dev/null
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
 echo "==> line coverage (fail-soft; see scripts/coverage.sh)"
 if scripts/coverage.sh; then
     :
