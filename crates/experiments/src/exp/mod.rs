@@ -17,6 +17,7 @@
 //! | [`figure11`] | Figure 11: overall performance improvement |
 //! | [`extensions`] | store-MLP study (paper future work) + ablations |
 //! | [`epochs`] | epoch-size distributions (§4.1 queueing-model use) |
+//! | [`sweep1000`] | surrogate-explored 3888-point design grid (§5 sweep space) |
 
 pub mod epochs;
 pub mod extensions;
@@ -29,6 +30,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod sweep1000;
 pub mod table1;
 pub mod table3;
 pub mod table4;

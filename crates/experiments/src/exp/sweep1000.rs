@@ -1,0 +1,437 @@
+//! `sweep1000`: surrogate-driven exploration of a 3888-point design grid.
+//!
+//! The paper's conclusions live in sweep space — MLP and CPI as
+//! functions of window size, MSHR count, latency and cache size — but a
+//! naive sweep prices every point with a full simulation. This
+//! experiment explores the full {workload} × {window} × {MSHRs} ×
+//! {latency} × {L2} grid (3 × 6 × 9 × 6 × 4 = 3888 points) with the
+//! `mlp-surrogate` active-sampling loop: simulate a small seed design,
+//! fit the physics-informed surrogate, then simulate only the points the
+//! ensemble is least sure about until cross-validation meets tolerance.
+//!
+//! Ground truth per point comes from the epoch model plus the §2.2 CPI
+//! equation extended with finite MSHRs: an epoch with `s` useful
+//! off-chip accesses and `m` MSHRs serializes into `ceil(s/m)` memory
+//! rounds, so
+//!
+//! ```text
+//! CPI(point) = CPI_onchip(workload)
+//!            + latency · Σ_s ceil(s/m)·hist[s] / instructions
+//! ```
+//!
+//! with the epoch-size histogram and instruction count measured by a
+//! real MLPsim run of that point's `(workload, window, L2)` cell. With
+//! `m = ∞` this reduces exactly to the paper's
+//! `CPI_onchip + MissRate·latency/MLP`. Only the engine-distinct cells
+//! are ever simulated (MSHRs and latency are analytic given the
+//! histogram), and the active loop touches a fraction of the 3888 points
+//! — the recorded `speedup_x` is grid points per simulated cell.
+
+use crate::registry::{Experiment, ExperimentRun};
+use crate::report::{Report, Row as JsonRow};
+use crate::runner::{run_mlpsim, sweep_grid};
+use crate::table::{f2, TextTable};
+use crate::RunScale;
+use mlp_mem::HierarchyConfig;
+use mlp_surrogate::active::{explore, ExploreConfig, Explored};
+use mlp_surrogate::{default_priors, ConfigPoint, WORKLOAD_NAMES};
+use mlp_workloads::WorkloadKind;
+use mlpsim::MlpsimConfig;
+use std::collections::BTreeMap;
+
+/// Swept coupled window/ROB sizes.
+pub const WINDOWS: [u32; 6] = [16, 32, 64, 128, 256, 512];
+/// Swept MSHR counts (outstanding off-chip accesses).
+pub const MSHRS: [u32; 9] = [1, 2, 3, 4, 6, 8, 16, 24, 32];
+/// Swept off-chip latencies (cycles).
+pub const LATENCIES: [u32; 6] = [150, 200, 300, 500, 750, 1000];
+/// Swept L2 capacities (KB).
+pub const L2_KB: [u32; 4] = [512, 1024, 2048, 4096];
+
+/// Pinned on-chip CPI per workload (index-aligned with
+/// [`WORKLOAD_NAMES`]): the Table 1 quick-scale calibration,
+/// `CPI_perf·(1−Overlap_CM)`. Pinned rather than re-measured so the
+/// truth function stays identical across scales and the golden snapshot
+/// pins one number.
+pub const ONCHIP_CPI: [f64; 3] = [0.955935, 1.2251975, 1.1923925];
+
+/// The full 3888-point grid, workload-major then window, L2, MSHRs,
+/// latency — a fixed, documented order so grid indices are stable.
+pub fn grid() -> Vec<ConfigPoint> {
+    let mut g = Vec::with_capacity(3 * WINDOWS.len() * L2_KB.len() * MSHRS.len() * LATENCIES.len());
+    for workload in 0..WORKLOAD_NAMES.len() {
+        for &window in &WINDOWS {
+            for &l2_kb in &L2_KB {
+                for &mshrs in &MSHRS {
+                    for &latency in &LATENCIES {
+                        g.push(ConfigPoint {
+                            workload,
+                            window,
+                            mshrs,
+                            latency,
+                            l2_kb,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// An engine-distinct cell: the simulator only sees `(workload, window,
+/// L2)` — MSHRs and latency enter analytically through [`truth_cpi`].
+pub type Cell = (usize, u32, u32);
+
+/// The cell a point prices itself from.
+pub fn cell_of(p: &ConfigPoint) -> Cell {
+    (p.workload, p.window, p.l2_kb)
+}
+
+/// Runs the epoch model for one cell.
+pub fn run_cell(cell: Cell, scale: RunScale) -> mlpsim::Report {
+    let (workload, window, l2_kb) = cell;
+    run_mlpsim(
+        WorkloadKind::ALL[workload],
+        MlpsimConfig::builder()
+            .coupled_window(window as usize)
+            .hierarchy(HierarchyConfig::default().with_l2_bytes(l2_kb as u64 * 1024))
+            .build(),
+        scale,
+    )
+}
+
+/// Ground-truth CPI for a point given its cell's measured report: the
+/// §2.2 equation with finite-MSHR serialization (see the module docs).
+pub fn truth_cpi(report: &mlpsim::Report, workload: usize, mshrs: u32, latency: u32) -> f64 {
+    let m = mshrs.max(1) as u64;
+    let rounds: u64 = report
+        .epoch_size_histogram
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(s, &n)| n * (s as u64).div_ceil(m))
+        .sum();
+    ONCHIP_CPI[workload] + latency as f64 * rounds as f64 / report.insts.max(1) as f64
+}
+
+/// Simulates one grid point directly (cell run + truth equation) — the
+/// reference the differential suite and the serve fallback tier both
+/// price against.
+pub fn simulate_point(p: &ConfigPoint, scale: RunScale) -> f64 {
+    truth_cpi(&run_cell(cell_of(p), scale), p.workload, p.mshrs, p.latency)
+}
+
+/// The `(MSHRs, latency)` stencil every freshly simulated cell is priced
+/// at for free: the engine run already fixes the cell's epoch-size
+/// histogram, so these labels cost nothing and pin the piecewise
+/// serialization curve (`ceil(s/m)` for small `m`) that isolated picks
+/// under-constrain.
+pub const STENCIL_MSHRS: [u32; 6] = [1, 2, 3, 4, 8, 32];
+/// Latency legs of the free stencil (the truth is linear in latency, so
+/// three are plenty).
+pub const STENCIL_LATENCIES: [u32; 3] = [150, 500, 1000];
+
+/// The active-sampling configuration `sweep1000` runs with: targets
+/// tighter than the published 5%/15% contract so the contract holds with
+/// margin. The budget is a cap on *labeled points*, most of which are
+/// free stencil mates of the handful of engine cells actually run.
+pub fn explore_config() -> ExploreConfig {
+    ExploreConfig {
+        batch: 36,
+        budget: 1600,
+        target_median_pct: 2.5,
+        target_p99_pct: 10.0,
+        cv_folds: 5,
+        // Stronger than the crate default: leave-cells-out CV rewards a
+        // smoother fit once the free stencil labels pile up.
+        lambda: 1e-3,
+    }
+}
+
+/// Seed design: per workload, a spread of `(window, L2)` cells crossed
+/// with extreme `(MSHRs, latency)` corners, so round 0 already spans
+/// every axis.
+fn seed_indices(grid: &[ConfigPoint]) -> Vec<usize> {
+    const CELLS: [(u32, u32); 4] = [(16, 512), (64, 1024), (256, 4096), (512, 2048)];
+    const CORNERS: [(u32, u32); 3] = [(1, 1000), (4, 300), (32, 150)];
+    grid.iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            CELLS.contains(&(p.window, p.l2_kb)) && CORNERS.contains(&(p.mshrs, p.latency))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `sweep1000` results.
+#[derive(Clone, Debug)]
+pub struct Sweep1000 {
+    /// The full grid ([`grid`]'s order).
+    pub grid: Vec<ConfigPoint>,
+    /// The active-sampling outcome (labeled points, CV verdict, fitted
+    /// surrogate).
+    pub explored: Explored,
+    /// Engine-distinct cells actually simulated.
+    pub cells: usize,
+}
+
+/// Runs the experiment: explore the grid, simulating cells on demand
+/// (each cell at most once, batches fanned across cores).
+pub fn run(scale: RunScale) -> Sweep1000 {
+    let g = grid();
+    let seeds = seed_indices(&g);
+    let index_of: BTreeMap<(usize, u32, u32, u32, u32), usize> = g
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ((p.workload, p.window, p.l2_kb, p.mshrs, p.latency), i))
+        .collect();
+    let mut cache: BTreeMap<Cell, mlpsim::Report> = BTreeMap::new();
+    let mut simulate = |indices: &[usize]| -> Vec<(usize, f64)> {
+        let mut missing: Vec<Cell> = indices
+            .iter()
+            .map(|&i| cell_of(&g[i]))
+            .filter(|c| !cache.contains_key(c))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        let fresh = missing.clone();
+        if !missing.is_empty() {
+            let reports = sweep_grid(missing.clone(), |&c| run_cell(c, scale));
+            for c in missing {
+                cache.insert(c, reports[&c].clone());
+            }
+        }
+        let mut out: Vec<(usize, f64)> = indices
+            .iter()
+            .map(|&i| {
+                let p = &g[i];
+                (
+                    i,
+                    truth_cpi(&cache[&cell_of(p)], p.workload, p.mshrs, p.latency),
+                )
+            })
+            .collect();
+        // Each fresh cell run prices every (MSHRs, latency) combination
+        // analytically; hand the stencil back as free labels (fresh cells
+        // are sorted, so the extras' order is deterministic).
+        for (workload, window, l2_kb) in fresh {
+            let report = &cache[&(workload, window, l2_kb)];
+            for &mshrs in &STENCIL_MSHRS {
+                for &latency in &STENCIL_LATENCIES {
+                    let gi = index_of[&(workload, window, l2_kb, mshrs, latency)];
+                    out.push((gi, truth_cpi(report, workload, mshrs, latency)));
+                }
+            }
+        }
+        out
+    };
+    let explored = explore(
+        &g,
+        &default_priors(),
+        &seeds,
+        &explore_config(),
+        &mut simulate,
+    );
+    let cells = cache.len();
+    Sweep1000 {
+        grid: g,
+        explored,
+        cells,
+    }
+}
+
+impl Sweep1000 {
+    /// Grid points per simulated engine cell — the speedup over pricing
+    /// every grid point with its own simulation.
+    pub fn speedup_x(&self) -> f64 {
+        self.grid.len() as f64 / self.cells.max(1) as f64
+    }
+
+    /// Renders the exploration summary.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["metric", "value"])
+            .with_title("sweep1000: surrogate-explored design grid");
+        t.row(vec!["grid points".into(), self.grid.len().to_string()]);
+        t.row(vec![
+            "simulated points".into(),
+            self.explored.order.len().to_string(),
+        ]);
+        t.row(vec![
+            "engine cells simulated".into(),
+            self.cells.to_string(),
+        ]);
+        t.row(vec![
+            "refit rounds".into(),
+            self.explored.rounds.to_string(),
+        ]);
+        t.row(vec![
+            "converged".into(),
+            self.explored.converged.to_string(),
+        ]);
+        t.row(vec![
+            "cv median error %".into(),
+            f2(self.explored.cv.median_pct),
+        ]);
+        t.row(vec!["cv p99 error %".into(), f2(self.explored.cv.p99_pct)]);
+        t.row(vec![
+            "cv worst error %".into(),
+            f2(self.explored.cv.worst_pct),
+        ]);
+        t.row(vec![
+            "speedup vs full sweep".into(),
+            format!("{}x", f2(self.speedup_x())),
+        ]);
+        t.render()
+    }
+
+    /// The structured report: one summary row, then one row per
+    /// simulated point in labeling order (`pick` is the position in that
+    /// order), each carrying the measured CPI next to the final
+    /// surrogate's prediction.
+    pub fn report(&self, scale: RunScale) -> Report {
+        let mut rep = Report::new(
+            "sweep1000",
+            "sweep1000: surrogate-explored design grid",
+            "§5 (sweep space, surrogate extension)",
+            scale,
+        );
+        rep.axis("benchmark", WORKLOAD_NAMES.to_vec());
+        rep.axis("window", WINDOWS.map(u64::from).to_vec());
+        rep.axis("mshrs", MSHRS.map(u64::from).to_vec());
+        rep.axis("latency", LATENCIES.map(u64::from).to_vec());
+        rep.axis("l2_kb", L2_KB.map(u64::from).to_vec());
+        rep.row(
+            JsonRow::new()
+                .field("source", "summary")
+                .field("grid_points", self.grid.len())
+                .field("simulated_points", self.explored.order.len())
+                .field("cells", self.cells)
+                .field("rounds", self.explored.rounds)
+                .field("converged", self.explored.converged)
+                .field("cv_median_pct", self.explored.cv.median_pct)
+                .field("cv_p99_pct", self.explored.cv.p99_pct)
+                .field("speedup_x", self.speedup_x()),
+        );
+        for (pick, (&gi, &cpi)) in self
+            .explored
+            .order
+            .iter()
+            .zip(&self.explored.cpi)
+            .enumerate()
+        {
+            let p = &self.grid[gi];
+            let predicted = self.explored.surrogate.predict(p);
+            rep.row(
+                JsonRow::new()
+                    .field("source", "simulated")
+                    .field("pick", pick)
+                    .field("benchmark", p.workload_name())
+                    .field("window", u64::from(p.window))
+                    .field("mshrs", u64::from(p.mshrs))
+                    .field("latency", u64::from(p.latency))
+                    .field("l2_kb", u64::from(p.l2_kb))
+                    .field("cpi", cpi)
+                    .field("predicted_cpi", predicted)
+                    .field("pct_error", mlp_model::pct_error(predicted, cpi)),
+            );
+        }
+        rep
+    }
+}
+
+/// Registry entry for `sweep1000`.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn name(&self) -> &'static str {
+        "sweep1000"
+    }
+    fn module(&self) -> &'static str {
+        "sweep1000"
+    }
+    fn description(&self) -> &'static str {
+        "surrogate-explored 3888-point window/MSHR/latency/L2 grid with active sampling"
+    }
+    fn section(&self) -> &'static str {
+        "§5 (sweep space, surrogate extension)"
+    }
+    fn run(&self, scale: RunScale) -> ExperimentRun {
+        let s = run(scale);
+        ExperimentRun {
+            text: s.render(),
+            report: s.report(scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_order() {
+        let g = grid();
+        assert_eq!(g.len(), 3888);
+        assert!(g.len() >= 1000, "issue requires a 1000+-point grid");
+        // Workload-major: first block is all Database.
+        assert!(g[..1296].iter().all(|p| p.workload == 0));
+        // Last axis varies fastest.
+        assert_eq!(g[0].latency, LATENCIES[0]);
+        assert_eq!(g[1].latency, LATENCIES[1]);
+        // All points unique.
+        let mut seen = g.clone();
+        seen.sort_by_key(|p| (p.workload, p.window, p.l2_kb, p.mshrs, p.latency));
+        seen.dedup();
+        assert_eq!(seen.len(), g.len());
+    }
+
+    #[test]
+    fn seed_design_spans_every_axis() {
+        let g = grid();
+        let seeds = seed_indices(&g);
+        assert_eq!(seeds.len(), 36);
+        for w in 0..3 {
+            assert!(seeds.iter().any(|&i| g[i].workload == w));
+        }
+        for &(m, lat) in &[(1u32, 1000u32), (4, 300), (32, 150)] {
+            assert!(seeds
+                .iter()
+                .any(|&i| g[i].mshrs == m && g[i].latency == lat));
+        }
+    }
+
+    #[test]
+    fn truth_reduces_to_paper_equation_with_infinite_mshrs() {
+        // hist: 3 epochs of 1 miss, 2 of 4 misses → 11 misses, 5 epochs.
+        let mut hist = vec![0u64; 8];
+        hist[1] = 3;
+        hist[4] = 2;
+        let r = mlpsim::Report {
+            insts: 1_000,
+            epochs: 5,
+            epoch_size_histogram: hist,
+            ..Default::default()
+        };
+        // m large enough: one round per epoch → onchip + lat·epochs/insts.
+        let cpi = truth_cpi(&r, 0, 32, 400);
+        let want = ONCHIP_CPI[0] + 400.0 * 5.0 / 1000.0;
+        assert!((cpi - want).abs() < 1e-12);
+        // m = 1: one round per miss → onchip + lat·misses/insts.
+        let cpi1 = truth_cpi(&r, 0, 1, 400);
+        let want1 = ONCHIP_CPI[0] + 400.0 * 11.0 / 1000.0;
+        assert!((cpi1 - want1).abs() < 1e-12);
+        // m = 3: ceil(1/3)·3 + ceil(4/3)·2 = 3 + 4 = 7 rounds.
+        let cpi3 = truth_cpi(&r, 0, 3, 400);
+        let want3 = ONCHIP_CPI[0] + 400.0 * 7.0 / 1000.0;
+        assert!((cpi3 - want3).abs() < 1e-12);
+        // Monotone in MSHRs.
+        assert!(cpi1 > cpi3 && cpi3 > cpi);
+    }
+
+    #[test]
+    fn truth_is_total_on_empty_report() {
+        let cpi = truth_cpi(&mlpsim::Report::default(), 2, 4, 400);
+        assert_eq!(cpi, ONCHIP_CPI[2]);
+    }
+}

@@ -7,6 +7,7 @@
 //!                 [--inst-window N] [--trace-cache <dir>]
 //!                 [--json [dir]] [--only <substrings>] [--list]
 //!                 [--events <dir>]
+//! mlp-experiments --surrogate <dir>
 //! ```
 //!
 //! The experiment set is the static [`mlp_experiments::registry`]: every
@@ -36,6 +37,17 @@
 //! event stream and writes one JSONL trace per experiment to
 //! `<dir>/<name>.<scale>.jsonl`.
 //!
+//! **Surrogate mode:** `--surrogate <dir>` trains the `mlp-surrogate`
+//! CPI model from every report in `<dir>` (rows carrying the full
+//! `benchmark`/`window`/`mshrs`/`latency`/`l2_kb`/`cpi` axes — e.g.
+//! `sweep1000`'s — are used, others are skipped), cross-validates it
+//! with leave-cells-out k-fold, predicts the whole `sweep1000` grid, and
+//! writes the schema-tagged `mlp-surrogate.report/v1` document to
+//! `<dir>/surrogate.json`: per-point predictions, ensemble
+//! uncertainties, and simulated-vs-predicted provenance. Exits 0 when
+//! cross-validation meets the pinned tolerance (≤5% median, ≤15% p99),
+//! 1 otherwise.
+//!
 //! **Failure containment:** every experiment runs inside its own
 //! `catch_unwind` boundary. A panic anywhere in one experiment — a bad
 //! sweep arm, a truncated trace, an injected fault — is recorded and the
@@ -63,6 +75,7 @@ fn usage() -> ! {
          [--inst-window N[k|M|G]] [--trace-cache <dir>] \
          [--json [dir]] [--only <substring>[,<substring>...]] [--list] \
          [--events <dir>]\n\
+       mlp-experiments --surrogate <dir>\n\
          experiments: {}",
         registry::names().join(", ")
     );
@@ -89,6 +102,7 @@ struct Cli {
     json_dir: Option<String>,
     events_dir: Option<String>,
     trace_cache: Option<String>,
+    surrogate_dir: Option<String>,
     target: Option<String>,
 }
 
@@ -101,6 +115,7 @@ fn parse_args(args: &[String]) -> Cli {
         json_dir: None,
         events_dir: None,
         trace_cache: None,
+        surrogate_dir: None,
         target: None,
     };
     let mut it = args.iter().peekable();
@@ -159,6 +174,13 @@ fn parse_args(args: &[String]) -> Cli {
                     _ => DEFAULT_JSON_DIR.to_string(),
                 };
                 cli.json_dir = Some(dir);
+            }
+            "--surrogate" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--surrogate needs a report directory");
+                    usage()
+                };
+                cli.surrogate_dir = Some(dir.clone());
             }
             "--events" => {
                 // Mandatory directory operand (unlike --json, there is
@@ -238,12 +260,128 @@ fn print_failure_summary(failures: &[Failure], total: usize) {
     }
 }
 
+/// `--surrogate <dir>`: train from the report corpus in `dir`, predict
+/// the full `sweep1000` grid, write `<dir>/surrogate.json`. Returns the
+/// process exit code.
+fn run_surrogate_mode(dir: &str) -> i32 {
+    use mlp_experiments::exp::sweep1000;
+    use mlp_surrogate::corpus;
+
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("cannot read report directory '{dir}': {e}");
+            return 1;
+        }
+    };
+    // Sorted file order so the corpus (and therefore the canonical fit)
+    // does not depend on directory iteration order.
+    let mut files: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name().is_some_and(|n| n != "surrogate.json")
+        })
+        .collect();
+    files.sort();
+    let mut rows: Vec<corpus::CorpusRow> = Vec::new();
+    let mut used_files = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("skipping unreadable '{}'", path.display());
+            continue;
+        };
+        let file_rows = corpus::rows_from_report(&text);
+        if !file_rows.is_empty() {
+            used_files += 1;
+            eprintln!(
+                "[surrogate corpus: {} rows from {}]",
+                file_rows.len(),
+                path.display()
+            );
+        }
+        rows.extend(file_rows);
+    }
+    if rows.is_empty() {
+        eprintln!(
+            "no usable corpus rows in '{dir}' ({} json files scanned); \
+             need rows with benchmark/window/mshrs/latency/l2_kb/cpi \
+             (e.g. from `mlp-experiments sweep1000 --json {dir}`)",
+            files.len()
+        );
+        return 1;
+    }
+    let points: Vec<mlp_surrogate::ConfigPoint> = rows.iter().map(|r| r.point).collect();
+    let cpi: Vec<f64> = rows.iter().map(|r| r.cpi).collect();
+    let priors = mlp_surrogate::default_priors();
+    let lambda = sweep1000::explore_config().lambda;
+    let surrogate = mlp_surrogate::Surrogate::fit_with(&points, &cpi, &priors, lambda);
+    let cv = mlp_surrogate::kfold_cv(&points, &cpi, &priors, 5, lambda);
+    let grid = sweep1000::grid();
+    let index_of: std::collections::BTreeMap<_, usize> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ((p.workload, p.window, p.mshrs, p.latency, p.l2_kb), i))
+        .collect();
+    let mut simulated: Vec<(usize, f64)> = Vec::new();
+    let mut seen = vec![false; grid.len()];
+    for r in &rows {
+        let key = (
+            r.point.workload,
+            r.point.window,
+            r.point.mshrs,
+            r.point.latency,
+            r.point.l2_kb,
+        );
+        if let Some(&i) = index_of.get(&key) {
+            if !std::mem::replace(&mut seen[i], true) {
+                simulated.push((i, r.cpi));
+            }
+        }
+    }
+    simulated.sort_by_key(|a| a.0);
+    let doc = mlp_surrogate::report::render(&surrogate, &grid, &simulated, &cv, rows.len());
+    let out_path = std::path::Path::new(dir).join("surrogate.json");
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write '{}': {e}", out_path.display());
+        return 1;
+    }
+    println!(
+        "surrogate: {} corpus rows from {used_files} reports, \
+         cv over {} points: median {:.2}% p99 {:.2}% worst {:.2}% \
+         (tolerance {}% / {}%), {} grid predictions -> {}",
+        rows.len(),
+        cv.n,
+        cv.median_pct,
+        cv.p99_pct,
+        cv.worst_pct,
+        mlp_surrogate::TOL_MEDIAN_PCT,
+        mlp_surrogate::TOL_P99_PCT,
+        grid.len(),
+        out_path.display()
+    );
+    if cv.within_tolerance() {
+        0
+    } else {
+        eprintln!("surrogate cross-validation is OUT of tolerance");
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_args(&args);
     if cli.list {
         print_list();
         return;
+    }
+    if let Some(dir) = &cli.surrogate_dir {
+        if cli.target.is_some() || cli.only.is_some() {
+            eprintln!("--surrogate does not combine with experiment selection");
+            usage();
+        }
+        std::process::exit(run_surrogate_mode(dir));
     }
     let selected = select(&cli);
     if let Some(dir) = &cli.trace_cache {

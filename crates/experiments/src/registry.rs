@@ -47,7 +47,7 @@ pub trait Experiment: Sync {
 }
 
 /// Every experiment, in the paper's presentation order.
-pub static REGISTRY: [&dyn Experiment; 20] = [
+pub static REGISTRY: [&dyn Experiment; 21] = [
     &crate::exp::table1::Exp,
     &crate::exp::figure2::Exp,
     &crate::exp::table3::Exp,
@@ -68,6 +68,7 @@ pub static REGISTRY: [&dyn Experiment; 20] = [
     &crate::exp::extensions::L3Exp,
     &crate::exp::extensions::SmtExp,
     &crate::exp::extensions::RaeTimingExp,
+    &crate::exp::sweep1000::Exp,
 ];
 
 /// The experiment registered under `name`, if any.
@@ -169,6 +170,7 @@ mod tests {
             "l3",
             "smt",
             "rae-timing",
+            "sweep1000",
         ];
         assert_eq!(names(), expected);
     }

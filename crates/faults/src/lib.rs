@@ -18,6 +18,7 @@
 //! | [`SERVE_JOB_HANG`] | `serve-job-hang:<n>` | the *n*-th job body started by the `mlp-serve` worker pool wedges (sleeps past any deadline) |
 //! | [`SERVE_IO_ERROR`] | `serve-io-error:<n>` | the *n*-th serve job attempt fails with a transient injected IO error (retried with backoff) |
 //! | [`SERVE_CACHE_CORRUPT`] | `serve-cache-corrupt:<n>` | the *n*-th result-cache write by `mlp-serve` stores corrupt bytes |
+//! | [`SURROGATE_UNCERTAIN`] | `surrogate-uncertain:<n>` | the *n*-th surrogate-tier request served by `mlp-serve` is treated as out-of-tolerance and falls back to real simulation |
 //!
 //! Three probe flavours cover those semantics: [`fire`] counts dynamic
 //! occurrences and panics on the *n*-th one (for sites whose parameter is
@@ -67,6 +68,10 @@ pub const SERVE_IO_ERROR: &str = "serve-io-error";
 /// Site name: corrupt the bytes of the n-th result-cache write performed
 /// by `mlp-serve` (a later read must detect and regenerate).
 pub const SERVE_CACHE_CORRUPT: &str = "serve-cache-corrupt";
+/// Site name: force the n-th surrogate-tier request served by
+/// `mlp-serve` to be treated as exceeding the uncertainty bound, so it
+/// falls back from the fitted model to a real simulation.
+pub const SURROGATE_UNCERTAIN: &str = "surrogate-uncertain";
 
 /// The environment variable that arms a fault site.
 pub const ENV_VAR: &str = "MLP_FAULT";

@@ -20,6 +20,10 @@
 //! - [`cache`] — crash-safe on-disk result cache (atomic temp+rename
 //!   writes, corrupt entries detected, evicted and regenerated).
 //! - [`server`] — routing and introspection (`/healthz`, `/statusz`).
+//! - [`surrogate`] — the fast-path tier: `"tier": "surrogate"` requests
+//!   answered from the fitted `mlp-surrogate` CPI model in microseconds,
+//!   with a real-simulation fallback when the prediction's uncertainty
+//!   exceeds the pinned bound.
 //!
 //! Failure model (what a client sees):
 //!
@@ -41,6 +45,7 @@ pub mod cache;
 pub mod http;
 pub mod jobs;
 pub mod server;
+pub mod surrogate;
 
 /// Serializes unit tests that touch process-global state (the armed
 /// fault slot, obs counters): `mlp_faults::set_for_test` is one slot per

@@ -6,7 +6,7 @@
 //! |--------------------|-----------|
 //! | `GET /healthz`     | liveness: `{"status":"ok"}` while the accept loop runs |
 //! | `GET /statusz`     | queue gauges + `serve.*` counters + latency quantiles |
-//! | `POST /v1/run`     | submit and wait; 200 with report bytes (even degraded), 429 shed |
+//! | `POST /v1/run`     | submit and wait; 200 with report bytes (even degraded), 429 shed; `"tier": "surrogate"` bodies answer from the fitted CPI model instead (see [`crate::surrogate`]) |
 //! | `POST /v1/jobs`    | submit async; 202 with a job id |
 //! | `GET /v1/jobs/<id>`| job status; embeds the report once done |
 //! | `POST /v1/shutdown`| drain and stop (used by tests and `scripts/check.sh`) |
@@ -146,10 +146,17 @@ struct JobRequest {
     priority: Priority,
 }
 
-fn parse_job_request(body: &[u8]) -> Result<JobRequest, Response> {
+fn parse_body(body: &[u8]) -> Result<mlp_stats::json::Json, Response> {
     let text = std::str::from_utf8(body).map_err(|_| error_response(400, "body is not utf-8"))?;
-    let json = mlp_stats::json::parse(text)
-        .map_err(|e| error_response(400, &format!("body is not JSON: {e}")))?;
+    mlp_stats::json::parse(text).map_err(|e| error_response(400, &format!("body is not JSON: {e}")))
+}
+
+fn parse_job_request(json: &mlp_stats::json::Json) -> Result<JobRequest, Response> {
+    if let Some(tier) = json.get("tier").and_then(|v| v.as_str()) {
+        // "surrogate" is routed before this parser; anything else is a
+        // typo, not an experiment job.
+        return Err(error_response(400, &format!("unknown tier '{tier}'")));
+    }
     let name = json
         .get("experiment")
         .and_then(|v| v.as_str())
@@ -174,7 +181,14 @@ fn parse_job_request(body: &[u8]) -> Result<JobRequest, Response> {
 }
 
 fn run_sync(req: &Request, sched: &Scheduler) -> Response {
-    let job = match parse_job_request(&req.body) {
+    let json = match parse_body(&req.body) {
+        Ok(j) => j,
+        Err(resp) => return resp,
+    };
+    if crate::surrogate::is_surrogate_tier(&json) {
+        return crate::surrogate::run_sync(&json);
+    }
+    let job = match parse_job_request(&json) {
         Ok(j) => j,
         Err(resp) => return resp,
     };
@@ -191,7 +205,15 @@ fn run_sync(req: &Request, sched: &Scheduler) -> Response {
 }
 
 fn submit_async(req: &Request, sched: &Scheduler) -> Response {
-    let job = match parse_job_request(&req.body) {
+    let json = match parse_body(&req.body) {
+        Ok(j) => j,
+        Err(resp) => return resp,
+    };
+    if crate::surrogate::is_surrogate_tier(&json) {
+        // Prediction is cheaper than queueing; there is nothing to poll.
+        return error_response(400, "the surrogate tier is synchronous; use POST /v1/run");
+    }
+    let job = match parse_job_request(&json) {
         Ok(j) => j,
         Err(resp) => return resp,
     };

@@ -283,6 +283,77 @@ fn full_queue_sheds_with_429_and_daemon_survives() {
     d.shutdown();
 }
 
+/// Forced surrogate fallback: with the `surrogate-uncertain` site armed,
+/// the first surrogate-tier request must come back as a real simulation
+/// (`"fallback": true`, CPI byte-identical to pricing the point
+/// directly), later surrogate requests take the fast path again, and
+/// sibling experiment jobs are untouched. Release-gated: the tier trains
+/// its model by running the `sweep1000` active-sampling loop, which is
+/// interactive only in release builds.
+#[cfg(not(debug_assertions))]
+#[test]
+fn forced_surrogate_fallback_simulates_while_siblings_stay_pristine() {
+    use mlp_experiments::exp::sweep1000;
+    let d = Daemon::spawn(
+        "surrogate",
+        Some("surrogate-uncertain:1"),
+        &["--workers", "2"],
+    );
+    let point = "{\"tier\": \"surrogate\", \"benchmark\": \"Database\", \"window\": 64, \
+                 \"mshrs\": 4, \"latency\": 500, \"l2_kb\": 1024}";
+
+    // First surrogate request trips the armed fault and falls back.
+    let (status, body) = d.post("/v1/run", point);
+    assert_eq!(status, 200, "fallback response: {body}");
+    assert!(body.contains("\"tier\": \"simulated\""), "body: {body}");
+    assert!(body.contains("\"fallback\": true"), "body: {body}");
+    let expected = sweep1000::simulate_point(
+        &mlp_surrogate::ConfigPoint {
+            workload: 0,
+            window: 64,
+            mshrs: 4,
+            latency: 500,
+            l2_kb: 1024,
+        },
+        mlp_experiments::RunScale::quick(),
+    );
+    assert!(
+        body.contains(&format!("\"cpi\": {expected}")),
+        "fallback CPI must be the real simulation's ({expected}): {body}"
+    );
+
+    // Second request: the single-occurrence fault is spent; fast path.
+    let (status, body) = d.post("/v1/run", point);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"tier\": \"surrogate\""), "body: {body}");
+    assert!(body.contains("\"fallback\": false"), "body: {body}");
+
+    // The tier is synchronous only.
+    let (status, body) = d.post("/v1/jobs", point);
+    assert_eq!(status, 400, "async surrogate must be rejected: {body}");
+
+    // Sibling experiment jobs are untouched by the tier.
+    let (status, sibling) = d.post("/v1/run", &run_body("fm"));
+    assert_eq!(status, 200);
+    assert_eq!(
+        sibling,
+        solo_bytes("fm"),
+        "sibling response must be byte-identical to a solo run"
+    );
+
+    let (_, statusz) = d.get("/statusz");
+    for needle in [
+        "\"serve.surrogate.requests\": 2",
+        "\"serve.surrogate.trained\": 1",
+        "\"serve.surrogate.hits\": 1",
+        "\"serve.surrogate.fallback\": 1",
+    ] {
+        assert!(statusz.contains(needle), "missing {needle}: {statusz}");
+    }
+    d.assert_alive();
+    d.shutdown();
+}
+
 /// Stderr of a dying daemon is part of the debugging contract; make sure
 /// the compact panic hook line (not a backtrace storm) is what an
 /// injected panic produces.

@@ -1,0 +1,202 @@
+//! Configuration points and their feature embedding.
+//!
+//! A [`ConfigPoint`] names one cell of the experiment design space: a
+//! workload, a coupled window size, an MSHR count, an off-chip latency
+//! and an L2 capacity — the axes the paper sweeps. [`features`] embeds a
+//! point into the polynomial/interaction basis the ridge layer fits
+//! residuals over; the physics carried by the §2.2 CPI equation lives in
+//! the prior mean (see [`crate::WorkloadPrior`]), so the basis only has
+//! to bend the residual surface, not reproduce the latency scaling from
+//! scratch.
+
+/// Number of modelled workloads (the paper's three server presets).
+pub const NUM_WORKLOADS: usize = 3;
+
+/// Canonical workload names, index-aligned with
+/// [`ConfigPoint::workload`] and matching the `benchmark` field of the
+/// experiment reports.
+pub const WORKLOAD_NAMES: [&str; NUM_WORKLOADS] = ["Database", "SPECjbb2000", "SPECweb99"];
+
+/// The workload index for a report's `benchmark` name, if known.
+pub fn workload_index(name: &str) -> Option<usize> {
+    WORKLOAD_NAMES.iter().position(|&n| n == name)
+}
+
+/// One point of the sweep-space grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigPoint {
+    /// Workload index into [`WORKLOAD_NAMES`].
+    pub workload: usize,
+    /// Coupled issue-window/ROB size (instructions).
+    pub window: u32,
+    /// Miss-status-holding registers: outstanding off-chip accesses that
+    /// can be in flight at once.
+    pub mshrs: u32,
+    /// Off-chip access latency in cycles.
+    pub latency: u32,
+    /// L2 capacity in KB.
+    pub l2_kb: u32,
+}
+
+impl ConfigPoint {
+    /// The workload's canonical name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload index is out of range.
+    pub fn workload_name(&self) -> &'static str {
+        WORKLOAD_NAMES[self.workload]
+    }
+}
+
+/// Terms in the per-workload `(window, L2)` surface `g` (see
+/// [`features`]).
+pub const SURFACE_TERMS: usize = 12;
+
+/// Features per workload block; the full basis is one block per
+/// workload, gated by the workload one-hot.
+pub const FEATURES_PER_WORKLOAD: usize = 6 * SURFACE_TERMS + 5;
+
+/// Total dimensionality of the feature embedding.
+pub const DIM: usize = NUM_WORKLOADS * FEATURES_PER_WORKLOAD;
+
+/// Embeds a point into the residual basis.
+///
+/// The ridge layer fits the **log-space off-chip residual**
+/// `t = ln(CPI_offchip / CPI_offchip_prior)` (see
+/// [`crate::Surrogate`]), so the basis models `ln r(MSHRs, window, L2)`
+/// — the serialization-adjusted miss intensity — and needs no latency
+/// scaling: the truth is linear in latency, which cancels in the ratio.
+///
+/// Axes are log-normalized to roughly `[0, 1]` over the `sweep1000`
+/// grid so the ridge penalty treats every direction comparably:
+/// `lw = (log2 window − 4)/5`, `lc = (log2 L2_KB − 9)/3`,
+/// `u = latency/1000 − 0.5`, `im = 1/MSHRs`. Each workload's
+/// one-hot-gated block holds the `(window, L2)` surface
+///
+/// ```text
+/// g = [1, lw, lw², lw³, lw⁴, lc, lc², lc³, lw·lc, lw·lc², lw²·lc, lw²·lc²]
+/// ```
+///
+/// quartic in `lw` (the overlap curve saturates with window size and a
+/// quadratic is too stiff over six octaves) and cubic in `lc` (the miss
+/// rate cliffs between L2 levels; with four swept capacities a cubic
+/// spans the axis exactly) — plus its `im` and `im²` crossings (the
+/// smooth large-MSHR end of the serialization curve
+/// `ln E[ceil(s/m)]/E[s]`), indicator-gated correction surfaces for MSHR
+/// counts 1–4 where `ceil` is genuinely piecewise and no low-degree
+/// polynomial in `im` fits (full surfaces for 1–3, linear for 4), and
+/// two centered-latency terms that let the fit absorb any residual
+/// latency dependence (zero for the analytic truth, a safety valve for
+/// measured corpora).
+///
+/// # Panics
+///
+/// Panics if the workload index is out of range or a physical axis is
+/// zero (a window, MSHR count, latency or cache without capacity is
+/// meaningless everywhere in this workspace).
+pub fn features(p: &ConfigPoint) -> Vec<f64> {
+    assert!(p.workload < NUM_WORKLOADS, "workload index {}", p.workload);
+    assert!(
+        p.window > 0 && p.mshrs > 0 && p.latency > 0 && p.l2_kb > 0,
+        "config axes must be positive: {p:?}"
+    );
+    let lw = ((p.window as f64).log2() - 4.0) / 5.0;
+    let lc = ((p.l2_kb as f64).log2() - 9.0) / 3.0;
+    let un = p.latency as f64 / 1000.0 - 0.5;
+    let im = 1.0 / p.mshrs as f64;
+    let g = [
+        1.0,
+        lw,
+        lw * lw,
+        lw * lw * lw,
+        lw * lw * lw * lw,
+        lc,
+        lc * lc,
+        lc * lc * lc,
+        lw * lc,
+        lw * lc * lc,
+        lw * lw * lc,
+        lw * lw * lc * lc,
+    ];
+    debug_assert_eq!(g.len(), SURFACE_TERMS);
+    let d1 = if p.mshrs == 1 { 1.0 } else { 0.0 };
+    let d2 = if p.mshrs == 2 { 1.0 } else { 0.0 };
+    let d3 = if p.mshrs == 3 { 1.0 } else { 0.0 };
+    let d4 = if p.mshrs == 4 { 1.0 } else { 0.0 };
+    let mut phi = vec![0.0; DIM];
+    let base = p.workload * FEATURES_PER_WORKLOAD;
+    let s = SURFACE_TERMS;
+    for (i, gi) in g.iter().enumerate() {
+        phi[base + i] = *gi;
+        phi[base + s + i] = im * gi;
+        phi[base + 2 * s + i] = im * im * gi;
+        phi[base + 3 * s + i] = d1 * gi;
+        phi[base + 4 * s + i] = d2 * gi;
+        phi[base + 5 * s + i] = d3 * gi;
+    }
+    phi[base + 6 * s] = d4;
+    phi[base + 6 * s + 1] = d4 * lw;
+    phi[base + 6 * s + 2] = d4 * lc;
+    phi[base + 6 * s + 3] = un;
+    phi[base + 6 * s + 4] = un * im;
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> ConfigPoint {
+        ConfigPoint {
+            workload: 1,
+            window: 64,
+            mshrs: 8,
+            latency: 500,
+            l2_kb: 2048,
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for (i, name) in WORKLOAD_NAMES.iter().enumerate() {
+            assert_eq!(workload_index(name), Some(i));
+        }
+        assert_eq!(workload_index("nope"), None);
+        assert_eq!(point().workload_name(), "SPECjbb2000");
+    }
+
+    #[test]
+    fn embedding_is_one_hot_blocked() {
+        let phi = features(&point());
+        assert_eq!(phi.len(), DIM);
+        let block = |w: usize| &phi[w * FEATURES_PER_WORKLOAD..(w + 1) * FEATURES_PER_WORKLOAD];
+        assert!(block(0).iter().all(|&v| v == 0.0));
+        assert!(block(2).iter().all(|&v| v == 0.0));
+        assert_eq!(block(1)[0], 1.0);
+        assert!(block(1)[1..].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        assert_eq!(features(&point()), features(&point()));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload index")]
+    fn out_of_range_workload_rejected() {
+        features(&ConfigPoint {
+            workload: 3,
+            ..point()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_axis_rejected() {
+        features(&ConfigPoint {
+            mshrs: 0,
+            ..point()
+        });
+    }
+}

@@ -1,0 +1,158 @@
+//! Hand-rolled dense linear algebra for the surrogate: a Cholesky solve
+//! and ridge regression on top of it. No external dependencies — the
+//! systems here are tiny (tens of features), so a first-party solver is
+//! cheaper than pulling in a linear-algebra crate, and it keeps every
+//! floating-point operation deterministic and auditable.
+
+/// Solves `A·x = b` for a symmetric positive-definite `A` (row-major
+/// `n × n`) via Cholesky factorization (`A = L·Lᵀ`, then two triangular
+/// substitutions). Returns `None` when `A` is not numerically SPD — a
+/// pivot that is non-positive or non-finite — or when the dimensions
+/// disagree; it never panics on hostile input.
+pub fn cholesky_solve(a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    if a.len() != n.checked_mul(n)? {
+        return None;
+    }
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if !sum.is_finite() || sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L·y = b …
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut acc = x[i];
+        for k in 0..i {
+            acc -= l[i * n + k] * x[k];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+    // … then back substitution Lᵀ·β = y.
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for k in i + 1..n {
+            acc -= l[k * n + i] * x[k];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+    x.iter().all(|v| v.is_finite()).then_some(x)
+}
+
+/// Ridge regression: minimizes `‖X·β − y‖² + λ‖β‖²` by solving the
+/// normal equations `(XᵀX + λI)·β = Xᵀy` with [`cholesky_solve`].
+///
+/// The solution is **total**: rows whose length disagrees with the
+/// widest row, or that contain non-finite values, are dropped; `λ` is
+/// floored at a small multiple of the Gram matrix's mean diagonal so the
+/// system is SPD even for rank-deficient designs; and if the solve still
+/// fails (e.g. every row was hostile) the zero vector comes back instead
+/// of a panic.
+pub fn ridge(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Vec<f64> {
+    let p = rows.iter().map(Vec::len).max().unwrap_or(0);
+    if p == 0 {
+        return Vec::new();
+    }
+    let mut xtx = vec![0.0; p * p];
+    let mut xty = vec![0.0; p];
+    for (r, &yi) in rows.iter().zip(y) {
+        if r.len() != p || !yi.is_finite() || r.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        for i in 0..p {
+            xty[i] += r[i] * yi;
+            for j in 0..=i {
+                xtx[i * p + j] += r[i] * r[j];
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            xtx[j * p + i] = xtx[i * p + j];
+        }
+    }
+    let trace: f64 = (0..p).map(|i| xtx[i * p + i]).sum();
+    let floor = 1e-12 * (1.0 + trace.abs() / p as f64);
+    let lam = if lambda.is_finite() && lambda > floor {
+        lambda
+    } else {
+        floor
+    };
+    for i in 0..p {
+        xtx[i * p + i] += lam;
+    }
+    cholesky_solve(&xtx, &xty).unwrap_or_else(|| vec![0.0; p])
+}
+
+/// Dot product of equal-length slices (shorter length wins, so a
+/// truncated coefficient vector degrades instead of panicking).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -4.0];
+        assert_eq!(cholesky_solve(&a, &b), Some(vec![3.0, -4.0]));
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4,2],[2,3]], x = [1,2] -> b = [8,8].
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let x = cholesky_solve(&a, &[8.0, 8.0]).expect("SPD");
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        assert_eq!(cholesky_solve(&[-1.0], &[1.0]), None);
+        assert_eq!(cholesky_solve(&[0.0], &[1.0]), None);
+        assert_eq!(cholesky_solve(&[f64::NAN], &[1.0]), None);
+        // Dimension mismatch.
+        assert_eq!(cholesky_solve(&[1.0, 2.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn ridge_recovers_exact_coefficients() {
+        // Orthogonal design: the ridge bias at the tiny floor is ~1e-12.
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let beta = [2.5, -1.25];
+        let y: Vec<f64> = rows.iter().map(|r| dot(r, &beta)).collect();
+        let hat = ridge(&rows, &y, 0.0);
+        assert!((hat[0] - beta[0]).abs() < 1e-9);
+        assert!((hat[1] - beta[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_is_total_on_degenerate_designs() {
+        // Rank-deficient: two identical columns still solve (λ floor).
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let beta = ridge(&rows, &[1.0, 2.0], 0.0);
+        assert!(beta.iter().all(|v| v.is_finite()));
+        // Hostile rows (NaN, wrong width) are dropped, not fatal.
+        let rows = vec![vec![f64::NAN, 1.0], vec![1.0], vec![1.0, 0.0]];
+        let beta = ridge(&rows, &[1.0, 2.0, 3.0], 0.0);
+        assert_eq!(beta.len(), 2);
+        assert!(beta.iter().all(|v| v.is_finite()));
+        // No rows at all.
+        assert!(ridge(&[], &[], 0.0).is_empty());
+    }
+}

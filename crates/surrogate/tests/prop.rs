@@ -1,0 +1,200 @@
+//! Property tests for the surrogate's numerical core: the Cholesky
+//! solver recovers planted coefficients exactly (to float precision) on
+//! noiseless well-conditioned systems, ridge regression is total on
+//! arbitrarily hostile designs, and a fitted surrogate is deterministic
+//! and bit-for-bit invariant to the order of its training rows.
+
+use mlp_surrogate::linalg::{cholesky_solve, ridge};
+use mlp_surrogate::{default_priors, ConfigPoint, Surrogate, NUM_WORKLOADS};
+use proptest::prelude::*;
+use proptest::strategy::LazyGen;
+use proptest::test_runner::TestRng;
+
+/// A random well-conditioned SPD system with a planted solution:
+/// `A = L·Lᵀ` for a lower-triangular `L` with diagonal in `[0.5, 2]` and
+/// off-diagonal in `[-0.5, 0.5]`, plus `x` in `[-2, 2]` and `b = A·x`.
+fn spd_system(rng: &mut TestRng) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = (1usize..=8).generate(rng);
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..i {
+            l[i * n + j] = (-0.5..=0.5).generate(rng);
+        }
+        l[i * n + i] = (0.5..=2.0).generate(rng);
+    }
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = (0..n).map(|k| l[i * n + k] * l[j * n + k]).sum();
+        }
+    }
+    let x: Vec<f64> = (0..n).map(|_| (-2.0..=2.0).generate(rng)).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+        .collect();
+    (a, x, b)
+}
+
+/// A value drawn from the hostile end of the f64 spectrum: NaN, both
+/// infinities, zero, or a large-magnitude finite number.
+fn hostile_value(rng: &mut TestRng) -> f64 {
+    match rng.below(6) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        _ => (-1e3..=1e3).generate(rng),
+    }
+}
+
+/// A deliberately degenerate ridge design: hostile entries, mismatched
+/// row widths, duplicated rows (rank deficiency), zeroed rows, and a
+/// possibly non-finite or negative penalty.
+fn hostile_design(rng: &mut TestRng) -> (Vec<Vec<f64>>, Vec<f64>, f64) {
+    let p = (1usize..=6).generate(rng);
+    let n = (0usize..=12).generate(rng);
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let width = if rng.ratio(1, 5) {
+            (0usize..=8).generate(rng)
+        } else {
+            p
+        };
+        let mut row: Vec<f64> = (0..width).map(|_| hostile_value(rng)).collect();
+        if rng.ratio(1, 4) && !rows.is_empty() {
+            row = rows[rng.below(rows.len() as u64) as usize].clone();
+        }
+        if rng.ratio(1, 6) {
+            row.iter_mut().for_each(|v| *v = 0.0);
+        }
+        rows.push(row);
+        y.push(hostile_value(rng));
+    }
+    let lambda = match rng.below(4) {
+        0 => f64::NAN,
+        1 => -1.0,
+        2 => 0.0,
+        _ => (0.0..1.0).generate(rng),
+    };
+    (rows, y, lambda)
+}
+
+/// A random training set drawn from realistic sweep axes, with targets
+/// above each workload's on-chip CPI (any positive off-chip component is
+/// a valid observation), plus a Fisher–Yates permutation of its rows and
+/// a probe point for prediction checks.
+#[allow(clippy::type_complexity)]
+fn training_set(rng: &mut TestRng) -> (Vec<ConfigPoint>, Vec<f64>, Vec<usize>, ConfigPoint) {
+    const WINDOWS: [u32; 4] = [16, 32, 128, 512];
+    const MSHRS: [u32; 3] = [1, 4, 16];
+    const LATENCIES: [u32; 3] = [200, 500, 1000];
+    const L2_KB: [u32; 2] = [512, 2048];
+    fn pick(rng: &mut TestRng, xs: &[u32]) -> u32 {
+        xs[rng.below(xs.len() as u64) as usize]
+    }
+    let priors = default_priors();
+    let n = (4usize..=40).generate(rng);
+    let mut points = Vec::with_capacity(n);
+    let mut cpi = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = ConfigPoint {
+            workload: (0usize..NUM_WORKLOADS).generate(rng),
+            window: pick(rng, &WINDOWS),
+            mshrs: pick(rng, &MSHRS),
+            latency: pick(rng, &LATENCIES),
+            l2_kb: pick(rng, &L2_KB),
+        };
+        let prior = &priors[p.workload];
+        let y = prior.cpi_on_chip + prior.off_chip_cpi(p.latency) * (0.2..=5.0).generate(rng);
+        points.push(p);
+        cpi.push(y);
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let probe = points[rng.below(n as u64) as usize];
+    (points, cpi, perm, probe)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Noiseless data from a well-conditioned SPD system: the solver
+    /// must recover the planted solution to 1e-9.
+    #[test]
+    fn cholesky_recovers_planted_coefficients(sys in LazyGen::new(spd_system)) {
+        let (a, x, b) = sys;
+        let sol = cholesky_solve(&a, &b);
+        prop_assert!(sol.is_some(), "well-conditioned SPD system must solve");
+        let sol = sol.unwrap();
+        prop_assert_eq!(sol.len(), x.len());
+        for (got, want) in sol.iter().zip(&x) {
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "planted {want} recovered as {got}"
+            );
+        }
+    }
+
+    /// `cholesky_solve` never panics and never returns non-finite
+    /// values, whatever the input holds.
+    #[test]
+    fn cholesky_is_total_on_hostile_input(
+        n in 0usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = TestRng::for_case("hostile-cholesky", seed);
+        let a: Vec<f64> = (0..n * n).map(|_| hostile_value(&mut rng)).collect();
+        let b: Vec<f64> = (0..n).map(|_| hostile_value(&mut rng)).collect();
+        if let Some(sol) = cholesky_solve(&a, &b) {
+            prop_assert_eq!(sol.len(), n);
+            prop_assert!(sol.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Ridge is total: rank-deficient, degenerate, and hostile designs
+    /// produce a finite coefficient vector of the right width — never a
+    /// panic, never NaN.
+    #[test]
+    fn ridge_is_total_on_hostile_designs(design in LazyGen::new(hostile_design)) {
+        let (rows, y, lambda) = design;
+        let p = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let beta = ridge(&rows, &y, lambda);
+        prop_assert_eq!(beta.len(), p);
+        prop_assert!(beta.iter().all(|v| v.is_finite()), "beta = {:?}", beta);
+    }
+}
+
+proptest! {
+    // Fewer cases: each one fits three full surrogates (a 231-wide ridge
+    // plus its jackknife ensemble apiece), which is seconds per case in
+    // unoptimized builds.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fitting the same data twice gives bit-identical predictions, and
+    /// permuting the training rows changes nothing: the fit canonicalizes
+    /// row order before any floating-point accumulation.
+    #[test]
+    fn fit_is_deterministic_and_row_order_invariant(set in LazyGen::new(training_set)) {
+        let (points, cpi, perm, probe) = set;
+        let priors = default_priors();
+        let first = Surrogate::fit(&points, &cpi, &priors);
+        let again = Surrogate::fit(&points, &cpi, &priors);
+        let shuffled_points: Vec<ConfigPoint> = perm.iter().map(|&i| points[i]).collect();
+        let shuffled_cpi: Vec<f64> = perm.iter().map(|&i| cpi[i]).collect();
+        let shuffled = Surrogate::fit(&shuffled_points, &shuffled_cpi, &priors);
+        for p in points.iter().chain([&probe]) {
+            let want = first.predict(p);
+            prop_assert!(want.is_finite());
+            prop_assert_eq!(want.to_bits(), again.predict(p).to_bits());
+            prop_assert_eq!(want.to_bits(), shuffled.predict(p).to_bits());
+            prop_assert_eq!(
+                first.uncertainty_pct(p).to_bits(),
+                shuffled.uncertainty_pct(p).to_bits()
+            );
+        }
+    }
+}

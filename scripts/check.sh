@@ -72,6 +72,26 @@ MLP_TRACE_CACHE_BYTES=0 target/release/mlp-experiments table5 --scale quick \
 ls "$stream_dir"/cache/*.mlp2 >/dev/null   # traces really went to disk
 diff "$stream_dir/mem/table5.quick.json" "$stream_dir/disk/table5.quick.json"
 
+echo "==> surrogate property + cross-validation suites"
+# Planted-coefficient recovery, ridge totality on hostile designs, and
+# row-order-invariant fits (prop, also in the debug workspace run); then
+# k-fold CV over the golden report corpus against the published 5%/15%
+# tolerance (release only: 231-wide ridge fits).
+cargo test -q --release -p mlp-surrogate --test prop
+cargo test -q --release -p mlp-surrogate --test crossval
+
+echo "==> surrogate smoke (train from reports -> predict -> self-validate)"
+# Run a few experiments with --json, train the surrogate from the report
+# directory (only reports with full sweep coordinates contribute rows —
+# the others must be tolerated, not fatal), and check the schema-tagged
+# report lands with an in-tolerance verdict (exit 0).
+surr_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir" "$stream_dir" "$surr_dir"' EXIT
+target/release/mlp-experiments --only sweep1000,table1,figure7 --scale quick \
+    --json "$surr_dir" >/dev/null
+target/release/mlp-experiments --surrogate "$surr_dir" >/dev/null
+grep -q '"schema": "mlp-surrogate.report/v1"' "$surr_dir/surrogate.json"
+
 echo "==> serve chaos suite (hang/io-error/cache-corrupt/shed, release)"
 # Arms each MLP_FAULT serve site in a real daemon process and checks the
 # faulted job degrades while sibling responses stay byte-identical and
@@ -83,7 +103,7 @@ echo "==> mlp-serve smoke (daemon response == CLI artifact bytes)"
 # and diff the response byte-for-byte against the file the CLI writes
 # for the same experiment and scale.
 serve_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir" "$stream_dir" "$serve_dir"' EXIT
+trap 'rm -rf "$smoke_dir" "$stream_dir" "$surr_dir" "$serve_dir"' EXIT
 target/release/mlp-serve --addr 127.0.0.1:0 --port-file "$serve_dir/port" \
     --workers 2 --cache-dir "$serve_dir/cache" 2>/dev/null &
 serve_pid=$!
@@ -126,5 +146,11 @@ echo "==> stream bench (records results/BENCH_stream.json; guards peak RSS + wal
 # under the absolute streaming budget. (~90s; the bench's own default is
 # 8M so plain 'cargo bench' stays fast.)
 MLP_STREAM_BENCH_INSTS=100M cargo bench -q -p mlp-bench --bench stream >/dev/null
+
+echo "==> surrogate bench (records results/BENCH_surrogate.json; asserts >=50x + CV tolerance)"
+# Active-sampling exploration, fit time, predict throughput, and the
+# speedup over a surrogate-free full sweep; fails if the speedup drops
+# below 50x, the CV tolerance breaks, or exploration regresses >3x.
+cargo bench -q -p mlp-bench --bench surrogate >/dev/null
 
 echo "All checks passed."

@@ -29,6 +29,7 @@
 #![cfg(not(debug_assertions))]
 
 use mlp_cyclesim::{CycleSim, CycleSimConfig};
+use mlp_experiments::exp::sweep1000;
 use mlp_experiments::runner::{run_cyclesim, run_mlpsim, shared_seeded, SEED};
 use mlp_experiments::RunScale;
 use mlp_obs::Mode;
@@ -166,6 +167,55 @@ fn soa_path_engines_land_within_one_offchip_access() {
              access over the same {}-instruction window: mlpsim {m_total} vs \
              cyclesim {c_total}",
             m.insts,
+        );
+    }
+}
+
+/// Differential check of the surrogate's active-sampling loop against
+/// direct simulation: the quick-scale `sweep1000` exploration must
+/// converge within its budget, and every point it *did* simulate must
+/// carry exactly the CPI a standalone [`sweep1000::simulate_point`]
+/// call produces — bit for bit. The loop batches points by engine cell
+/// and harvests free stencil labels from each cell's report; this test
+/// proves that bookkeeping never relabels, scales, or approximates a
+/// simulated value.
+#[test]
+fn surrogate_active_loop_matches_direct_simulation_bit_for_bit() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = RunScale::quick();
+    let sweep = sweep1000::run(scale);
+    assert!(
+        sweep.explored.converged,
+        "sweep1000 exploration must converge within budget: cv {:?} after {} rounds",
+        sweep.explored.cv, sweep.explored.rounds
+    );
+    assert_eq!(sweep.explored.order.len(), sweep.explored.cpi.len());
+    // One engine run per distinct cell (the labels share cells 18-to-1
+    // thanks to the free stencil); `simulate_point` is exactly this
+    // `run_cell` + `truth_cpi` composition.
+    let mut reports: std::collections::BTreeMap<_, mlpsim::Report> = Default::default();
+    for (&gi, &cpi) in sweep.explored.order.iter().zip(&sweep.explored.cpi) {
+        let p = &sweep.grid[gi];
+        let cell = sweep1000::cell_of(p);
+        let report = reports
+            .entry(cell)
+            .or_insert_with(|| sweep1000::run_cell(cell, scale));
+        let direct = sweep1000::truth_cpi(report, p.workload, p.mshrs, p.latency);
+        assert_eq!(
+            cpi.to_bits(),
+            direct.to_bits(),
+            "{p:?}: active loop recorded CPI {cpi}, direct simulation says {direct}"
+        );
+    }
+    // A few labels through the public entry point itself, which re-runs
+    // the engine from scratch — pins run-to-run determinism too.
+    for (&gi, &cpi) in sweep.explored.order.iter().zip(&sweep.explored.cpi).take(3) {
+        let p = &sweep.grid[gi];
+        let direct = sweep1000::simulate_point(p, scale);
+        assert_eq!(
+            cpi.to_bits(),
+            direct.to_bits(),
+            "{p:?}: simulate_point disagrees with the active loop's label"
         );
     }
 }

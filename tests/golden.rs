@@ -101,6 +101,7 @@ golden! {
     golden_l3 => "l3",
     golden_smt => "smt",
     golden_rae_timing => "rae-timing",
+    golden_sweep1000 => "sweep1000",
 }
 
 /// Every file in the golden directory must belong to a registered
